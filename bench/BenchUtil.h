@@ -1,0 +1,51 @@
+//===- bench/BenchUtil.h - Shared bench-harness helpers ---------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: environment
+/// overrides for corpus size and time limits, and a banner printer that
+/// states which paper artifact a binary regenerates.
+///
+/// Environment knobs (all optional):
+///   SWP_CORPUS_SIZE  — number of corpus loops to schedule (default varies
+///                      per bench; the full corpus is 1066 loops).
+///   SWP_TIME_LIMIT   — per-T MILP time limit in seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_BENCH_BENCHUTIL_H
+#define SWP_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace swp::benchutil {
+
+inline int envInt(const char *Name, int Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atoi(V) : Default;
+}
+
+inline double envDouble(const char *Name, double Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atof(V) : Default;
+}
+
+inline void banner(const char *Artifact, const char *What) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("Reproduces: %s\n%s\n", Artifact, What);
+  std::printf("Paper: Altman, Govindarajan, Gao. Scheduling and Mapping: "
+              "Software\nPipelining in the Presence of Structural Hazards. "
+              "PLDI 1995.\n");
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+} // namespace swp::benchutil
+
+#endif // SWP_BENCH_BENCHUTIL_H

@@ -1,0 +1,105 @@
+//===- bench_ablation_mapping.cpp - Fixed vs run-time mapping -------------===//
+//
+// Ablation A (DESIGN.md): how much initiation interval does *fixed* FU
+// assignment cost relative to idealized run-time mapping (capacity-only
+// scheduling, the pre-paper formulation)?  The paper's Schedule A shows the
+// gap exists; this bench measures how often it appears across machines and
+// a corpus sample.
+//
+// Env: SWP_CORPUS_SIZE (default 200), SWP_TIME_LIMIT (default 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "swp/core/Driver.h"
+#include "swp/machine/Catalog.h"
+#include "swp/support/TextTable.h"
+#include "swp/workload/Corpus.h"
+#include "swp/workload/Kernels.h"
+
+#include <cstdio>
+
+using namespace swp;
+
+namespace {
+
+struct GapStats {
+  int Both = 0;
+  int Equal = 0;
+  int FixedWorse = 0;
+  /// Fixed < run-time can only happen when a time limit censored the
+  /// run-time search below the fixed II; a *proven* occurrence is a bug.
+  int CensoredAnomalies = 0;
+  int ProvenAnomalies = 0;
+  long SumGap = 0;
+};
+
+void runOne(const Ddg &G, const MachineModel &M, const SchedulerOptions &Base,
+            GapStats &Stats) {
+  SchedulerOptions RT = Base;
+  RT.Mapping = MappingKind::RunTime;
+  SchedulerResult A = scheduleLoop(G, M, RT);
+  SchedulerResult B = scheduleLoop(G, M, Base);
+  if (!A.found() || !B.found())
+    return;
+  ++Stats.Both;
+  if (A.Schedule.T == B.Schedule.T)
+    ++Stats.Equal;
+  if (B.Schedule.T > A.Schedule.T) {
+    ++Stats.FixedWorse;
+    Stats.SumGap += B.Schedule.T - A.Schedule.T;
+  }
+  if (B.Schedule.T < A.Schedule.T) {
+    if (A.ProvenRateOptimal && B.ProvenRateOptimal)
+      ++Stats.ProvenAnomalies;
+    else
+      ++Stats.CensoredAnomalies;
+  }
+}
+
+} // namespace
+
+int main() {
+  benchutil::banner("Ablation A: fixed vs run-time mapping",
+                    "II cost of requiring a fixed FU assignment");
+  SchedulerOptions Base;
+  Base.TimeLimitPerT = benchutil::envDouble("SWP_TIME_LIMIT", 2.0);
+  Base.MaxTSlack = 12;
+
+  // The hand instance where the gap is certain.
+  {
+    GapStats S;
+    runOne(scheduleALoop(), exampleTwoFpMachine(), Base, S);
+    std::printf("Schedule A instance: fixed mapping costs II on %d/%d runs "
+                "-> %s\n\n",
+                S.FixedWorse, S.Both,
+                S.FixedWorse == 1 ? "REPRODUCED" : "MISMATCH");
+  }
+
+  MachineModel Machine = ppc604Like();
+  CorpusOptions COpts;
+  COpts.NumLoops = benchutil::envInt("SWP_CORPUS_SIZE", 200);
+  GapStats S;
+  for (const Ddg &G : generateCorpus(Machine, COpts))
+    runOne(G, Machine, Base, S);
+
+  TextTable Table;
+  Table.setHeader({"metric", "value"});
+  Table.addRow({"loops scheduled under both disciplines",
+                std::to_string(S.Both)});
+  Table.addRow({"II equal", std::to_string(S.Equal)});
+  Table.addRow({"fixed mapping worse", std::to_string(S.FixedWorse)});
+  Table.addRow({"mean gap when worse (cycles)",
+                S.FixedWorse ? std::to_string(static_cast<double>(S.SumGap) /
+                                              S.FixedWorse)
+                             : std::string("-")});
+  Table.addRow({"run-time censored below fixed II",
+                std::to_string(S.CensoredAnomalies)});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("paper-shape check: fixed mapping never *provably* helps "
+              "-> %s\n",
+              S.ProvenAnomalies == 0 ? "REPRODUCED" : "MISMATCH");
+  std::printf("note: on this machine most types have 1 unit, where mapping "
+              "is forced; gaps concentrate on the 2-unit SCIU type.\n");
+  return 0;
+}

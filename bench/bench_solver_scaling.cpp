@@ -1,0 +1,115 @@
+//===- bench_solver_scaling.cpp - Solver scaling (google-benchmark) -------===//
+//
+// Scaling study (DESIGN.md): wall-clock of the substrate and the schedulers
+// as problem size grows — LP relaxation solves, full MILP feasibility at
+// T_lb, IMS, and the enumerative search, each against loop size N.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Formulation.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Analysis.h"
+#include "swp/heuristics/Enumerative.h"
+#include "swp/heuristics/IterativeModulo.h"
+#include "swp/machine/Catalog.h"
+#include "swp/solver/BranchAndBound.h"
+#include "swp/solver/Simplex.h"
+#include "swp/workload/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swp;
+
+namespace {
+
+/// A deterministic loop of exactly \p N nodes (the generator's size cap and
+/// floor coincide).
+Ddg loopOfSize(int N, std::uint64_t Seed) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.MaxNodes = N;
+  Opts.MeanExtraNodes = 1000.0; // Saturate the cap: size is exactly N.
+  return generateRandomLoop(M, Seed, Opts);
+}
+
+void BM_LpRelaxation(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 42);
+  int T = std::max({1, recurrenceMii(G), M.resourceMii(G)});
+  while (!M.moduloFeasible(G, T))
+    ++T;
+  FormulationOptions FOpts;
+  FormulationVars Vars;
+  MilpModel Model = buildScheduleModel(G, M, T, FOpts, Vars);
+  for (auto _ : State) {
+    LpResult R = solveLp(Model);
+    benchmark::DoNotOptimize(R.Objective);
+  }
+  State.counters["vars"] = Model.numVars();
+  State.counters["rows"] = Model.numConstraints();
+}
+BENCHMARK(BM_LpRelaxation)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_MilpAtTlb(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 43);
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 5.0;
+  Opts.MaxTSlack = 0; // Only the first feasibility question.
+  for (auto _ : State) {
+    SchedulerResult R = scheduleLoop(G, M, Opts);
+    benchmark::DoNotOptimize(R.TotalNodes);
+  }
+}
+BENCHMARK(BM_MilpAtTlb)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_IterativeModulo(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 44);
+  for (auto _ : State) {
+    ImsResult R = iterativeModuloSchedule(G, M);
+    benchmark::DoNotOptimize(R.Schedule.T);
+  }
+}
+BENCHMARK(BM_IterativeModulo)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Enumerative(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 45);
+  EnumOptions Opts;
+  Opts.TimeLimitPerT = 5.0;
+  for (auto _ : State) {
+    EnumResult R = enumerativeSchedule(G, M, Opts);
+    benchmark::DoNotOptimize(R.States);
+  }
+}
+BENCHMARK(BM_Enumerative)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RecurrenceMii(benchmark::State &State) {
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 46);
+  for (auto _ : State) {
+    int Mii = recurrenceMii(G);
+    benchmark::DoNotOptimize(Mii);
+  }
+}
+BENCHMARK(BM_RecurrenceMii)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_VerifierThroughput(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 47);
+  ImsResult R = iterativeModuloSchedule(G, M);
+  if (!R.found()) {
+    State.SkipWithError("no schedule");
+    return;
+  }
+  for (auto _ : State) {
+    auto V = verifySchedule(G, M, R.Schedule);
+    benchmark::DoNotOptimize(V.Ok);
+  }
+}
+BENCHMARK(BM_VerifierThroughput)->Arg(8)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

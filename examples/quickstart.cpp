@@ -1,0 +1,59 @@
+//===- quickstart.cpp - Five-minute tour of the swp API -------------------===//
+//
+// Build a loop DDG, describe a machine with structural hazards, ask the
+// unified ILP scheduler for a rate-optimal schedule + mapping, verify it,
+// and print the kernel.
+//
+// Run:  ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/KernelExpander.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Analysis.h"
+#include "swp/machine/MachineModel.h"
+
+#include <cstdio>
+
+using namespace swp;
+
+int main() {
+  // A machine with one non-pipelined multiplier (occupied 2 cycles per op)
+  // and one clean 2-stage load/store pipeline.
+  MachineModel Machine("demo");
+  int Mul = Machine.addFuType("MUL", 1, ReservationTable::nonPipelined(2));
+  int Lsu = Machine.addFuType("LSU", 1, ReservationTable::cleanPipelined(2));
+
+  // The loop  s = s * a[i]  (a running product):
+  //   ld   -> mul ; mul -> mul (loop-carried, distance 1).
+  Ddg Loop("running-product");
+  int Ld = Loop.addNode("ld", Lsu, /*Latency=*/2);
+  int Mu = Loop.addNode("mul", Mul, /*Latency=*/2);
+  int Mu2 = Loop.addNode("mul2", Mul, /*Latency=*/2); // An extra multiply.
+  Loop.addEdge(Ld, Mu, 0);
+  Loop.addEdge(Mu, Mu, 1);
+  Loop.addEdge(Mu, Mu2, 0);
+
+  std::printf("T_dep = %d (recurrence bound), T_res = %d (resource bound)\n",
+              recurrenceMii(Loop), Machine.resourceMii(Loop));
+
+  // Rate-optimal scheduling + mapping (the PLDI '95 unified ILP).
+  SchedulerResult Result = scheduleLoop(Loop, Machine);
+  if (!Result.found()) {
+    std::printf("no schedule found\n");
+    return 1;
+  }
+  std::printf("rate-optimal II = %d (proven: %s)\n", Result.Schedule.T,
+              Result.ProvenRateOptimal ? "yes" : "no");
+
+  // Every schedule is independently checkable.
+  VerifyResult V = verifySchedule(Loop, Machine, Result.Schedule);
+  std::printf("verifier: %s\n", V.Ok ? "OK" : V.Error.c_str());
+
+  // The T = T*K + A'*[0..T-1]' decomposition and the software pipeline.
+  std::printf("\n%s\n", Result.Schedule.renderTka().c_str());
+  std::printf("%s\n",
+              renderOverlappedIterations(Loop, Result.Schedule, 4).c_str());
+  return V.Ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+//===- swp/core/KernelExpander.h - Prolog/kernel/epilog ---------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expands a modulo schedule into the flat overlapped-iterations listing of
+/// the paper's Tables 1-3: a prolog (iterations ramping up), the repetitive
+/// kernel of length T, and an epilog (draining).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_CORE_KERNELEXPANDER_H
+#define SWP_CORE_KERNELEXPANDER_H
+
+#include "swp/core/Schedule.h"
+#include "swp/ddg/Ddg.h"
+
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// One dynamic instruction instance of the expanded schedule.
+struct ScheduledInstance {
+  int Node = 0;
+  int Iteration = 0;
+  int Start = 0;
+};
+
+/// The expanded schedule plus the prolog/kernel boundaries.
+struct ExpandedSchedule {
+  std::vector<ScheduledInstance> Instances;
+  /// First cycle of the steady-state kernel: KMax * T where KMax = max k_i
+  /// (before it, some iterations are still ramping up).
+  int KernelStart = 0;
+  /// Kernel length (== T).
+  int KernelLength = 0;
+};
+
+/// Expands \p Iterations iterations of \p S.
+ExpandedSchedule expandSchedule(const Ddg &G, const ModuloSchedule &S,
+                                int Iterations);
+
+/// Renders the Table 1/2 artifact: rows are cycles, one column per
+/// iteration, cells name the instruction issued at that cycle; prolog /
+/// kernel boundaries are annotated.
+std::string renderOverlappedIterations(const Ddg &G, const ModuloSchedule &S,
+                                       int Iterations);
+
+/// Modulo variable expansion (Lam [16]; the paper's Section 7 code-size
+/// discussion): the kernel must be unrolled so that no value's lifetime
+/// spans two same-named definitions.  \returns
+/// max(1, max_i ceil(lifetime_i / T)).
+int mveUnrollFactor(const Ddg &G, const ModuloSchedule &S);
+
+/// Renders the MVE-unrolled kernel: mveUnrollFactor copies of the T-cycle
+/// pattern with values renamed per copy (v.0, v.1, ...), the software-only
+/// alternative to rotating register files [21].
+std::string renderUnrolledKernel(const Ddg &G, const ModuloSchedule &S);
+
+} // namespace swp
+
+#endif // SWP_CORE_KERNELEXPANDER_H

@@ -1,0 +1,69 @@
+//===- swp/core/Registers.h - Buffer and register-pressure analysis -*- C++ -*-
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-cost extensions the paper names in its conclusions:
+/// "It can incorporate minimizing buffers (logical registers) as in [18]
+/// or minimizing the maximum number of live values at any time step in the
+/// repetitive pattern, as in [5]."
+///
+/// Two cost models over a modulo schedule with period T:
+///
+/// - **Buffers** (Ning & Gao, POPL '93 [18]): each dependence edge (i, j)
+///   with distance m needs a FIFO of
+///   ceil((t_j + T*m - t_i) / T) buffers — the number of in-flight copies
+///   of i's value destined for j.  Total buffers = sum over edges.
+///
+/// - **MaxLive** (Eichenberger, Davidson & Abraham, MICRO-27 '94 [5]):
+///   each value lives from its definition to its last use (across all
+///   consumers and iterations); MaxLive is the maximum number of
+///   simultaneously live values at any time step of the repetitive
+///   pattern — a lower bound on the register requirement.
+///
+/// Buffer minimization also integrates into the ILP: see
+/// FormulationOptions::BufferObjective and
+/// SchedulerOptions::MinimizeBuffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_CORE_REGISTERS_H
+#define SWP_CORE_REGISTERS_H
+
+#include "swp/core/Schedule.h"
+#include "swp/ddg/Ddg.h"
+
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Ning-Gao buffer count of edge \p E under \p S:
+/// ceil((t_dst + T*distance - t_src) / T).
+int edgeBufferCount(const Ddg &G, const ModuloSchedule &S, const DdgEdge &E);
+
+/// Total Ning-Gao buffers: sum of edgeBufferCount over all edges.
+int totalBuffers(const Ddg &G, const ModuloSchedule &S);
+
+/// Live-range of the value produced by node \p I: [t_i, latest consumption
+/// across out-edges), empty (length 0) when \p I has no consumers.
+/// \returns the length of the range in cycles.
+int valueLifetime(const Ddg &G, const ModuloSchedule &S, int I);
+
+/// Eichenberger MaxLive: the maximum over pattern time steps of the number
+/// of simultaneously live values in steady state.
+int maxLive(const Ddg &G, const ModuloSchedule &S);
+
+/// Per-slot live-value counts in steady state (size T); max element is
+/// maxLive().
+std::vector<int> livePerSlot(const Ddg &G, const ModuloSchedule &S);
+
+/// Renders a one-line-per-value lifetime chart plus the per-slot live
+/// counts (the Figure style of [5]).
+std::string renderLifetimes(const Ddg &G, const ModuloSchedule &S);
+
+} // namespace swp
+
+#endif // SWP_CORE_REGISTERS_H

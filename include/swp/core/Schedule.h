@@ -1,0 +1,66 @@
+//===- swp/core/Schedule.h - Modulo schedules -------------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result object of every scheduler: a linear periodic schedule
+/// (instruction i of iteration j starts at j*T + t_i) plus an optional
+/// fixed function-unit mapping.
+///
+/// Mirrors the paper's T = T*K + A'*[0..T-1]' decomposition: offset(i) is
+/// the A-matrix row of instruction i and stageIndex(i) is k_i.  Rendering
+/// helpers regenerate the paper's Figure 2/3 artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_CORE_SCHEDULE_H
+#define SWP_CORE_SCHEDULE_H
+
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// A modulo schedule with period T; optionally carries a fixed mapping of
+/// every instruction to a unit of its type (the paper's "coloring").
+struct ModuloSchedule {
+  /// Initiation interval (period of the repetitive pattern).
+  int T = 0;
+  /// Start time t_i of instruction i in iteration 0.
+  std::vector<int> StartTime;
+  /// Unit-within-type index (0-based "color") per instruction, or empty for
+  /// run-time mapping (Section 4.1-only schedules).
+  std::vector<int> Mapping;
+
+  bool hasMapping() const { return !Mapping.empty(); }
+
+  /// Pattern time step at which instruction \p I initiates (A-matrix row).
+  int offset(int I) const { return StartTime[static_cast<size_t>(I)] % T; }
+
+  /// k_i = t_i div T (the K vector).
+  int stageIndex(int I) const { return StartTime[static_cast<size_t>(I)] / T; }
+
+  /// The K vector.
+  std::vector<int> kVector() const;
+
+  /// The 0-1 A matrix (T rows, N columns), a[t][i] = 1 iff offset(i) == t.
+  std::vector<std::vector<int>> aMatrix() const;
+
+  /// Renders the Figure 3 artifact: the t vector, K vector and A matrix.
+  std::string renderTka() const;
+
+  /// Renders per-type, per-stage modulo usage tables (Figure 2(d) style):
+  /// which instructions occupy each stage of \p Machine's type tables at
+  /// each pattern time step.
+  std::string renderPatternUsage(const Ddg &G,
+                                 const MachineModel &Machine) const;
+};
+
+} // namespace swp
+
+#endif // SWP_CORE_SCHEDULE_H

@@ -1,0 +1,58 @@
+//===- swp/core/Verifier.h - Schedule legality checking ---------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formulation-independent legality checking of modulo schedules — the
+/// ground truth every scheduler (ILP, heuristic, enumerative) is tested
+/// against.
+///
+/// Checks performed:
+///  - dependence constraints t_j - t_i >= latency - T * m_ij for all edges;
+///  - the modulo-scheduling precondition per used reservation table;
+///  - with a fixed mapping: no two instructions assigned to the same
+///    physical unit collide on any stage at any pattern time step (exact,
+///    via reservation-table offset conflicts);
+///  - without a mapping (run-time mapping): aggregate per-stage usage at
+///    every pattern step within each type's unit count, and — as executable
+///    evidence — an unrolled first-fit unit-assignment simulation over
+///    several iterations (the hardware's "grab any free unit" behaviour).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_CORE_VERIFIER_H
+#define SWP_CORE_VERIFIER_H
+
+#include "swp/core/Schedule.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <string>
+
+namespace swp {
+
+/// Outcome of schedule verification.
+struct VerifyResult {
+  bool Ok = false;
+  /// Human-readable description of the first violation (empty when Ok).
+  std::string Error;
+};
+
+/// Verifies \p S against \p G on \p Machine; see the file comment for the
+/// exact checks.
+VerifyResult verifySchedule(const Ddg &G, const MachineModel &Machine,
+                            const ModuloSchedule &S);
+
+/// Unrolled first-fit simulation: executes \p Iterations copies of the loop
+/// under run-time mapping, assigning each dynamic instruction to the lowest
+/// free unit of its type; \returns true when every instance found a unit.
+/// This is the run-time-mapping semantics of the paper's Schedule A.
+bool simulateRunTimeMapping(const Ddg &G, const MachineModel &Machine,
+                            const ModuloSchedule &S, int Iterations,
+                            std::string *ErrorOut = nullptr);
+
+} // namespace swp
+
+#endif // SWP_CORE_VERIFIER_H

@@ -1,0 +1,52 @@
+//===- swp/ddg/Analysis.h - DDG analyses ------------------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph analyses on DDGs: strongly connected components, and the
+/// recurrence-constrained lower bound T_dep on the initiation interval.
+///
+/// T_dep = max over cycles C of (sum of edge latencies) / (sum of
+/// distances) (paper Section 2, citing Reiter [23]).  The integer bound
+/// recurrenceMii = ceil(T_dep) is computed exactly by binary search on T:
+/// T admits a schedule w.r.t. recurrences iff the edge weights
+/// latency - T*distance contain no positive cycle, which is monotone in T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_DDG_ANALYSIS_H
+#define SWP_DDG_ANALYSIS_H
+
+#include "swp/ddg/Ddg.h"
+
+#include <vector>
+
+namespace swp {
+
+/// \returns true when the graph with edge weights latency - T*distance has a
+/// cycle of strictly positive weight (meaning no periodic schedule of
+/// period \p T satisfies the recurrences).
+bool hasPositiveCycle(const Ddg &G, int T);
+
+/// \returns the smallest integer T >= 0 admitting the recurrences, i.e.
+/// ceil(T_dep); 0 for acyclic graphs.
+int recurrenceMii(const Ddg &G);
+
+/// \returns the maximum cycle ratio (T_dep) as a double, 0 for acyclic
+/// graphs; accurate to ~1e-9 (exact comparisons use recurrenceMii()).
+double maxCycleRatio(const Ddg &G);
+
+/// Tarjan SCCs; \returns one vector of node ids per component, components in
+/// reverse topological order, ids ascending within a component.
+std::vector<std::vector<int>> stronglyConnectedComponents(const Ddg &G);
+
+/// \returns node ids on some critical cycle (a cycle whose ratio equals the
+/// maximum); empty for acyclic graphs.  Used for reporting (the paper points
+/// at the self-loop on i2 as the T_dep = 2 witness).
+std::vector<int> criticalCycleNodes(const Ddg &G);
+
+} // namespace swp
+
+#endif // SWP_DDG_ANALYSIS_H

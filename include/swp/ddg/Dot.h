@@ -1,0 +1,27 @@
+//===- swp/ddg/Dot.h - DOT export of DDGs -----------------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz DOT rendering of a DDG (edge labels carry latency and
+/// dependence distance, as in the paper's Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_DDG_DOT_H
+#define SWP_DDG_DOT_H
+
+#include "swp/ddg/Ddg.h"
+
+#include <string>
+
+namespace swp {
+
+/// Renders \p G as a DOT digraph.
+std::string toDot(const Ddg &G);
+
+} // namespace swp
+
+#endif // SWP_DDG_DOT_H

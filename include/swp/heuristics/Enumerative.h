@@ -1,0 +1,62 @@
+//===- swp/heuristics/Enumerative.h - Exhaustive search ---------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An enumerative (backtracking) scheduler+mapper — the "cleverly designed
+/// exhaustive search" alternative to the ILP the paper mentions via the
+/// first author's thesis [2].
+///
+/// Per candidate T it enumerates pattern offsets and unit assignments with
+/// modulo-reservation pruning and unit-symmetry breaking; dependence
+/// feasibility of a complete offset assignment reduces to the absence of a
+/// positive cycle in the k-difference constraint graph
+///   k_j - k_i >= ceil((latency - T*m + off_i - off_j) / T),
+/// solved by Bellman-Ford (which also yields the K vector).  Exhaustive up
+/// to the state limit, so — like the ILP — it proves infeasibility at a T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_HEURISTICS_ENUMERATIVE_H
+#define SWP_HEURISTICS_ENUMERATIVE_H
+
+#include "swp/core/Schedule.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <cstdint>
+
+namespace swp {
+
+/// Enumerative search knobs.
+struct EnumOptions {
+  /// Candidate T range: [T_lb, T_lb + MaxTSlack].
+  int MaxTSlack = 64;
+  /// State (node) limit per T.
+  std::int64_t MaxStatesPerT = 2000000;
+  /// Wall-clock limit per T, seconds.
+  double TimeLimitPerT = 10.0;
+};
+
+/// Enumerative search outcome.
+struct EnumResult {
+  ModuloSchedule Schedule;
+  int TDep = 0;
+  int TRes = 0;
+  int TLowerBound = 0;
+  /// True when every T below the found one was exhausted (rate-optimal).
+  bool ProvenRateOptimal = false;
+  std::int64_t States = 0;
+
+  bool found() const { return Schedule.T > 0; }
+};
+
+/// Runs the enumerative search for \p G on \p Machine.
+EnumResult enumerativeSchedule(const Ddg &G, const MachineModel &Machine,
+                               const EnumOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_HEURISTICS_ENUMERATIVE_H

@@ -1,0 +1,55 @@
+//===- swp/heuristics/IterativeModulo.h - Rau's IMS baseline ----*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative modulo scheduling (Rau, MICRO-27 1994 [22]) adapted to
+/// reservation-table machines with *fixed* unit binding — the practical
+/// heuristic the paper's ILP is compared against (heuristics find
+/// suboptimal II on some loops; the ILP is rate-optimal).
+///
+/// Per candidate T: instructions are scheduled highest-priority first
+/// (height-based), each at the earliest dependence-legal slot with a
+/// conflict-free unit in the modulo reservation table; when no slot fits
+/// within a T-wide window the instruction is force-placed and conflicting /
+/// dependence-violated instructions are evicted, within a budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_HEURISTICS_ITERATIVEMODULO_H
+#define SWP_HEURISTICS_ITERATIVEMODULO_H
+
+#include "swp/core/Schedule.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+namespace swp {
+
+/// IMS knobs.
+struct ImsOptions {
+  /// Candidate T range: [T_lb, T_lb + MaxTSlack].
+  int MaxTSlack = 64;
+  /// Scheduling budget per T, as a multiple of the instruction count.
+  int BudgetRatio = 6;
+};
+
+/// IMS outcome.
+struct ImsResult {
+  /// Schedule with fixed mapping (T == 0 when every T in range failed).
+  ModuloSchedule Schedule;
+  int TDep = 0;
+  int TRes = 0;
+  int TLowerBound = 0;
+
+  bool found() const { return Schedule.T > 0; }
+};
+
+/// Runs iterative modulo scheduling for \p G on \p Machine.
+ImsResult iterativeModuloSchedule(const Ddg &G, const MachineModel &Machine,
+                                  const ImsOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_HEURISTICS_ITERATIVEMODULO_H

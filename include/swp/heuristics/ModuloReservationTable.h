@@ -1,0 +1,55 @@
+//===- swp/heuristics/ModuloReservationTable.h - Shared MRT -----*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modulo reservation table shared by the heuristic schedulers: per
+/// physical unit, per stage, per pattern slot, which instruction occupies
+/// it.  Variant-aware (multi-function pipelines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_HEURISTICS_MODULORESERVATIONTABLE_H
+#define SWP_HEURISTICS_MODULORESERVATIONTABLE_H
+
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <vector>
+
+namespace swp {
+
+/// Occupancy of every physical unit's stages modulo T; entries hold the
+/// occupying node id or -1.
+class ModuloReservationTable {
+public:
+  ModuloReservationTable(const MachineModel &Machine, int T);
+
+  /// True when \p Node can issue at absolute time \p Time on unit \p U of
+  /// its type without colliding with a *different* node.
+  bool fits(const Ddg &G, int Node, int Time, int U) const;
+
+  /// Occupies the slots of \p Node issued at \p Time on unit \p U.
+  void place(const Ddg &G, int Node, int Time, int U);
+
+  /// Releases the slots of \p Node issued at \p Time on unit \p U.
+  void remove(const Ddg &G, int Node, int Time, int U);
+
+  /// Node ids (unique) colliding with issuing \p Node at \p Time on \p U.
+  std::vector<int> conflicts(const Ddg &G, int Node, int Time, int U) const;
+
+private:
+  template <typename Fn>
+  void forEachSlot(const Ddg &G, int Node, int Time, int U, Fn Apply);
+
+  const MachineModel &Machine;
+  int T;
+  /// Slots[type][unit][stage][slot] = node or -1.
+  std::vector<std::vector<std::vector<std::vector<int>>>> Slots;
+};
+
+} // namespace swp
+
+#endif // SWP_HEURISTICS_MODULORESERVATIONTABLE_H

@@ -1,0 +1,54 @@
+//===- swp/heuristics/SlackModulo.h - Huff's slack scheduling ---*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifetime-sensitive (slack) modulo scheduling in the style of Huff
+/// (PLDI '93 [13]) — the second heuristic baseline the paper's related
+/// work discusses.
+///
+/// Per candidate T: compute each instruction's earliest/latest start
+/// (ASAP/ALAP over the T-weighted dependence graph) and schedule in order
+/// of increasing slack.  Instructions whose scheduled neighbours are
+/// mostly consumers are placed as *late* as possible, producers-first ones
+/// as *early* as possible — shrinking value lifetimes — with IMS-style
+/// eviction under a budget when no slot fits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_HEURISTICS_SLACKMODULO_H
+#define SWP_HEURISTICS_SLACKMODULO_H
+
+#include "swp/core/Schedule.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+namespace swp {
+
+/// Slack-scheduler knobs.
+struct SlackOptions {
+  /// Candidate T range: [T_lb, T_lb + MaxTSlack].
+  int MaxTSlack = 64;
+  /// Scheduling budget per T, as a multiple of the instruction count.
+  int BudgetRatio = 6;
+};
+
+/// Slack-scheduler outcome.
+struct SlackResult {
+  ModuloSchedule Schedule;
+  int TDep = 0;
+  int TRes = 0;
+  int TLowerBound = 0;
+
+  bool found() const { return Schedule.T > 0; }
+};
+
+/// Runs lifetime-sensitive slack modulo scheduling for \p G on \p Machine.
+SlackResult slackModuloSchedule(const Ddg &G, const MachineModel &Machine,
+                                const SlackOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_HEURISTICS_SLACKMODULO_H

@@ -1,0 +1,83 @@
+//===- swp/machine/Catalog.h - Ready-made machine models --------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machines used throughout the paper's examples and evaluation,
+/// reconstructed per DESIGN.md Section 4:
+///
+/// - Clean / non-pipelined / hazard variants of the Section 2 two-unit
+///   machine (FP + Load/Store) used by Schedules A/B/C and Figures 1-4.
+/// - A PowerPC-604-like machine for the Table 4/5 corpus runs (latencies
+///   from the 604 technical summary; unclean units model the 604's
+///   non-pipelined multi-cycle integer and FP-divide paths).
+///
+/// OpClass conventions for the example machines: class 0 = FP,
+/// class 1 = Load/Store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_MACHINE_CATALOG_H
+#define SWP_MACHINE_CATALOG_H
+
+#include "swp/machine/MachineModel.h"
+
+namespace swp {
+
+/// Section 3 baseline: 1 clean-pipelined FP unit (2-stage) and 1
+/// clean-pipelined Load/Store unit (3-stage).
+MachineModel exampleCleanMachine();
+
+/// Section 4 machine: 2 *non-pipelined* FP units (exec time 2) and 1
+/// clean-pipelined Load/Store unit; the machine of Figure 3's Schedule B.
+MachineModel exampleNonPipelinedMachine();
+
+/// Schedule A's machine: 2 non-pipelined FP units (exec time 2) only
+/// (plus a Load/Store type for completeness).  Used to demonstrate a
+/// schedule that is legal under run-time mapping but admits no fixed
+/// FU assignment (circular-arc clique of size 3 on 2 units).
+MachineModel exampleTwoFpMachine();
+
+/// Section 5 machine: both units are unclean pipelines.
+/// FP: stage1 @ {0}, stage2 @ {1}, stage3 @ {1,2} (exec 3);
+/// LS: stage1 @ {0,1}, stage2 @ {2} (exec 3).
+MachineModel exampleHazardMachine();
+
+/// A reservation table violating the modulo constraint at T=2 (stage 3 busy
+/// at columns 1 and 3), the paper's Figure 2(b) skip-this-T illustration.
+ReservationTable moduloViolationTable();
+
+/// PowerPC-604-like corpus machine:
+///   class 0 SCIU x2  clean(1)          - simple integer
+///   class 1 MCIU x1  non-pipelined(2)  - multi-cycle integer
+///   class 2 FPU  x1  unclean 3-stage, stage3 busy 2 cycles (exec 4)
+///   class 3 LSU  x1  clean(2)          - load/store
+///   class 4 FDIV x1  non-pipelined(6)  - FP divide path
+MachineModel ppc604Like();
+
+/// Fully clean VLIW machine with the same class layout as ppc604Like()
+/// (every unit clean-pipelined) — the ablation baseline isolating the cost
+/// of structural hazards.
+MachineModel cleanVliw();
+
+/// Multi-function pipeline variant of the PPC604-like machine (paper
+/// Section 7 extension): FP adds/multiplies and FP divides share ONE
+/// physical FPU (the real 604 behaviour) instead of a separate FDIV type.
+///   class 0 SCIU x2  clean(1)
+///   class 1 MCIU x1  non-pipelined(2)
+///   class 2 FPU  x1  variant 0: 3-stage pipe, stage3 busy 2 cycles;
+///                    variant 1 (divide): stage1 held 6 cycles, then
+///                    stages 2-3 for writeback (exec 8)
+///   class 3 LSU  x1  clean(2)
+/// DDG nodes pick the divide path with DdgNode::Variant ==
+/// ppc604FpuDivVariant().
+MachineModel ppc604MultiFunction();
+
+/// The FPU divide-variant index within ppc604MultiFunction().
+int ppc604FpuDivVariant();
+
+} // namespace swp
+
+#endif // SWP_MACHINE_CATALOG_H

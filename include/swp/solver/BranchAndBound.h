@@ -1,0 +1,79 @@
+//===- swp/solver/BranchAndBound.h - MILP search ----------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Depth-first branch-and-bound MILP solver over the simplex LP relaxation.
+///
+/// The scheduling driver mostly asks feasibility questions ("is there a
+/// schedule+mapping at initiation interval T?"), so the solver supports
+/// stopping at the first incumbent; full optimization (for the coloring
+/// objective) prunes on the incumbent bound.  Time and node limits reproduce
+/// the paper's censored solve-time reporting (its "10/30" note).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SOLVER_BRANCHANDBOUND_H
+#define SWP_SOLVER_BRANCHANDBOUND_H
+
+#include "swp/solver/Model.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace swp {
+
+/// Outcome classification of a MILP solve.
+enum class MilpStatus {
+  /// An optimal integer solution was found and proven (or the first
+  /// incumbent, when StopAtFirstIncumbent is set).
+  Optimal,
+  /// Proven to have no integer solution.
+  Infeasible,
+  /// A limit was hit after at least one incumbent was found.
+  Feasible,
+  /// A limit was hit before any incumbent was found; nothing is proven.
+  Unknown,
+};
+
+/// Knobs for a branch-and-bound run.
+struct MilpOptions {
+  /// Wall-clock limit in seconds (checked per node).
+  double TimeLimitSec = 1e18;
+  /// Maximum number of explored nodes.
+  std::int64_t NodeLimit = INT64_MAX;
+  /// Return as soon as any integer-feasible point is found.
+  bool StopAtFirstIncumbent = false;
+  /// Tolerance for considering an LP value integral.
+  double IntTol = 1e-6;
+  /// Optional warm-start assignment: when it is feasible for the model it
+  /// becomes the initial incumbent, so a censored search can never return
+  /// anything worse.  Ignored when infeasible or empty.
+  std::vector<double> WarmStart;
+};
+
+/// Result of a branch-and-bound run.
+struct MilpResult {
+  MilpStatus Status = MilpStatus::Unknown;
+  double Objective = 0.0;
+  /// Incumbent assignment (empty when none was found).
+  std::vector<double> X;
+  std::int64_t Nodes = 0;
+  double Seconds = 0.0;
+
+  bool hasSolution() const { return !X.empty(); }
+  /// True when the reported status is a proof (optimal or infeasible),
+  /// i.e. no limit censored the search.
+  bool isProven() const {
+    return Status == MilpStatus::Optimal || Status == MilpStatus::Infeasible;
+  }
+};
+
+/// Solves \p M (minimization) by branch and bound.
+MilpResult solveMilp(const MilpModel &M, const MilpOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_SOLVER_BRANCHANDBOUND_H

@@ -1,0 +1,159 @@
+//===- swp/solver/Model.h - MILP model builder ------------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mixed-integer linear program: variables with bounds and integrality,
+/// linear constraints, and a linear objective (always minimized).
+///
+/// The scheduling formulations of the paper (Sections 3-5) are built as
+/// MilpModel instances and handed to BranchAndBound.  The model is solver-
+/// independent; the paper used a commercial ILP code, we ship our own
+/// simplex + branch-and-bound (see DESIGN.md for the substitution argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SOLVER_MODEL_H
+#define SWP_SOLVER_MODEL_H
+
+#include <cassert>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Index of a variable within a MilpModel.
+using VarId = int;
+
+/// One coefficient*variable term of a linear expression.
+struct LinTerm {
+  VarId Var;
+  double Coef;
+};
+
+/// A linear expression sum(Coef_k * Var_k) + Constant.
+///
+/// Duplicate variables are allowed when building; normalize() merges them.
+class LinExpr {
+public:
+  LinExpr() = default;
+
+  /// Appends \p Coef * \p Var (no merging until normalize()).
+  LinExpr &add(VarId Var, double Coef) {
+    if (Coef != 0.0)
+      Terms.push_back({Var, Coef});
+    return *this;
+  }
+
+  /// Adds a constant offset.
+  LinExpr &addConstant(double C) {
+    Constant += C;
+    return *this;
+  }
+
+  /// Appends every term of \p Other scaled by \p Scale.
+  LinExpr &addScaled(const LinExpr &Other, double Scale);
+
+  /// Merges duplicate variables and drops zero coefficients.
+  void normalize();
+
+  const std::vector<LinTerm> &terms() const { return Terms; }
+  double constant() const { return Constant; }
+  bool empty() const { return Terms.empty(); }
+
+private:
+  std::vector<LinTerm> Terms;
+  double Constant = 0.0;
+};
+
+/// Comparison sense of a constraint.
+enum class CmpKind { LE, GE, EQ };
+
+/// Integrality class of a variable.
+enum class VarKind { Continuous, Integer, Binary };
+
+/// A model variable: bounds, integrality, and a debug name.
+struct ModelVar {
+  double Lb;
+  double Ub;
+  VarKind Kind;
+  std::string Name;
+  /// True when some constraint already implies Var <= Ub in the LP
+  /// relaxation (e.g. a[t][i] <= 1 follows from sum_t a[t][i] = 1), letting
+  /// the simplex skip the explicit upper-bound row.
+  bool UbRowRedundant = false;
+  /// Branch-and-bound branching priority; lower classes branch first.
+  /// Structural decisions (the A matrix) should outrank derived variables
+  /// (colors, overlap indicators).
+  int BranchPriority = 0;
+};
+
+/// A linear constraint Expr (<=,>=,=) Rhs.
+struct ModelConstraint {
+  LinExpr Expr;
+  CmpKind Cmp;
+  double Rhs;
+};
+
+/// A mixed-integer linear program; the objective is minimized.
+class MilpModel {
+public:
+  static constexpr double Inf = std::numeric_limits<double>::infinity();
+
+  /// Adds a variable and returns its id.
+  VarId addVar(double Lb, double Ub, VarKind Kind, std::string Name);
+
+  /// Adds a binary {0,1} variable.
+  VarId addBinary(std::string Name) {
+    return addVar(0.0, 1.0, VarKind::Binary, std::move(Name));
+  }
+
+  /// Marks \p Var's upper bound row as implied by other constraints.
+  void setUbRowRedundant(VarId Var) {
+    assert(Var >= 0 && Var < numVars() && "bad var id");
+    Vars[Var].UbRowRedundant = true;
+  }
+
+  /// Sets \p Var's branching priority class (lower branches first).
+  void setBranchPriority(VarId Var, int Priority) {
+    assert(Var >= 0 && Var < numVars() && "bad var id");
+    Vars[Var].BranchPriority = Priority;
+  }
+
+  /// Adds the constraint \p Expr \p Cmp \p Rhs.  The expression's constant
+  /// is folded into the right-hand side.
+  void addConstraint(LinExpr Expr, CmpKind Cmp, double Rhs);
+
+  /// Sets the (minimized) objective.  An empty objective makes every
+  /// feasible point optimal — used for pure feasibility checks.
+  void setObjective(LinExpr Expr);
+
+  int numVars() const { return static_cast<int>(Vars.size()); }
+  int numConstraints() const { return static_cast<int>(Constraints.size()); }
+
+  const ModelVar &var(VarId Id) const { return Vars[Id]; }
+  const std::vector<ModelVar> &vars() const { return Vars; }
+  const std::vector<ModelConstraint> &constraints() const {
+    return Constraints;
+  }
+  const LinExpr &objective() const { return Objective; }
+
+  /// \returns the value of \p Expr under assignment \p X.
+  static double evaluate(const LinExpr &Expr, const std::vector<double> &X);
+
+  /// \returns true if \p X satisfies all constraints and bounds within
+  /// \p Tol (integrality of integer variables included).
+  bool isFeasible(const std::vector<double> &X, double Tol = 1e-6) const;
+
+private:
+  std::vector<ModelVar> Vars;
+  std::vector<ModelConstraint> Constraints;
+  LinExpr Objective;
+};
+
+} // namespace swp
+
+#endif // SWP_SOLVER_MODEL_H

@@ -1,0 +1,50 @@
+//===- swp/solver/Simplex.h - Dense two-phase primal simplex ----*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense two-phase primal simplex solving the LP relaxation of a MilpModel
+/// under overridden variable bounds (as produced by branch-and-bound nodes).
+///
+/// The implementation shifts every variable to its lower bound, adds explicit
+/// rows for finite upper bounds (skipped when the model marks them redundant)
+/// and runs Dantzig pricing with a Bland's-rule fallback for anti-cycling.
+/// Problem sizes in this project are a few hundred rows/columns, where a
+/// dense tableau is both simple and fast enough.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SOLVER_SIMPLEX_H
+#define SWP_SOLVER_SIMPLEX_H
+
+#include "swp/solver/Model.h"
+
+#include <vector>
+
+namespace swp {
+
+/// Outcome of an LP solve.
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
+
+/// LP solution: status, objective value, and a full variable assignment.
+struct LpResult {
+  LpStatus Status = LpStatus::IterLimit;
+  double Objective = 0.0;
+  std::vector<double> X;
+  int Iterations = 0;
+};
+
+/// Solves the LP relaxation of \p M with variable bounds \p Lb / \p Ub
+/// (same length as M.numVars(); entries may tighten or fix the model's
+/// bounds).  Lower bounds must be finite; upper bounds may be +infinity.
+LpResult solveLp(const MilpModel &M, const std::vector<double> &Lb,
+                 const std::vector<double> &Ub);
+
+/// Convenience overload using the model's own bounds.
+LpResult solveLp(const MilpModel &M);
+
+} // namespace swp
+
+#endif // SWP_SOLVER_SIMPLEX_H

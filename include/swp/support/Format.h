@@ -1,0 +1,46 @@
+//===- swp/support/Format.h - printf-style std::string formatting -*- C++ -*-//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// strFormat(): printf-style formatting into a std::string, used by table
+/// printers and report generators (the library avoids <iostream>).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_FORMAT_H
+#define SWP_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace swp {
+
+/// printf-style formatting returning a std::string.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_FORMAT_H

@@ -1,0 +1,79 @@
+//===- swp/support/Rational.h - Exact rational arithmetic -------*- C++ -*-===//
+//
+// Part of the swp project: rate-optimal software pipelining with structural
+// hazards (reproduction of Altman, Govindarajan & Gao, PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational arithmetic on 64-bit numerator/denominator pairs.
+///
+/// The recurrence bound T_dep of a loop is a ratio of cycle weights
+/// (sum of latencies / sum of dependence distances) and must be compared and
+/// ceiling-rounded exactly; doubles would mis-round ties.  Values stay tiny
+/// (latencies and distances are small integers), so int64 never overflows in
+/// practice; operations assert on overflow in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_RATIONAL_H
+#define SWP_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace swp {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+class Rational {
+public:
+  /// Constructs 0/1.
+  Rational() : Num(0), Den(1) {}
+
+  /// Constructs the integer \p N as N/1.
+  Rational(std::int64_t N) : Num(N), Den(1) {}
+
+  /// Constructs \p N / \p D; \p D must be nonzero.  The result is normalized
+  /// (positive denominator, reduced to lowest terms).
+  Rational(std::int64_t N, std::int64_t D);
+
+  std::int64_t num() const { return Num; }
+  std::int64_t den() const { return Den; }
+
+  /// \returns the greatest integer <= *this.
+  std::int64_t floor() const;
+
+  /// \returns the least integer >= *this.
+  std::int64_t ceil() const;
+
+  bool isInteger() const { return Den == 1; }
+
+  double toDouble() const { return static_cast<double>(Num) / Den; }
+
+  /// Renders as "n" when integral, "n/d" otherwise.
+  std::string str() const;
+
+  Rational operator+(const Rational &O) const;
+  Rational operator-(const Rational &O) const;
+  Rational operator*(const Rational &O) const;
+  Rational operator/(const Rational &O) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const;
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator<=(const Rational &O) const { return !(O < *this); }
+  bool operator>=(const Rational &O) const { return !(*this < O); }
+
+private:
+  std::int64_t Num;
+  std::int64_t Den;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_RATIONAL_H

@@ -1,0 +1,74 @@
+//===- swp/support/Rng.h - Deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64 seeded xoshiro256**).
+///
+/// The synthetic loop corpus must be bit-identical across platforms and
+/// standard-library versions, so std::mt19937 + distributions (whose mapping
+/// to ranges is implementation-defined) are avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_RNG_H
+#define SWP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace swp {
+
+/// Deterministic xoshiro256** generator with convenience range helpers.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t X = Seed;
+    for (auto &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// \returns the next raw 64-bit value.
+  std::uint64_t next() {
+    auto Rotl = [](std::uint64_t V, int K) {
+      return (V << K) | (V >> (64 - K));
+    };
+    std::uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive; requires Lo <= Hi.
+  int intIn(int Lo, int Hi) {
+    assert(Lo <= Hi && "empty range");
+    std::uint64_t Span = static_cast<std::uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int>(next() % Span);
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// \returns true with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+private:
+  std::uint64_t State[4];
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_RNG_H

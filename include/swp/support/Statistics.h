@@ -1,0 +1,47 @@
+//===- swp/support/Statistics.h - Summary statistics ------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny summary-statistics helpers (mean, min/max, percentiles) used by the
+/// corpus benchmarks when aggregating per-loop results into table rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_STATISTICS_H
+#define SWP_SUPPORT_STATISTICS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace swp {
+
+/// \returns the arithmetic mean of \p Values, or 0 when empty.
+inline double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+/// \returns the \p P-th percentile (0..100) using nearest-rank; requires a
+/// non-empty input.
+inline double percentile(std::vector<double> Values, double P) {
+  assert(!Values.empty() && "percentile of empty sample");
+  std::sort(Values.begin(), Values.end());
+  double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_STATISTICS_H

@@ -1,0 +1,39 @@
+//===- swp/support/Stopwatch.h - Wall-clock timing --------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch used for solver time limits and the Table 5
+/// solve-time measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_STOPWATCH_H
+#define SWP_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace swp {
+
+/// Measures elapsed wall-clock time from construction (or the last reset).
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_STOPWATCH_H

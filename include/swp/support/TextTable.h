@@ -1,0 +1,40 @@
+//===- swp/support/TextTable.h - Aligned text tables ------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table rendering, used by every bench binary to
+/// print the rows of the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_TEXTTABLE_H
+#define SWP_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Accumulates rows of cells and renders them with padded, aligned columns.
+class TextTable {
+public:
+  /// Sets the header row (rendered with a separator line beneath it).
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row; rows may have differing cell counts.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; every line ends with '\n'.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,60 @@
+//===- swp/textio/Parser.h - Text formats for machines and loops -*- C++ -*-=//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line-oriented text formats so machines and loops can live in files and
+/// drive the swpc command-line tool.
+///
+/// Machine format ('#' starts a comment, blank lines ignored):
+/// \code
+///   machine ppc604
+///   futype SCIU count 2
+///   table 1
+///   futype FPU count 1
+///   table 1000 0100 0011          # one 0/1 string per stage
+///   variant 11111100 00000010 00000001   # extra multi-function variant
+/// \endcode
+///
+/// Loop format (classes referenced by FU type name):
+/// \code
+///   loop daxpy
+///   node ldx class LSU latency 2
+///   node div class FPU latency 8 variant 1
+///   edge ldx -> div distance 0
+///   edge div -> div distance 1 latency 8
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_TEXTIO_PARSER_H
+#define SWP_TEXTIO_PARSER_H
+
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <string>
+
+namespace swp {
+
+/// Parses the machine format; on failure \returns false and fills \p Err
+/// with "line N: message".
+bool parseMachine(const std::string &Text, MachineModel &Out,
+                  std::string &Err);
+
+/// Parses the loop format against \p Machine (for class names); on failure
+/// \returns false and fills \p Err.
+bool parseLoop(const std::string &Text, const MachineModel &Machine,
+               Ddg &Out, std::string &Err);
+
+/// Renders \p M in the machine format (parseMachine round-trips it).
+std::string printMachine(const MachineModel &M);
+
+/// Renders \p G in the loop format (parseLoop round-trips it).
+std::string printLoop(const Ddg &G, const MachineModel &Machine);
+
+} // namespace swp
+
+#endif // SWP_TEXTIO_PARSER_H

@@ -1,0 +1,52 @@
+//===- swp/workload/Corpus.h - Synthetic loop corpus ------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic DDG corpus standing in for the paper's 1066
+/// loops from SPEC92 / NAS / linpack / livermore (DESIGN.md substitution
+/// table).  The generator is calibrated to the paper's reported size
+/// statistics: loops scheduled at T_lb had a mean of ~6 DDG nodes with a
+/// tail of larger loops, and roughly 40% of real loops carry a recurrence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_WORKLOAD_CORPUS_H
+#define SWP_WORKLOAD_CORPUS_H
+
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace swp {
+
+/// Corpus generation knobs (defaults reproduce the paper's setup).
+struct CorpusOptions {
+  /// The paper schedules 1066 loops.
+  int NumLoops = 1066;
+  /// Any change produces a different (but still deterministic) corpus.
+  std::uint64_t Seed = 19950618;
+  /// Mean loop size (nodes); the distribution is 3 + geometric.
+  double MeanExtraNodes = 3.5;
+  /// Hard cap on loop size.
+  int MaxNodes = 24;
+  /// Probability that a loop carries at least one recurrence.
+  double RecurrenceProb = 0.45;
+};
+
+/// Generates the corpus for \p Machine (op classes and latencies follow the
+/// ppc604Like() layout: SCIU, MCIU, FPU, LSU, FDIV).
+std::vector<Ddg> generateCorpus(const MachineModel &Machine,
+                                const CorpusOptions &Opts = {});
+
+/// Generates a single random loop; exposed for property tests.
+Ddg generateRandomLoop(const MachineModel &Machine, std::uint64_t Seed,
+                       const CorpusOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_WORKLOAD_CORPUS_H

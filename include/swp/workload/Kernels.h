@@ -1,0 +1,45 @@
+//===- swp/workload/Kernels.h - Hand-written loop kernels -------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written DDGs: the paper's Section 2 motivating example and a set of
+/// classic kernels (livermore / linpack style) for the PPC604-like machine —
+/// standing in for the DDGs the authors extracted with their compiler
+/// (see DESIGN.md's substitution table).
+///
+/// OpClass conventions: motivatingLoop() targets the example machines
+/// (0 = FP, 1 = LS); the classicKernels() target ppc604Like()
+/// (0 = SCIU, 1 = MCIU, 2 = FPU, 3 = LSU, 4 = FDIV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_WORKLOAD_KERNELS_H
+#define SWP_WORKLOAD_KERNELS_H
+
+#include "swp/ddg/Ddg.h"
+
+#include <vector>
+
+namespace swp {
+
+/// The paper's 6-instruction motivating loop (i0..i5): a Load/Store chain
+/// feeding three FP operations with a self-recurrence on i2 (T_dep = 2).
+/// Reconstructed so that the ASAP schedule is t = [0,1,3,5,7,11], matching
+/// every number visible in the paper's text (DESIGN.md Section 4).
+Ddg motivatingLoop();
+
+/// Three independent FP operations (plus a Load/Store producer/consumer
+/// pair) — the Schedule A instance: at T = 3 on two non-pipelined FP units
+/// capacity holds but no fixed mapping exists (a circular-arc 3-clique).
+Ddg scheduleALoop();
+
+/// Classic kernels for ppc604Like(); every DDG is well-formed for that
+/// machine's five op classes.
+std::vector<Ddg> classicKernels();
+
+} // namespace swp
+
+#endif // SWP_WORKLOAD_KERNELS_H

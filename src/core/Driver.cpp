@@ -1,0 +1,248 @@
+//===- Driver.cpp - Rate-optimal scheduling driver ------------------------===//
+
+#include "swp/core/Driver.h"
+
+#include "swp/core/CircularArcs.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Analysis.h"
+#include "swp/solver/Simplex.h"
+#include "swp/support/Stopwatch.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace swp;
+
+namespace {
+
+enum class ProbeOutcome { Found, NotFound, LpInfeasible };
+
+int ceilDiv(int A, int B) {
+  return A >= 0 ? (A + B - 1) / B : -((-A) / B);
+}
+
+/// Completes pattern offsets into a full schedule: the K vector by
+/// Bellman-Ford over the k-difference constraints, the mapping by first-fit
+/// circular-arc coloring.  \returns false when either step fails.
+bool completeSchedule(const Ddg &G, const MachineModel &Machine, int T,
+                      MappingKind Mapping, const std::vector<int> &Offsets,
+                      ModuloSchedule &Out) {
+  const int N = G.numNodes();
+  // K vector: k_j - k_i >= ceil((lat - T*m + off_i - off_j) / T).
+  std::vector<int> K(static_cast<size_t>(N), 0);
+  for (int Pass = 0; Pass <= N; ++Pass) {
+    bool Changed = false;
+    for (const DdgEdge &E : G.edges()) {
+      int W = ceilDiv(E.Latency - T * E.Distance +
+                          Offsets[static_cast<size_t>(E.Src)] -
+                          Offsets[static_cast<size_t>(E.Dst)],
+                      T);
+      int Cand = K[static_cast<size_t>(E.Src)] + W;
+      if (Cand > K[static_cast<size_t>(E.Dst)]) {
+        if (Pass == N)
+          return false; // Positive cycle: offsets dependence-infeasible.
+        K[static_cast<size_t>(E.Dst)] = Cand;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  Out.T = T;
+  Out.StartTime.assign(static_cast<size_t>(N), 0);
+  for (int I = 0; I < N; ++I)
+    Out.StartTime[static_cast<size_t>(I)] =
+        K[static_cast<size_t>(I)] * T + Offsets[static_cast<size_t>(I)];
+  Out.Mapping.clear();
+  if (Mapping == MappingKind::RunTime)
+    return true;
+
+  Out.Mapping.assign(static_cast<size_t>(N), 0);
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    std::vector<int> Ops = G.nodesOfClass(R);
+    if (Ops.empty())
+      continue;
+    std::vector<int> TypeOffsets;
+    std::vector<const ReservationTable *> Tables;
+    for (int Op : Ops) {
+      TypeOffsets.push_back(Offsets[static_cast<size_t>(Op)]);
+      Tables.push_back(&Machine.tableFor(G.node(Op)));
+    }
+    std::vector<int> Colors = firstFitUnitColoring(Tables, T, TypeOffsets);
+    for (size_t Ix = 0; Ix < Ops.size(); ++Ix) {
+      if (Colors[Ix] >= Machine.type(R).Count)
+        return false; // First-fit needed more units than exist.
+      Out.Mapping[static_cast<size_t>(Ops[Ix])] = Colors[Ix];
+    }
+  }
+  return true;
+}
+
+/// LP-rounding primal probe (see SchedulerOptions::LpRoundingProbe).
+ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
+                             MappingKind Mapping, const MilpModel &M,
+                             const FormulationVars &Vars,
+                             ModuloSchedule &Out) {
+  LpResult Lp = solveLp(M);
+  if (Lp.Status == LpStatus::Infeasible)
+    return ProbeOutcome::LpInfeasible;
+  if (Lp.Status != LpStatus::Optimal)
+    return ProbeOutcome::NotFound;
+
+  const int N = G.numNodes();
+  // Two rounding variants: argmax of the A column, and the rounded
+  // expected offset sum_t t*a[t][i].
+  for (int Variant = 0; Variant < 2; ++Variant) {
+    std::vector<int> Offsets(static_cast<size_t>(N), 0);
+    for (int I = 0; I < N; ++I) {
+      if (Variant == 0) {
+        double BestVal = -1.0;
+        for (int Slot = 0; Slot < T; ++Slot) {
+          double V = Lp.X[static_cast<size_t>(
+              Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)])];
+          if (V > BestVal + 1e-9) {
+            BestVal = V;
+            Offsets[static_cast<size_t>(I)] = Slot;
+          }
+        }
+      } else {
+        double Expect = 0.0;
+        for (int Slot = 0; Slot < T; ++Slot)
+          Expect += Slot * Lp.X[static_cast<size_t>(
+                               Vars.A[static_cast<size_t>(Slot)]
+                                     [static_cast<size_t>(I)])];
+        Offsets[static_cast<size_t>(I)] =
+            std::min(T - 1, std::max(0, static_cast<int>(
+                                            std::llround(Expect))));
+      }
+    }
+    ModuloSchedule Candidate;
+    if (!completeSchedule(G, Machine, T, Mapping, Offsets, Candidate))
+      continue;
+    if (verifySchedule(G, Machine, Candidate).Ok) {
+      Out = std::move(Candidate);
+      return ProbeOutcome::Found;
+    }
+  }
+  return ProbeOutcome::NotFound;
+}
+
+} // namespace
+
+MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
+                            const SchedulerOptions &Opts, ModuloSchedule &Out,
+                            double *SecondsOut, std::int64_t *NodesOut) {
+  Stopwatch Watch;
+  const bool Optimizing = Opts.ColoringObjective || Opts.MinimizeBuffers;
+  FormulationOptions FOpts;
+  FOpts.Mapping = Opts.Mapping;
+  FOpts.ColoringObjective = Opts.ColoringObjective;
+  FOpts.BufferObjective = Opts.MinimizeBuffers;
+  FormulationVars Vars;
+  MilpModel M = buildScheduleModel(G, Machine, T, FOpts, Vars);
+
+  if (SecondsOut)
+    *SecondsOut = 0.0;
+  if (NodesOut)
+    *NodesOut = 0;
+
+  MilpOptions MOpts;
+  if (Optimizing) {
+    // Get any feasible schedule first (cheap: probe + first-incumbent
+    // search) and lift it into a warm start, so a censored optimization
+    // never returns anything worse than plain feasibility scheduling.
+    SchedulerOptions FeasOpts = Opts;
+    FeasOpts.ColoringObjective = false;
+    FeasOpts.MinimizeBuffers = false;
+    ModuloSchedule FeasSched;
+    MilpStatus FeasStatus =
+        scheduleAtT(G, Machine, T, FeasOpts, FeasSched);
+    if (FeasStatus == MilpStatus::Infeasible) {
+      if (SecondsOut)
+        *SecondsOut = Watch.seconds();
+      return MilpStatus::Infeasible;
+    }
+    if (FeasStatus == MilpStatus::Optimal ||
+        FeasStatus == MilpStatus::Feasible)
+      MOpts.WarmStart = scheduleToAssignment(G, Machine, T, FOpts, Vars,
+                                             FeasSched, M.numVars());
+  } else if (Opts.LpRoundingProbe) {
+    // Primal probe: can settle feasibility (rounded incumbent) or
+    // infeasibility (LP relaxation empty) without branching.
+    ModuloSchedule Probed;
+    ProbeOutcome Probe =
+        lpRoundingProbe(G, Machine, T, Opts.Mapping, M, Vars, Probed);
+    if (Probe == ProbeOutcome::LpInfeasible) {
+      if (SecondsOut)
+        *SecondsOut = Watch.seconds();
+      return MilpStatus::Infeasible;
+    }
+    if (Probe == ProbeOutcome::Found) {
+      Out = std::move(Probed);
+      if (SecondsOut)
+        *SecondsOut = Watch.seconds();
+      return MilpStatus::Optimal;
+    }
+  }
+
+  MOpts.TimeLimitSec = Opts.TimeLimitPerT;
+  MOpts.NodeLimit = Opts.NodeLimitPerT;
+  MOpts.StopAtFirstIncumbent = !Optimizing;
+  MilpResult Res = solveMilp(M, MOpts);
+  if (SecondsOut)
+    *SecondsOut = Watch.seconds();
+  if (NodesOut)
+    *NodesOut = Res.Nodes;
+  if (Res.hasSolution())
+    Out = extractSchedule(G, Machine, T, FOpts, Vars, Res.X);
+  return Res.Status;
+}
+
+SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
+                                  const SchedulerOptions &Opts) {
+  SchedulerResult Result;
+  Result.TDep = recurrenceMii(G);
+  Result.TRes = Machine.resourceMii(G);
+  Result.TLowerBound = std::max({1, Result.TDep, Result.TRes});
+
+  Stopwatch Total;
+  bool AllBelowProven = true;
+  for (int T = Result.TLowerBound;
+       T <= Result.TLowerBound + Opts.MaxTSlack; ++T) {
+    TAttempt Attempt;
+    Attempt.T = T;
+    if (!Machine.moduloFeasible(G, T)) {
+      // No fixed-assignment schedule can exist at this T (paper Sec. 2);
+      // the skip is itself a proof of infeasibility.
+      Attempt.ModuloSkipped = true;
+      Attempt.Status = MilpStatus::Infeasible;
+      Result.Attempts.push_back(Attempt);
+      continue;
+    }
+
+    ModuloSchedule Candidate;
+    Attempt.Status = scheduleAtT(G, Machine, T, Opts, Candidate,
+                                 &Attempt.Seconds, &Attempt.Nodes);
+    Result.TotalNodes += Attempt.Nodes;
+    Result.Attempts.push_back(Attempt);
+
+    if (Attempt.Status == MilpStatus::Optimal ||
+        Attempt.Status == MilpStatus::Feasible) {
+      if (Opts.VerifySchedules) {
+        VerifyResult V = verifySchedule(G, Machine, Candidate);
+        if (!V.Ok) {
+          Result.VerifyFailed = true;
+          break;
+        }
+      }
+      Result.Schedule = std::move(Candidate);
+      Result.ProvenRateOptimal = AllBelowProven;
+      break;
+    }
+    if (Attempt.Status != MilpStatus::Infeasible)
+      AllBelowProven = false; // Limit censored the proof at this T.
+  }
+  Result.TotalSeconds = Total.seconds();
+  return Result;
+}

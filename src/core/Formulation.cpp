@@ -1,0 +1,384 @@
+//===- Formulation.cpp - The paper's ILP formulations ---------------------===//
+
+#include "swp/core/Formulation.h"
+
+#include "swp/core/CircularArcs.h"
+#include "swp/core/Registers.h"
+#include "swp/support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace swp;
+
+namespace {
+
+/// The start-time expression t_i = T*k_i + sum_t t*a[t][i] (paper Eq. 7).
+LinExpr startTimeExpr(const FormulationVars &Vars, int T, int I) {
+  LinExpr E;
+  E.add(Vars.K[static_cast<size_t>(I)], static_cast<double>(T));
+  for (int Slot = 1; Slot < T; ++Slot)
+    E.add(Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)],
+          static_cast<double>(Slot));
+  return E;
+}
+
+int defaultKMax(const Ddg &G) {
+  int Sum = 0;
+  for (const DdgEdge &E : G.edges())
+    Sum += std::max(E.Latency, 1);
+  return Sum + G.numNodes() + 1;
+}
+
+} // namespace
+
+MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
+                                  int T, const FormulationOptions &Opts,
+                                  FormulationVars &Vars) {
+  assert(T >= 1 && "period must be positive");
+  assert(G.isWellFormed(Machine.numTypes()) && "malformed DDG");
+  assert(Machine.moduloFeasible(G, T) &&
+         "caller must skip T violating the modulo constraint");
+
+  const int N = G.numNodes();
+  // BufferObjective owns the objective when both are requested.
+  const bool UseColoringObjective =
+      Opts.ColoringObjective && !Opts.BufferObjective;
+  MilpModel M;
+  Vars = FormulationVars();
+  Vars.A.assign(static_cast<size_t>(T), std::vector<VarId>());
+  Vars.K.clear();
+  Vars.Color.assign(static_cast<size_t>(N), -1);
+  Vars.CMax.assign(static_cast<size_t>(Machine.numTypes()), -1);
+
+  // a[t][i] and k[i].
+  for (int Slot = 0; Slot < T; ++Slot)
+    Vars.A[static_cast<size_t>(Slot)].resize(static_cast<size_t>(N));
+  int KMax = Opts.KMax >= 0 ? Opts.KMax : defaultKMax(G);
+  for (int I = 0; I < N; ++I) {
+    for (int Slot = 0; Slot < T; ++Slot) {
+      VarId V = M.addBinary(strFormat("a[%d][%d]", Slot, I));
+      // a[t][i] <= 1 is implied by the assignment equality below.
+      M.setUbRowRedundant(V);
+      Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)] = V;
+    }
+    VarId KVar = M.addVar(0.0, static_cast<double>(KMax), VarKind::Integer,
+                          strFormat("k[%d]", I));
+    M.setBranchPriority(KVar, 0);
+    Vars.K.push_back(KVar);
+  }
+
+  // Each instruction initiates exactly once in the pattern (Eq. 9/23).
+  for (int I = 0; I < N; ++I) {
+    LinExpr Sum;
+    for (int Slot = 0; Slot < T; ++Slot)
+      Sum.add(Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)], 1.0);
+    M.addConstraint(std::move(Sum), CmpKind::EQ, 1.0);
+  }
+
+  // Dependences: t_j - t_i >= latency - T*m_ij (Eq. 4/8).
+  for (const DdgEdge &E : G.edges()) {
+    LinExpr Expr = startTimeExpr(Vars, T, E.Dst);
+    Expr.addScaled(startTimeExpr(Vars, T, E.Src), -1.0);
+    M.addConstraint(std::move(Expr), CmpKind::GE,
+                    static_cast<double>(E.Latency - T * E.Distance));
+  }
+
+  // Buffer-minimization extension ([18]): per edge, T*b_e >= t_j + T*m -
+  // t_i with b_e >= 1 integer; minimizing sum b_e makes every b_e the
+  // Ning-Gao buffer count.
+  if (Opts.BufferObjective) {
+    LinExpr Objective;
+    int BMax = KMax + 2;
+    for (const DdgEdge &E : G.edges()) {
+      BMax = std::max(BMax, KMax + E.Distance + 2);
+    }
+    for (size_t EIx = 0; EIx < G.edges().size(); ++EIx) {
+      const DdgEdge &E = G.edges()[EIx];
+      VarId B = M.addVar(1.0, static_cast<double>(BMax), VarKind::Integer,
+                         strFormat("b[%zu]", EIx));
+      M.setBranchPriority(B, 4);
+      Vars.Buffers.push_back(B);
+      LinExpr Row;
+      Row.add(B, static_cast<double>(T));
+      Row.addScaled(startTimeExpr(Vars, T, E.Dst), -1.0);
+      Row.addScaled(startTimeExpr(Vars, T, E.Src), 1.0);
+      M.addConstraint(std::move(Row), CmpKind::GE,
+                      static_cast<double>(T * E.Distance));
+      Objective.add(B, 1.0);
+    }
+    M.setObjective(std::move(Objective));
+  }
+
+  // Per-type blocks: capacity, then mapping.
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const FuType &Ty = Machine.type(R);
+    std::vector<int> Ops = G.nodesOfClass(R);
+    const int NumOps = static_cast<int>(Ops.size());
+    if (NumOps == 0)
+      continue;
+
+    // Capacity (Eq. 5 generalized per stage): implied when the type has at
+    // least as many units as instructions.  Each op occupies the stages of
+    // its own reservation-table variant (multi-function pipelines).
+    if (NumOps > Ty.Count) {
+      int MaxStages = 0;
+      for (int Op : Ops)
+        MaxStages = std::max(MaxStages,
+                             Machine.tableFor(G.node(Op)).numStages());
+      for (int Stage = 0; Stage < MaxStages; ++Stage) {
+        for (int Slot = 0; Slot < T; ++Slot) {
+          LinExpr Usage;
+          for (int Op : Ops) {
+            const ReservationTable &Table = Machine.tableFor(G.node(Op));
+            if (Stage >= Table.numStages())
+              continue;
+            for (int L : Table.busyColumns(Stage))
+              Usage.add(Vars.A[static_cast<size_t>(((Slot - L) % T + T) % T)]
+                              [static_cast<size_t>(Op)],
+                        1.0);
+          }
+          M.addConstraint(std::move(Usage), CmpKind::LE,
+                          static_cast<double>(Ty.Count));
+        }
+      }
+    }
+
+    if (Opts.Mapping == MappingKind::RunTime || NumOps <= Ty.Count)
+      continue; // No coloring needed: distinct units fit trivially.
+
+    // Offset deltas at which two ops on one unit collide, per variant pair
+    // (ops of one variant share a table; multi-function ops differ).
+    auto ConflictDeltaFor = [&](int OpI, int OpJ) {
+      std::vector<bool> Deltas(static_cast<size_t>(T));
+      const ReservationTable &TI = Machine.tableFor(G.node(OpI));
+      const ReservationTable &TJ = Machine.tableFor(G.node(OpJ));
+      for (int Delta = 0; Delta < T; ++Delta)
+        Deltas[static_cast<size_t>(Delta)] =
+            tablesConflictAtOffset(TI, TJ, Delta, T);
+      return Deltas;
+    };
+
+    if (Ty.Count == 1) {
+      // Single unit: conflicting placements are simply forbidden; the
+      // coloring machinery would force the same exclusions with o_ij = 0.
+      for (int AIx = 0; AIx < NumOps; ++AIx) {
+        for (int BIx = AIx + 1; BIx < NumOps; ++BIx) {
+          int OpI = Ops[static_cast<size_t>(AIx)];
+          int OpJ = Ops[static_cast<size_t>(BIx)];
+          std::vector<bool> ConflictDelta = ConflictDeltaFor(OpI, OpJ);
+          for (int P = 0; P < T; ++P) {
+            LinExpr Row;
+            Row.add(Vars.A[static_cast<size_t>(P)][static_cast<size_t>(OpI)],
+                    1.0);
+            bool Any = false;
+            for (int Q = 0; Q < T; ++Q) {
+              if (!ConflictDelta[static_cast<size_t>(((Q - P) % T + T) % T)])
+                continue;
+              Row.add(Vars.A[static_cast<size_t>(Q)][static_cast<size_t>(OpJ)],
+                      1.0);
+              Any = true;
+            }
+            if (Any)
+              M.addConstraint(std::move(Row), CmpKind::LE, 1.0);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Full coloring block (Sections 4.2 / 5): colors, overlap indicators,
+    // Hu sign variables, and the per-type color maximum for the objective.
+    const double RCount = static_cast<double>(Ty.Count);
+    for (int Ix = 0; Ix < NumOps; ++Ix) {
+      int Op = Ops[static_cast<size_t>(Ix)];
+      // Symmetry breaking: colors are interchangeable, so the Ix-th op of
+      // the type can canonically be restricted to colors 1..Ix+1.
+      double Ub = std::min(RCount, static_cast<double>(Ix + 1));
+      VarId C = M.addVar(1.0, Ub, VarKind::Integer, strFormat("c[%d]", Op));
+      M.setBranchPriority(C, 2);
+      Vars.Color[static_cast<size_t>(Op)] = C;
+    }
+    VarId CMax = -1;
+    if (UseColoringObjective) {
+      CMax = M.addVar(1.0, RCount, VarKind::Continuous,
+                      strFormat("cmax[%d]", R));
+      Vars.CMax[static_cast<size_t>(R)] = CMax;
+      for (int Op : Ops) {
+        LinExpr E;
+        E.add(CMax, 1.0).add(Vars.Color[static_cast<size_t>(Op)], -1.0);
+        M.addConstraint(std::move(E), CmpKind::GE, 0.0);
+      }
+    }
+
+    for (int AIx = 0; AIx < NumOps; ++AIx) {
+      for (int BIx = AIx + 1; BIx < NumOps; ++BIx) {
+        int OpI = Ops[static_cast<size_t>(AIx)];
+        int OpJ = Ops[static_cast<size_t>(BIx)];
+        VarId O = M.addBinary(strFormat("o[%d][%d]", OpI, OpJ));
+        VarId W = M.addBinary(strFormat("w[%d][%d]", OpI, OpJ));
+        M.setBranchPriority(O, 3);
+        M.setBranchPriority(W, 3);
+        Vars.Pairs.push_back({OpI, OpJ, O, W});
+        std::vector<bool> ConflictDelta = ConflictDeltaFor(OpI, OpJ);
+
+        // o_ij >= a[p][i] + sum_{q conflicting with p} a[q][j] - 1.
+        for (int P = 0; P < T; ++P) {
+          LinExpr Row;
+          Row.add(O, 1.0);
+          Row.add(Vars.A[static_cast<size_t>(P)][static_cast<size_t>(OpI)],
+                  -1.0);
+          bool Any = false;
+          for (int Q = 0; Q < T; ++Q) {
+            if (!ConflictDelta[static_cast<size_t>(((Q - P) % T + T) % T)])
+              continue;
+            Row.add(Vars.A[static_cast<size_t>(Q)][static_cast<size_t>(OpJ)],
+                    -1.0);
+            Any = true;
+          }
+          if (Any)
+            M.addConstraint(std::move(Row), CmpKind::GE, -1.0);
+        }
+
+        // |c_i - c_j| >= 1 when o_ij = 1 (Hu's linearization, Eqs. 12-14):
+        //   c_i - c_j + R*w + R*(1-o) >= 1
+        //   c_j - c_i + R*(1-w) + R*(1-o) >= 1
+        VarId CI = Vars.Color[static_cast<size_t>(OpI)];
+        VarId CJ = Vars.Color[static_cast<size_t>(OpJ)];
+        LinExpr E1;
+        E1.add(CI, 1.0).add(CJ, -1.0).add(W, RCount).add(O, -RCount);
+        M.addConstraint(std::move(E1), CmpKind::GE, 1.0 - RCount);
+        LinExpr E2;
+        E2.add(CJ, 1.0).add(CI, -1.0).add(W, -RCount).add(O, -RCount);
+        M.addConstraint(std::move(E2), CmpKind::GE, 1.0 - 2.0 * RCount);
+      }
+    }
+
+    if (UseColoringObjective && CMax >= 0) {
+      LinExpr Obj = M.objective();
+      Obj.add(CMax, 1.0 / RCount);
+      M.setObjective(std::move(Obj));
+    }
+  }
+
+  return M;
+}
+
+ModuloSchedule swp::extractSchedule(const Ddg &G, const MachineModel &Machine,
+                                    int T, const FormulationOptions &Opts,
+                                    const FormulationVars &Vars,
+                                    const std::vector<double> &X) {
+  const int N = G.numNodes();
+  ModuloSchedule S;
+  S.T = T;
+  S.StartTime.assign(static_cast<size_t>(N), 0);
+  for (int I = 0; I < N; ++I) {
+    int Offset = 0;
+    double BestVal = -1.0;
+    for (int Slot = 0; Slot < T; ++Slot) {
+      double V =
+          X[static_cast<size_t>(Vars.A[static_cast<size_t>(Slot)]
+                                      [static_cast<size_t>(I)])];
+      if (V > BestVal) {
+        BestVal = V;
+        Offset = Slot;
+      }
+    }
+    int K = static_cast<int>(
+        std::llround(X[static_cast<size_t>(Vars.K[static_cast<size_t>(I)])]));
+    S.StartTime[static_cast<size_t>(I)] = T * K + Offset;
+  }
+
+  if (Opts.Mapping == MappingKind::RunTime)
+    return S;
+
+  S.Mapping.assign(static_cast<size_t>(N), 0);
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    std::vector<int> Ops = G.nodesOfClass(R);
+    const int NumOps = static_cast<int>(Ops.size());
+    if (NumOps == 0)
+      continue;
+    if (NumOps <= Machine.type(R).Count) {
+      // No coloring block was emitted: distinct units, in op order.
+      for (int Ix = 0; Ix < NumOps; ++Ix)
+        S.Mapping[static_cast<size_t>(Ops[static_cast<size_t>(Ix)])] = Ix;
+      continue;
+    }
+    if (Machine.type(R).Count == 1)
+      continue; // Everyone on unit 0 (already zero-initialized).
+    for (int Op : Ops) {
+      VarId C = Vars.Color[static_cast<size_t>(Op)];
+      assert(C >= 0 && "colored type without color variable");
+      S.Mapping[static_cast<size_t>(Op)] =
+          static_cast<int>(std::llround(X[static_cast<size_t>(C)])) - 1;
+    }
+  }
+  return S;
+}
+
+std::vector<double> swp::scheduleToAssignment(
+    const Ddg &G, const MachineModel &Machine, int T,
+    const FormulationOptions &Opts, const FormulationVars &Vars,
+    const ModuloSchedule &S, int NumModelVars) {
+  std::vector<double> X(static_cast<size_t>(NumModelVars), 0.0);
+  const int N = G.numNodes();
+  assert(S.T == T && static_cast<int>(S.StartTime.size()) == N &&
+         "schedule does not match the model");
+
+  for (int I = 0; I < N; ++I) {
+    X[static_cast<size_t>(
+        Vars.A[static_cast<size_t>(S.offset(I))][static_cast<size_t>(I)])] =
+        1.0;
+    X[static_cast<size_t>(Vars.K[static_cast<size_t>(I)])] = S.stageIndex(I);
+  }
+
+  // Colors, canonicalized per type so the symmetry-breaking upper bounds
+  // (Ix-th op uses color <= Ix+1) hold.
+  std::vector<int> Canonical(static_cast<size_t>(N), 0);
+  if (Opts.Mapping == MappingKind::Fixed && S.hasMapping()) {
+    for (int R = 0; R < Machine.numTypes(); ++R) {
+      std::vector<int> Ops = G.nodesOfClass(R);
+      std::vector<int> Relabel(static_cast<size_t>(Machine.type(R).Count),
+                               -1);
+      int Next = 1;
+      for (int Op : Ops) {
+        int Orig = S.Mapping[static_cast<size_t>(Op)];
+        if (Relabel[static_cast<size_t>(Orig)] < 0)
+          Relabel[static_cast<size_t>(Orig)] = Next++;
+        Canonical[static_cast<size_t>(Op)] =
+            Relabel[static_cast<size_t>(Orig)];
+      }
+    }
+    for (int I = 0; I < N; ++I)
+      if (Vars.Color[static_cast<size_t>(I)] >= 0)
+        X[static_cast<size_t>(Vars.Color[static_cast<size_t>(I)])] =
+            Canonical[static_cast<size_t>(I)];
+
+    for (const FormulationVars::PairVarIds &P : Vars.Pairs) {
+      bool Overlap = arcsOverlap(Machine.tableFor(G.node(P.OpI)),
+                                 Machine.tableFor(G.node(P.OpJ)), T,
+                                 S.offset(P.OpI), S.offset(P.OpJ));
+      X[static_cast<size_t>(P.Overlap)] = Overlap ? 1.0 : 0.0;
+      X[static_cast<size_t>(P.Sign)] =
+          Canonical[static_cast<size_t>(P.OpJ)] >
+                  Canonical[static_cast<size_t>(P.OpI)]
+              ? 1.0
+              : 0.0;
+    }
+    for (int R = 0; R < Machine.numTypes(); ++R) {
+      if (Vars.CMax[static_cast<size_t>(R)] < 0)
+        continue;
+      int Max = 1;
+      for (int Op : G.nodesOfClass(R))
+        Max = std::max(Max, Canonical[static_cast<size_t>(Op)]);
+      X[static_cast<size_t>(Vars.CMax[static_cast<size_t>(R)])] = Max;
+    }
+  }
+
+  for (size_t EIx = 0; EIx < Vars.Buffers.size(); ++EIx)
+    X[static_cast<size_t>(Vars.Buffers[EIx])] =
+        edgeBufferCount(G, S, G.edges()[EIx]);
+
+  return X;
+}

@@ -1,0 +1,112 @@
+//===- KernelExpander.cpp - Prolog/kernel/epilog --------------------------===//
+
+#include "swp/core/KernelExpander.h"
+
+#include "swp/core/Registers.h"
+
+#include "swp/support/Format.h"
+#include "swp/support/TextTable.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+ExpandedSchedule swp::expandSchedule(const Ddg &G, const ModuloSchedule &S,
+                                     int Iterations) {
+  ExpandedSchedule E;
+  int KMax = 0;
+  for (int I = 0; I < G.numNodes(); ++I)
+    KMax = std::max(KMax, S.stageIndex(I));
+  E.KernelStart = KMax * S.T;
+  E.KernelLength = S.T;
+  for (int J = 0; J < Iterations; ++J)
+    for (int I = 0; I < G.numNodes(); ++I)
+      E.Instances.push_back(
+          {I, J, J * S.T + S.StartTime[static_cast<size_t>(I)]});
+  std::sort(E.Instances.begin(), E.Instances.end(),
+            [](const ScheduledInstance &A, const ScheduledInstance &B) {
+              if (A.Start != B.Start)
+                return A.Start < B.Start;
+              if (A.Iteration != B.Iteration)
+                return A.Iteration < B.Iteration;
+              return A.Node < B.Node;
+            });
+  return E;
+}
+
+std::string swp::renderOverlappedIterations(const Ddg &G,
+                                            const ModuloSchedule &S,
+                                            int Iterations) {
+  ExpandedSchedule E = expandSchedule(G, S, Iterations);
+  int LastCycle = 0;
+  for (const ScheduledInstance &Inst : E.Instances)
+    LastCycle = std::max(LastCycle, Inst.Start);
+
+  TextTable Table;
+  std::vector<std::string> Header;
+  Header.push_back("Time");
+  for (int J = 0; J < Iterations; ++J)
+    Header.push_back(strFormat("Iter %d", J));
+  Header.push_back("");
+  Table.setHeader(Header);
+
+  for (int Cycle = 0; Cycle <= LastCycle; ++Cycle) {
+    std::vector<std::string> Row;
+    Row.push_back(strFormat("%d", Cycle));
+    for (int J = 0; J < Iterations; ++J) {
+      std::string Cell;
+      for (const ScheduledInstance &Inst : E.Instances) {
+        if (Inst.Iteration != J || Inst.Start != Cycle)
+          continue;
+        if (!Cell.empty())
+          Cell += ",";
+        Cell += G.node(Inst.Node).Name;
+      }
+      Row.push_back(Cell.empty() ? "." : Cell);
+    }
+    std::string Note;
+    if (Cycle == E.KernelStart)
+      Note = "<- kernel (repetitive pattern) starts";
+    else if (Cycle == E.KernelStart + E.KernelLength)
+      Note = "<- kernel repeats";
+    Row.push_back(Note);
+    Table.addRow(Row);
+  }
+  return Table.render();
+}
+
+int swp::mveUnrollFactor(const Ddg &G, const ModuloSchedule &S) {
+  int Factor = 1;
+  for (int I = 0; I < G.numNodes(); ++I) {
+    int L = valueLifetime(G, S, I);
+    if (L > 0)
+      Factor = std::max(Factor, (L + S.T - 1) / S.T);
+  }
+  return Factor;
+}
+
+std::string swp::renderUnrolledKernel(const Ddg &G, const ModuloSchedule &S) {
+  int Factor = mveUnrollFactor(G, S);
+  std::string Out = strFormat(
+      "kernel unrolled %dx for modulo variable expansion (II = %d):\n",
+      Factor, S.T);
+  TextTable Table;
+  Table.setHeader({"cycle", "issue"});
+  for (int Copy = 0; Copy < Factor; ++Copy) {
+    for (int Slot = 0; Slot < S.T; ++Slot) {
+      std::string Cell;
+      for (int I = 0; I < G.numNodes(); ++I) {
+        if (S.offset(I) != Slot)
+          continue;
+        if (!Cell.empty())
+          Cell += "; ";
+        // The value defined by this instance gets the copy-local name.
+        Cell += strFormat("%s.%d", G.node(I).Name.c_str(), Copy);
+      }
+      Table.addRow({strFormat("%d", Copy * S.T + Slot),
+                    Cell.empty() ? "." : Cell});
+    }
+  }
+  Out += Table.render();
+  return Out;
+}

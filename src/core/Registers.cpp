@@ -1,0 +1,92 @@
+//===- Registers.cpp - Buffer and register-pressure analysis --------------===//
+
+#include "swp/core/Registers.h"
+
+#include "swp/support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace swp;
+
+int swp::edgeBufferCount(const Ddg &G, const ModuloSchedule &S,
+                         const DdgEdge &E) {
+  (void)G;
+  int Sep = S.StartTime[static_cast<size_t>(E.Dst)] + S.T * E.Distance -
+            S.StartTime[static_cast<size_t>(E.Src)];
+  assert(Sep >= 0 && "schedule violates the dependence");
+  // ceil(Sep / T), at least one buffer for any real dependence.
+  return std::max(1, (Sep + S.T - 1) / S.T);
+}
+
+int swp::totalBuffers(const Ddg &G, const ModuloSchedule &S) {
+  int Total = 0;
+  for (const DdgEdge &E : G.edges())
+    Total += edgeBufferCount(G, S, E);
+  return Total;
+}
+
+int swp::valueLifetime(const Ddg &G, const ModuloSchedule &S, int I) {
+  int Death = S.StartTime[static_cast<size_t>(I)];
+  for (const DdgEdge &E : G.edges())
+    if (E.Src == I)
+      Death = std::max(Death, S.StartTime[static_cast<size_t>(E.Dst)] +
+                                  S.T * E.Distance);
+  return Death - S.StartTime[static_cast<size_t>(I)];
+}
+
+std::vector<int> swp::livePerSlot(const Ddg &G, const ModuloSchedule &S) {
+  std::vector<int> Live(static_cast<size_t>(S.T), 0);
+  for (int I = 0; I < G.numNodes(); ++I) {
+    int L = valueLifetime(G, S, I);
+    if (L <= 0)
+      continue;
+    // In steady state one copy is born every T cycles, so slot s carries
+    // floor(L / T) full generations plus the partial one.
+    int Full = L / S.T;
+    int Rem = L % S.T;
+    int Birth = S.offset(I);
+    for (int Slot = 0; Slot < S.T; ++Slot)
+      Live[static_cast<size_t>(Slot)] += Full;
+    for (int C = 0; C < Rem; ++C)
+      ++Live[static_cast<size_t>((Birth + C) % S.T)];
+  }
+  return Live;
+}
+
+int swp::maxLive(const Ddg &G, const ModuloSchedule &S) {
+  std::vector<int> Live = livePerSlot(G, S);
+  return Live.empty() ? 0 : *std::max_element(Live.begin(), Live.end());
+}
+
+std::string swp::renderLifetimes(const Ddg &G, const ModuloSchedule &S) {
+  std::string Out =
+      strFormat("value lifetimes (steady state, pattern of %d slots):\n",
+                S.T);
+  for (int I = 0; I < G.numNodes(); ++I) {
+    int L = valueLifetime(G, S, I);
+    if (L <= 0)
+      continue;
+    std::vector<int> Cover(static_cast<size_t>(S.T), 0);
+    int Full = L / S.T, Rem = L % S.T;
+    for (int Slot = 0; Slot < S.T; ++Slot)
+      Cover[static_cast<size_t>(Slot)] = Full;
+    for (int C = 0; C < Rem; ++C)
+      ++Cover[static_cast<size_t>((S.offset(I) + C) % S.T)];
+    std::string Line;
+    for (int Slot = 0; Slot < S.T; ++Slot) {
+      int V = Cover[static_cast<size_t>(Slot)];
+      Line += V == 0 ? '.' : (V > 9 ? '+' : static_cast<char>('0' + V));
+    }
+    Out += strFormat("  %-8s |%s|  lifetime %d\n", G.node(I).Name.c_str(),
+                     Line.c_str(), L);
+  }
+  std::vector<int> Live = livePerSlot(G, S);
+  Out += "  live    |";
+  for (int Slot = 0; Slot < S.T; ++Slot) {
+    int V = Live[static_cast<size_t>(Slot)];
+    Out += V > 9 ? "+" : std::to_string(V);
+  }
+  Out += strFormat("|  MaxLive = %d\n", maxLive(G, S));
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- Schedule.cpp - Modulo schedules ------------------------------------===//
+
+#include "swp/core/Schedule.h"
+
+#include "swp/support/Format.h"
+#include "swp/support/TextTable.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+std::vector<int> ModuloSchedule::kVector() const {
+  std::vector<int> K;
+  K.reserve(StartTime.size());
+  for (size_t I = 0; I < StartTime.size(); ++I)
+    K.push_back(stageIndex(static_cast<int>(I)));
+  return K;
+}
+
+std::vector<std::vector<int>> ModuloSchedule::aMatrix() const {
+  std::vector<std::vector<int>> A(static_cast<size_t>(T),
+                                  std::vector<int>(StartTime.size(), 0));
+  for (size_t I = 0; I < StartTime.size(); ++I)
+    A[static_cast<size_t>(offset(static_cast<int>(I)))][I] = 1;
+  return A;
+}
+
+std::string ModuloSchedule::renderTka() const {
+  std::string Out;
+  Out += "t = [";
+  for (size_t I = 0; I < StartTime.size(); ++I)
+    Out += strFormat("%s%d", I ? ", " : "", StartTime[I]);
+  Out += "]'\nK = [";
+  for (size_t I = 0; I < StartTime.size(); ++I)
+    Out += strFormat("%s%d", I ? ", " : "", stageIndex(static_cast<int>(I)));
+  Out += strFormat("]'\nA (T = %d):\n", T);
+  for (const auto &Row : aMatrix()) {
+    Out += "  [";
+    for (size_t I = 0; I < Row.size(); ++I)
+      Out += strFormat("%s%d", I ? " " : "", Row[I]);
+    Out += "]\n";
+  }
+  return Out;
+}
+
+std::string ModuloSchedule::renderPatternUsage(const Ddg &G,
+                                               const MachineModel &Machine) const {
+  std::string Out;
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const FuType &Ty = Machine.type(R);
+    std::vector<int> Ops = G.nodesOfClass(R);
+    if (Ops.empty())
+      continue;
+    Out += strFormat("%s usage (mod T = %d):\n", Ty.Name.c_str(), T);
+    TextTable Table;
+    std::vector<std::string> Header;
+    Header.push_back("Stage");
+    for (int Slot = 0; Slot < T; ++Slot)
+      Header.push_back(strFormat("t=%d", Slot));
+    Table.setHeader(Header);
+    int MaxStages = 0;
+    for (int Op : Ops)
+      MaxStages =
+          std::max(MaxStages, Machine.tableFor(G.node(Op)).numStages());
+    for (int S = 0; S < MaxStages; ++S) {
+      std::vector<std::string> Row;
+      Row.push_back(strFormat("%d", S + 1));
+      for (int Slot = 0; Slot < T; ++Slot) {
+        std::string Cell;
+        for (int Op : Ops) {
+          const ReservationTable &OpTable = Machine.tableFor(G.node(Op));
+          if (S >= OpTable.numStages())
+            continue;
+          for (int L : OpTable.busyColumns(S)) {
+            if ((offset(Op) + L) % T != Slot)
+              continue;
+            if (!Cell.empty())
+              Cell += ",";
+            Cell += G.node(Op).Name;
+          }
+        }
+        Row.push_back(Cell.empty() ? "." : Cell);
+      }
+      Table.addRow(Row);
+    }
+    Out += Table.render();
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- Ddg.cpp - Data dependence graphs -----------------------------------===//
+
+#include "swp/ddg/Ddg.h"
+
+#include <functional>
+
+using namespace swp;
+
+std::vector<int> Ddg::nodesOfClass(int OpClass) const {
+  std::vector<int> Result;
+  for (int I = 0; I < numNodes(); ++I)
+    if (Nodes[static_cast<size_t>(I)].OpClass == OpClass)
+      Result.push_back(I);
+  return Result;
+}
+
+bool Ddg::isWellFormed(int NumOpClasses) const {
+  for (const DdgNode &N : Nodes)
+    if (N.OpClass < 0 || N.OpClass >= NumOpClasses || N.Latency < 0)
+      return false;
+  for (const DdgEdge &E : Edges) {
+    if (E.Src < 0 || E.Src >= numNodes() || E.Dst < 0 || E.Dst >= numNodes())
+      return false;
+    if (E.Distance < 0 || E.Latency < 0)
+      return false;
+  }
+
+  // Reject cycles made purely of zero-distance edges: such a loop body has
+  // no legal execution order at all.
+  std::vector<int> Color(Nodes.size(), 0); // 0=white 1=grey 2=black
+  std::vector<std::vector<int>> Succ(Nodes.size());
+  for (const DdgEdge &E : Edges)
+    if (E.Distance == 0)
+      Succ[static_cast<size_t>(E.Src)].push_back(E.Dst);
+  std::function<bool(int)> Dfs = [&](int U) {
+    Color[static_cast<size_t>(U)] = 1;
+    for (int V : Succ[static_cast<size_t>(U)]) {
+      if (Color[static_cast<size_t>(V)] == 1)
+        return false;
+      if (Color[static_cast<size_t>(V)] == 0 && !Dfs(V))
+        return false;
+    }
+    Color[static_cast<size_t>(U)] = 2;
+    return true;
+  };
+  for (int I = 0; I < numNodes(); ++I)
+    if (Color[static_cast<size_t>(I)] == 0 && !Dfs(I))
+      return false;
+  return true;
+}

@@ -1,0 +1,22 @@
+//===- Dot.cpp - DOT export of DDGs ---------------------------------------===//
+
+#include "swp/ddg/Dot.h"
+
+#include "swp/support/Format.h"
+
+using namespace swp;
+
+std::string swp::toDot(const Ddg &G) {
+  std::string Out = "digraph \"" + G.name() + "\" {\n";
+  for (int I = 0; I < G.numNodes(); ++I) {
+    const DdgNode &N = G.node(I);
+    Out += strFormat("  n%d [label=\"%s\\nclass %d, d=%d\"];\n", I,
+                     N.Name.c_str(), N.OpClass, N.Latency);
+  }
+  for (const DdgEdge &E : G.edges())
+    Out += strFormat("  n%d -> n%d [label=\"(%d,%d)\"%s];\n", E.Src, E.Dst,
+                     E.Latency, E.Distance,
+                     E.Distance > 0 ? ", style=dashed" : "");
+  Out += "}\n";
+  return Out;
+}

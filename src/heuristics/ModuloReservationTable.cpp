@@ -1,0 +1,74 @@
+//===- ModuloReservationTable.cpp - Shared MRT ----------------------------===//
+
+#include "swp/heuristics/ModuloReservationTable.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+ModuloReservationTable::ModuloReservationTable(const MachineModel &Machine,
+                                               int T)
+    : Machine(Machine), T(T) {
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const FuType &Ty = Machine.type(R);
+    int Stages = Ty.Table.numStages();
+    for (int V = 1; V < Ty.numVariants(); ++V)
+      Stages = std::max(Stages, Ty.variant(V).numStages());
+    Slots.emplace_back(static_cast<size_t>(Ty.Count),
+                       std::vector<std::vector<int>>(
+                           static_cast<size_t>(Stages),
+                           std::vector<int>(static_cast<size_t>(T), -1)));
+  }
+}
+
+bool ModuloReservationTable::fits(const Ddg &G, int Node, int Time,
+                                  int U) const {
+  int R = G.node(Node).OpClass;
+  const ReservationTable &Table = Machine.tableFor(G.node(Node));
+  for (int S = 0; S < Table.numStages(); ++S)
+    for (int L : Table.busyColumns(S)) {
+      int Occ = Slots[static_cast<size_t>(R)][static_cast<size_t>(U)]
+                     [static_cast<size_t>(S)]
+                     [static_cast<size_t>((Time + L) % T)];
+      if (Occ >= 0 && Occ != Node)
+        return false;
+    }
+  return true;
+}
+
+template <typename Fn>
+void ModuloReservationTable::forEachSlot(const Ddg &G, int Node, int Time,
+                                         int U, Fn Apply) {
+  int R = G.node(Node).OpClass;
+  const ReservationTable &Table = Machine.tableFor(G.node(Node));
+  for (int S = 0; S < Table.numStages(); ++S)
+    for (int L : Table.busyColumns(S))
+      Apply(Slots[static_cast<size_t>(R)][static_cast<size_t>(U)]
+                 [static_cast<size_t>(S)]
+                 [static_cast<size_t>((Time + L) % T)]);
+}
+
+void ModuloReservationTable::place(const Ddg &G, int Node, int Time, int U) {
+  forEachSlot(G, Node, Time, U, [Node](int &Cell) { Cell = Node; });
+}
+
+void ModuloReservationTable::remove(const Ddg &G, int Node, int Time, int U) {
+  forEachSlot(G, Node, Time, U, [](int &Cell) { Cell = -1; });
+}
+
+std::vector<int> ModuloReservationTable::conflicts(const Ddg &G, int Node,
+                                                   int Time, int U) const {
+  std::vector<int> Out;
+  int R = G.node(Node).OpClass;
+  const ReservationTable &Table = Machine.tableFor(G.node(Node));
+  for (int S = 0; S < Table.numStages(); ++S)
+    for (int L : Table.busyColumns(S)) {
+      int Occ = Slots[static_cast<size_t>(R)][static_cast<size_t>(U)]
+                     [static_cast<size_t>(S)]
+                     [static_cast<size_t>((Time + L) % T)];
+      if (Occ >= 0 && Occ != Node &&
+          std::find(Out.begin(), Out.end(), Occ) == Out.end())
+        Out.push_back(Occ);
+    }
+  return Out;
+}

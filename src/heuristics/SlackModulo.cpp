@@ -1,0 +1,235 @@
+//===- SlackModulo.cpp - Huff's slack scheduling --------------------------===//
+
+#include "swp/heuristics/SlackModulo.h"
+
+#include "swp/ddg/Analysis.h"
+#include "swp/heuristics/ModuloReservationTable.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+namespace {
+
+/// Static earliest starts: longest paths over weights latency - T*distance
+/// from a virtual root (all zeros).
+std::vector<int> asapTimes(const Ddg &G, int T) {
+  const int N = G.numNodes();
+  std::vector<int> E(static_cast<size_t>(N), 0);
+  for (int Pass = 0; Pass < N; ++Pass) {
+    bool Changed = false;
+    for (const DdgEdge &Edge : G.edges()) {
+      int Cand = E[static_cast<size_t>(Edge.Src)] + Edge.Latency -
+                 T * Edge.Distance;
+      if (Cand > E[static_cast<size_t>(Edge.Dst)]) {
+        E[static_cast<size_t>(Edge.Dst)] = Cand;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  for (int I = 0; I < N; ++I)
+    E[static_cast<size_t>(I)] = std::max(E[static_cast<size_t>(I)], 0);
+  return E;
+}
+
+/// Static latest starts anchored at \p Horizon.
+std::vector<int> alapTimes(const Ddg &G, int T, int Horizon) {
+  const int N = G.numNodes();
+  std::vector<int> L(static_cast<size_t>(N), Horizon);
+  for (int Pass = 0; Pass < N; ++Pass) {
+    bool Changed = false;
+    for (const DdgEdge &Edge : G.edges()) {
+      int Cand = L[static_cast<size_t>(Edge.Dst)] - Edge.Latency +
+                 T * Edge.Distance;
+      if (Cand < L[static_cast<size_t>(Edge.Src)]) {
+        L[static_cast<size_t>(Edge.Src)] = Cand;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return L;
+}
+
+bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
+                 ModuloSchedule &Out) {
+  const int N = G.numNodes();
+  std::vector<int> Asap = asapTimes(G, T);
+  int Horizon = 0;
+  for (int V : Asap)
+    Horizon = std::max(Horizon, V);
+  Horizon += T;
+  std::vector<int> Alap = alapTimes(G, T, Horizon);
+
+  std::vector<int> Time(static_cast<size_t>(N), -1);
+  std::vector<int> Unit(static_cast<size_t>(N), -1);
+  std::vector<int> PrevTime(static_cast<size_t>(N), -1);
+  ModuloReservationTable Tables(Machine, T);
+  const int TimeCap = (N + 4) * std::max(T, 1) + 64;
+
+  auto Unschedule = [&](int Node) {
+    Tables.remove(G, Node, Time[static_cast<size_t>(Node)],
+                  Unit[static_cast<size_t>(Node)]);
+    Time[static_cast<size_t>(Node)] = -1;
+    Unit[static_cast<size_t>(Node)] = -1;
+  };
+
+  int Remaining = N;
+  while (Remaining > 0) {
+    if (Budget-- <= 0)
+      return false;
+
+    // Minimum-slack unscheduled instruction (critical ops first).
+    int Node = -1;
+    for (int I = 0; I < N; ++I) {
+      if (Time[static_cast<size_t>(I)] >= 0)
+        continue;
+      int SlackI = Alap[static_cast<size_t>(I)] - Asap[static_cast<size_t>(I)];
+      if (Node < 0 ||
+          SlackI < Alap[static_cast<size_t>(Node)] -
+                       Asap[static_cast<size_t>(Node)])
+        Node = I;
+    }
+
+    // Dynamic window from scheduled neighbours.
+    int EStart = 0;
+    int LStart = TimeCap;
+    int ScheduledPreds = 0, ScheduledSuccs = 0;
+    for (const DdgEdge &E : G.edges()) {
+      if (E.Dst == Node && E.Src != Node &&
+          Time[static_cast<size_t>(E.Src)] >= 0) {
+        EStart = std::max(EStart, Time[static_cast<size_t>(E.Src)] +
+                                      E.Latency - T * E.Distance);
+        ++ScheduledPreds;
+      }
+      if (E.Src == Node && E.Dst != Node &&
+          Time[static_cast<size_t>(E.Dst)] >= 0) {
+        LStart = std::min(LStart, Time[static_cast<size_t>(E.Dst)] -
+                                      E.Latency + T * E.Distance);
+        ++ScheduledSuccs;
+      }
+    }
+    if (EStart > TimeCap)
+      return false;
+    // A window of at most T slots suffices (resources repeat mod T).
+    int WindowHi = std::min(LStart, EStart + T - 1);
+
+    // Direction: consumers-anchored ops go late (shrink the lifetime of
+    // the value they produce toward its uses), otherwise early.
+    bool Late = ScheduledSuccs > ScheduledPreds;
+
+    int R = G.node(Node).OpClass;
+    int PlacedTime = -1, PlacedUnit = -1;
+    if (WindowHi >= EStart) {
+      if (Late) {
+        for (int Cand = WindowHi; Cand >= EStart && PlacedTime < 0; --Cand)
+          for (int U = 0; U < Machine.type(R).Count; ++U)
+            if (Tables.fits(G, Node, Cand, U)) {
+              PlacedTime = Cand;
+              PlacedUnit = U;
+              break;
+            }
+      } else {
+        for (int Cand = EStart; Cand <= WindowHi && PlacedTime < 0; ++Cand)
+          for (int U = 0; U < Machine.type(R).Count; ++U)
+            if (Tables.fits(G, Node, Cand, U)) {
+              PlacedTime = Cand;
+              PlacedUnit = U;
+              break;
+            }
+      }
+    }
+
+    if (PlacedTime < 0) {
+      // Force placement with eviction (IMS rule).
+      PlacedTime = EStart;
+      if (PrevTime[static_cast<size_t>(Node)] >= 0)
+        PlacedTime = std::max(PlacedTime,
+                              PrevTime[static_cast<size_t>(Node)] + 1);
+      if (PlacedTime > TimeCap)
+        return false;
+      PlacedUnit = 0;
+      size_t BestConflicts = SIZE_MAX;
+      for (int U = 0; U < Machine.type(R).Count; ++U) {
+        size_t C = Tables.conflicts(G, Node, PlacedTime, U).size();
+        if (C < BestConflicts) {
+          BestConflicts = C;
+          PlacedUnit = U;
+        }
+      }
+      for (int Victim : Tables.conflicts(G, Node, PlacedTime, PlacedUnit)) {
+        Unschedule(Victim);
+        ++Remaining;
+      }
+    }
+
+    Tables.place(G, Node, PlacedTime, PlacedUnit);
+    Time[static_cast<size_t>(Node)] = PlacedTime;
+    Unit[static_cast<size_t>(Node)] = PlacedUnit;
+    PrevTime[static_cast<size_t>(Node)] = PlacedTime;
+    --Remaining;
+
+    // Evict scheduled neighbours whose dependence is now violated.
+    for (const DdgEdge &E : G.edges()) {
+      if (E.Src == E.Dst)
+        continue;
+      if (E.Src == Node) {
+        int TDst = Time[static_cast<size_t>(E.Dst)];
+        if (TDst >= 0 && TDst < PlacedTime + E.Latency - T * E.Distance) {
+          Unschedule(E.Dst);
+          ++Remaining;
+        }
+      } else if (E.Dst == Node) {
+        int TSrc = Time[static_cast<size_t>(E.Src)];
+        if (TSrc >= 0 && PlacedTime < TSrc + E.Latency - T * E.Distance) {
+          Unschedule(E.Src);
+          ++Remaining;
+        }
+      }
+    }
+    for (const DdgEdge &E : G.edges())
+      if (E.Src == Node && E.Dst == Node && 0 < E.Latency - T * E.Distance)
+        return false; // T below the self-recurrence bound.
+  }
+
+  // Late placement can leave everything shifted; normalize to start >= 0
+  // (dependences are shift-invariant).
+  int MinTime = *std::min_element(Time.begin(), Time.end());
+  if (MinTime > 0) {
+    // Align the earliest instruction to its offset-preserving residue so
+    // the mapping stays valid: shift by a multiple of T.
+    int Shift = (MinTime / T) * T;
+    for (int &V : Time)
+      V -= Shift;
+  }
+
+  Out.T = T;
+  Out.StartTime = std::move(Time);
+  Out.Mapping = std::move(Unit);
+  return true;
+}
+
+} // namespace
+
+SlackResult swp::slackModuloSchedule(const Ddg &G,
+                                     const MachineModel &Machine,
+                                     const SlackOptions &Opts) {
+  SlackResult Result;
+  Result.TDep = recurrenceMii(G);
+  Result.TRes = Machine.resourceMii(G);
+  Result.TLowerBound = std::max({1, Result.TDep, Result.TRes});
+  for (int T = Result.TLowerBound;
+       T <= Result.TLowerBound + Opts.MaxTSlack; ++T) {
+    if (!Machine.moduloFeasible(G, T))
+      continue;
+    ModuloSchedule S;
+    if (scheduleAtT(G, Machine, T, Opts.BudgetRatio * G.numNodes(), S)) {
+      Result.Schedule = std::move(S);
+      break;
+    }
+  }
+  return Result;
+}

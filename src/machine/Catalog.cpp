@@ -1,0 +1,93 @@
+//===- Catalog.cpp - Ready-made machine models ----------------------------===//
+
+#include "swp/machine/Catalog.h"
+
+using namespace swp;
+
+namespace {
+
+ReservationTable tableFromRows(
+    std::initializer_list<std::initializer_list<int>> Rows) {
+  std::vector<std::vector<std::uint8_t>> Data;
+  for (const auto &Row : Rows) {
+    std::vector<std::uint8_t> R;
+    for (int V : Row)
+      R.push_back(static_cast<std::uint8_t>(V));
+    Data.push_back(std::move(R));
+  }
+  return ReservationTable(std::move(Data));
+}
+
+} // namespace
+
+MachineModel swp::exampleCleanMachine() {
+  MachineModel M("example-clean");
+  M.addFuType("FP", 1, ReservationTable::cleanPipelined(2));
+  M.addFuType("LS", 1, ReservationTable::cleanPipelined(3));
+  return M;
+}
+
+MachineModel swp::exampleNonPipelinedMachine() {
+  MachineModel M("example-nonpipelined");
+  M.addFuType("FP", 2, ReservationTable::nonPipelined(2));
+  M.addFuType("LS", 1, ReservationTable::cleanPipelined(3));
+  return M;
+}
+
+MachineModel swp::exampleTwoFpMachine() {
+  MachineModel M("example-two-fp");
+  M.addFuType("FP", 2, ReservationTable::nonPipelined(2));
+  M.addFuType("LS", 1, ReservationTable::cleanPipelined(3));
+  return M;
+}
+
+MachineModel swp::exampleHazardMachine() {
+  MachineModel M("example-hazard");
+  M.addFuType("FP", 1,
+              tableFromRows({{1, 0, 0}, {0, 1, 0}, {0, 1, 1}}));
+  M.addFuType("LS", 1, tableFromRows({{1, 1, 0}, {0, 0, 1}}));
+  return M;
+}
+
+ReservationTable swp::moduloViolationTable() {
+  // Stage 3 busy at columns 1 and 3: collides with itself at T == 2.
+  return tableFromRows({{1, 0, 0, 0}, {0, 1, 1, 0}, {0, 1, 0, 1}});
+}
+
+MachineModel swp::ppc604Like() {
+  MachineModel M("ppc604-like");
+  M.addFuType("SCIU", 2, ReservationTable::cleanPipelined(1));
+  M.addFuType("MCIU", 1, ReservationTable::nonPipelined(2));
+  M.addFuType("FPU", 1,
+              tableFromRows({{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 1}}));
+  M.addFuType("LSU", 1, ReservationTable::cleanPipelined(2));
+  M.addFuType("FDIV", 1, ReservationTable::nonPipelined(6));
+  return M;
+}
+
+MachineModel swp::ppc604MultiFunction() {
+  MachineModel M("ppc604-multifunction");
+  M.addFuType("SCIU", 2, ReservationTable::cleanPipelined(1));
+  M.addFuType("MCIU", 1, ReservationTable::nonPipelined(2));
+  int Fpu = M.addFuType(
+      "FPU", 1, tableFromRows({{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 1}}));
+  // Divide variant: the iterative divider holds stage 1 for six cycles,
+  // then drains through stages 2 and 3.
+  M.addVariant(Fpu, tableFromRows({{1, 1, 1, 1, 1, 1, 0, 0},
+                                   {0, 0, 0, 0, 0, 0, 1, 0},
+                                   {0, 0, 0, 0, 0, 0, 0, 1}}));
+  M.addFuType("LSU", 1, ReservationTable::cleanPipelined(2));
+  return M;
+}
+
+int swp::ppc604FpuDivVariant() { return 1; }
+
+MachineModel swp::cleanVliw() {
+  MachineModel M("clean-vliw");
+  M.addFuType("SCIU", 2, ReservationTable::cleanPipelined(1));
+  M.addFuType("MCIU", 1, ReservationTable::cleanPipelined(2));
+  M.addFuType("FPU", 1, ReservationTable::cleanPipelined(4));
+  M.addFuType("LSU", 1, ReservationTable::cleanPipelined(2));
+  M.addFuType("FDIV", 1, ReservationTable::cleanPipelined(6));
+  return M;
+}

@@ -1,0 +1,117 @@
+//===- ReservationTable.cpp - Pipeline reservation tables -----------------===//
+
+#include "swp/machine/ReservationTable.h"
+
+#include "swp/support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace swp;
+
+ReservationTable::ReservationTable(
+    std::vector<std::vector<std::uint8_t>> InRows)
+    : Rows(std::move(InRows)) {
+  assert(!Rows.empty() && "reservation table needs at least one stage");
+  for ([[maybe_unused]] const auto &Row : Rows)
+    assert(Row.size() == Rows.front().size() &&
+           "all stages must cover the same number of cycles");
+  assert(!Rows.front().empty() && "reservation table needs >= 1 column");
+}
+
+ReservationTable ReservationTable::cleanPipelined(int ExecTime) {
+  assert(ExecTime >= 1 && "execution time must be positive");
+  std::vector<std::vector<std::uint8_t>> Rows(
+      static_cast<size_t>(ExecTime),
+      std::vector<std::uint8_t>(static_cast<size_t>(ExecTime), 0));
+  for (int S = 0; S < ExecTime; ++S)
+    Rows[static_cast<size_t>(S)][static_cast<size_t>(S)] = 1;
+  return ReservationTable(std::move(Rows));
+}
+
+ReservationTable ReservationTable::nonPipelined(int ExecTime) {
+  assert(ExecTime >= 1 && "execution time must be positive");
+  std::vector<std::vector<std::uint8_t>> Rows(
+      1, std::vector<std::uint8_t>(static_cast<size_t>(ExecTime), 1));
+  return ReservationTable(std::move(Rows));
+}
+
+std::vector<int> ReservationTable::busyColumns(int Stage) const {
+  std::vector<int> Cols;
+  for (int L = 0; L < execTime(); ++L)
+    if (busy(Stage, L))
+      Cols.push_back(L);
+  return Cols;
+}
+
+bool ReservationTable::satisfiesModuloConstraint(int T) const {
+  assert(T >= 1 && "period must be positive");
+  for (int S = 0; S < numStages(); ++S) {
+    std::vector<bool> Used(static_cast<size_t>(T), false);
+    for (int L : busyColumns(S)) {
+      int Slot = L % T;
+      if (Used[static_cast<size_t>(Slot)])
+        return false;
+      Used[static_cast<size_t>(Slot)] = true;
+    }
+  }
+  return true;
+}
+
+bool ReservationTable::conflictsAtOffset(int DeltaMod, int T) const {
+  assert(T >= 1 && DeltaMod >= 0 && DeltaMod < T && "bad offset delta");
+  // Op X at offset p, op Y at offset p + Delta: stage s collides iff there
+  // are busy columns l1 (for X) and l2 (for Y) with l1 ≡ Delta + l2 (mod T).
+  for (int S = 0; S < numStages(); ++S) {
+    std::vector<bool> UsedX(static_cast<size_t>(T), false);
+    for (int L : busyColumns(S))
+      UsedX[static_cast<size_t>(L % T)] = true;
+    for (int L : busyColumns(S))
+      if (UsedX[static_cast<size_t>((L + DeltaMod) % T)])
+        return true;
+  }
+  return false;
+}
+
+bool ReservationTable::isCleanPipelined() const {
+  if (numStages() != execTime())
+    return false;
+  for (int S = 0; S < numStages(); ++S)
+    for (int L = 0; L < execTime(); ++L)
+      if (busy(S, L) != (S == L))
+        return false;
+  return true;
+}
+
+bool swp::tablesConflictAtOffset(const ReservationTable &A,
+                                 const ReservationTable &B, int DeltaMod,
+                                 int T) {
+  assert(T >= 1 && DeltaMod >= 0 && DeltaMod < T && "bad offset delta");
+  // Op X (table A) at offset p, op Y (table B) at offset p + Delta: stage
+  // s collides iff there are busy columns l1 in A(s), l2 in B(s) with
+  // l1 ≡ l2 + Delta (mod T).
+  int Stages = std::min(A.numStages(), B.numStages());
+  for (int S = 0; S < Stages; ++S) {
+    std::vector<bool> UsedA(static_cast<size_t>(T), false);
+    for (int L : A.busyColumns(S))
+      UsedA[static_cast<size_t>(L % T)] = true;
+    for (int L : B.busyColumns(S))
+      if (UsedA[static_cast<size_t>((L + DeltaMod) % T)])
+        return true;
+  }
+  return false;
+}
+
+std::string ReservationTable::render() const {
+  std::string Out = "        ";
+  for (int L = 0; L < execTime(); ++L)
+    Out += strFormat("%2d ", L);
+  Out += '\n';
+  for (int S = 0; S < numStages(); ++S) {
+    Out += strFormat("Stage %d ", S + 1);
+    for (int L = 0; L < execTime(); ++L)
+      Out += strFormat("%2d ", busy(S, L) ? 1 : 0);
+    Out += '\n';
+  }
+  return Out;
+}

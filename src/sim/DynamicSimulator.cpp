@@ -1,0 +1,228 @@
+//===- DynamicSimulator.cpp - Dynamic-issue loop simulator ----------------===//
+
+#include "swp/sim/DynamicSimulator.h"
+
+#include "swp/support/Format.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+using namespace swp;
+
+namespace {
+
+/// Absolute-time occupancy of every physical unit's stages.
+class Scoreboard {
+public:
+  explicit Scoreboard(const MachineModel &Machine) : Machine(Machine) {}
+
+  bool unitFree(const Ddg &G, int Node, int U, std::int64_t Cycle) const {
+    int R = G.node(Node).OpClass;
+    const ReservationTable &Table = Machine.tableFor(G.node(Node));
+    for (int S = 0; S < Table.numStages(); ++S)
+      for (int L : Table.busyColumns(S))
+        if (Busy.count({R, U, S, Cycle + L}))
+          return false;
+    return true;
+  }
+
+  /// First-fit free unit of \p Node's type at \p Cycle, or -1.
+  int findUnit(const Ddg &G, int Node, std::int64_t Cycle) const {
+    int R = G.node(Node).OpClass;
+    for (int U = 0; U < Machine.type(R).Count; ++U)
+      if (unitFree(G, Node, U, Cycle))
+        return U;
+    return -1;
+  }
+
+  void occupy(const Ddg &G, int Node, int U, std::int64_t Cycle) {
+    int R = G.node(Node).OpClass;
+    const ReservationTable &Table = Machine.tableFor(G.node(Node));
+    for (int S = 0; S < Table.numStages(); ++S)
+      for (int L : Table.busyColumns(S))
+        Busy[{R, U, S, Cycle + L}] = true;
+  }
+
+  std::int64_t busyCount(int R) const {
+    std::int64_t Count = 0;
+    for (const auto &[Key, Value] : Busy)
+      if (std::get<0>(Key) == R && Value)
+        ++Count;
+    return Count;
+  }
+
+private:
+  const MachineModel &Machine;
+  // Key = (type, unit, stage, absolute cycle).
+  std::map<std::tuple<int, int, int, std::int64_t>, bool> Busy;
+};
+
+} // namespace
+
+SimResult swp::simulateDynamicIssue(const Ddg &G, const MachineModel &Machine,
+                                    const SimOptions &Opts) {
+  const int N = G.numNodes();
+  const int Iters = std::max(2, Opts.Iterations);
+  const std::int64_t Total = static_cast<std::int64_t>(N) * Iters;
+
+  // Issue cycle per instance; -1 = not yet issued.  Instance index =
+  // iter * N + node.
+  std::vector<std::int64_t> IssueAt(static_cast<size_t>(Total), -1);
+  Scoreboard Board(Machine);
+
+  std::int64_t Issued = 0;
+  std::int64_t Cycle = 0;
+  // Generous runaway cap: a fully serial execution issues one instruction
+  // every max-latency cycles.
+  int MaxLat = 1;
+  for (const DdgNode &Node : G.nodes())
+    MaxLat = std::max(MaxLat, Node.Latency);
+  for (const DdgEdge &E : G.edges())
+    MaxLat = std::max(MaxLat, E.Latency);
+  const std::int64_t CycleCap = Total * (MaxLat + 2) + 64;
+
+  std::int64_t NextInOrder = 0; // Next program-order instance (in-order).
+  while (Issued < Total && Cycle <= CycleCap) {
+    int IssuedThisCycle = 0;
+    for (std::int64_t Inst = Opts.InOrder ? NextInOrder : 0; Inst < Total;
+         ++Inst) {
+      if (Opts.IssueWidth > 0 && IssuedThisCycle >= Opts.IssueWidth)
+        break;
+      if (IssueAt[static_cast<size_t>(Inst)] >= 0)
+        continue;
+      int Node = static_cast<int>(Inst % N);
+      int Iter = static_cast<int>(Inst / N);
+      // Operand readiness over DDG in-edges.
+      bool Ready = true;
+      for (const DdgEdge &E : G.edges()) {
+        if (E.Dst != Node)
+          continue;
+        int SrcIter = Iter - E.Distance;
+        if (SrcIter < 0)
+          continue;
+        std::int64_t SrcIssue =
+            IssueAt[static_cast<size_t>(SrcIter) * static_cast<size_t>(N) +
+                    static_cast<size_t>(E.Src)];
+        if (SrcIssue < 0 || SrcIssue + E.Latency > Cycle) {
+          Ready = false;
+          break;
+        }
+      }
+      if (!Ready) {
+        if (Opts.InOrder)
+          break; // The head stalls everything behind it.
+        continue;
+      }
+      int U = Board.findUnit(G, Node, Cycle);
+      if (U < 0) {
+        if (Opts.InOrder)
+          break;
+        continue;
+      }
+      Board.occupy(G, Node, U, Cycle);
+      IssueAt[static_cast<size_t>(Inst)] = Cycle;
+      ++Issued;
+      ++IssuedThisCycle;
+      if (Opts.InOrder) {
+        // Advance the head past every already-issued instance.
+        while (NextInOrder < Total &&
+               IssueAt[static_cast<size_t>(NextInOrder)] >= 0)
+          ++NextInOrder;
+        Inst = NextInOrder - 1;
+      }
+    }
+    ++Cycle;
+  }
+
+  SimResult Result;
+  for (std::int64_t V : IssueAt)
+    Result.LastIssueCycle = std::max(Result.LastIssueCycle, V);
+  // Steady-state rate over the second half of the run.
+  auto IterEnd = [&](int Iter) {
+    std::int64_t End = 0;
+    for (int I = 0; I < N; ++I)
+      End = std::max(End, IssueAt[static_cast<size_t>(Iter) *
+                                      static_cast<size_t>(N) +
+                                  static_cast<size_t>(I)]);
+    return End;
+  };
+  int Lo = Iters / 2, Hi = Iters - 1;
+  if (Hi > Lo)
+    Result.CyclesPerIteration =
+        static_cast<double>(IterEnd(Hi) - IterEnd(Lo)) /
+        static_cast<double>(Hi - Lo);
+  for (int R = 0; R < Machine.numTypes(); ++R)
+    Result.TypeBusyCycles.push_back(Board.busyCount(R));
+  return Result;
+}
+
+bool swp::replaySchedule(const Ddg &G, const MachineModel &Machine,
+                         const ModuloSchedule &S, int Iterations,
+                         std::string *ErrorOut) {
+  const int N = G.numNodes();
+  Scoreboard Board(Machine);
+  struct Instance {
+    int Node;
+    int Iter;
+    std::int64_t Start;
+  };
+  std::vector<Instance> Instances;
+  for (int J = 0; J < Iterations; ++J)
+    for (int I = 0; I < N; ++I)
+      Instances.push_back(
+          {I, J,
+           static_cast<std::int64_t>(J) * S.T +
+               S.StartTime[static_cast<size_t>(I)]});
+  std::sort(Instances.begin(), Instances.end(),
+            [](const Instance &A, const Instance &B) {
+              if (A.Start != B.Start)
+                return A.Start < B.Start;
+              return A.Node < B.Node;
+            });
+
+  for (const Instance &Inst : Instances) {
+    // Operand readiness at the scheduled cycle.
+    for (const DdgEdge &E : G.edges()) {
+      if (E.Dst != Inst.Node)
+        continue;
+      int SrcIter = Inst.Iter - E.Distance;
+      if (SrcIter < 0)
+        continue;
+      std::int64_t SrcStart =
+          static_cast<std::int64_t>(SrcIter) * S.T +
+          S.StartTime[static_cast<size_t>(E.Src)];
+      if (SrcStart + E.Latency > Inst.Start) {
+        if (ErrorOut)
+          *ErrorOut = strFormat(
+              "%s (iter %d) issues at %lld before its operand from %s",
+              G.node(Inst.Node).Name.c_str(), Inst.Iter,
+              static_cast<long long>(Inst.Start),
+              G.node(E.Src).Name.c_str());
+        return false;
+      }
+    }
+    int U;
+    if (S.hasMapping()) {
+      U = S.Mapping[static_cast<size_t>(Inst.Node)];
+      if (!Board.unitFree(G, Inst.Node, U, Inst.Start)) {
+        if (ErrorOut)
+          *ErrorOut = strFormat("%s (iter %d) finds its unit busy at %lld",
+                                G.node(Inst.Node).Name.c_str(), Inst.Iter,
+                                static_cast<long long>(Inst.Start));
+        return false;
+      }
+    } else {
+      U = Board.findUnit(G, Inst.Node, Inst.Start);
+      if (U < 0) {
+        if (ErrorOut)
+          *ErrorOut = strFormat("%s (iter %d) finds no free unit at %lld",
+                                G.node(Inst.Node).Name.c_str(), Inst.Iter,
+                                static_cast<long long>(Inst.Start));
+        return false;
+      }
+    }
+    Board.occupy(G, Inst.Node, U, Inst.Start);
+  }
+  return true;
+}

@@ -1,0 +1,160 @@
+//===- BranchAndBound.cpp - MILP search -----------------------------------===//
+
+#include "swp/solver/BranchAndBound.h"
+
+#include "swp/solver/Simplex.h"
+#include "swp/support/Stopwatch.h"
+
+#include <cmath>
+
+using namespace swp;
+
+namespace {
+
+/// Mutable search state shared across the DFS.
+class Search {
+public:
+  Search(const MilpModel &M, const MilpOptions &Opts)
+      : M(M), Opts(Opts) {
+    Lb.reserve(static_cast<size_t>(M.numVars()));
+    Ub.reserve(static_cast<size_t>(M.numVars()));
+    for (const ModelVar &V : M.vars()) {
+      Lb.push_back(V.Lb);
+      Ub.push_back(V.Ub);
+    }
+  }
+
+  MilpResult run() {
+    if (!Opts.WarmStart.empty() && M.isFeasible(Opts.WarmStart, 1e-6)) {
+      Incumbent = Opts.WarmStart;
+      IncumbentObj = MilpModel::evaluate(M.objective(), Incumbent);
+      if (Opts.StopAtFirstIncumbent)
+        StopEarly = true;
+    }
+    dfs();
+    MilpResult Res;
+    Res.Nodes = Nodes;
+    Res.Seconds = Watch.seconds();
+    Res.X = std::move(Incumbent);
+    Res.Objective = IncumbentObj;
+    if (!Res.X.empty())
+      Res.Status = (LimitHit && !StopEarly) ? MilpStatus::Feasible
+                                            : MilpStatus::Optimal;
+    else
+      Res.Status = LimitHit ? MilpStatus::Unknown : MilpStatus::Infeasible;
+    return Res;
+  }
+
+private:
+  bool limitsExceeded() {
+    if (Nodes >= Opts.NodeLimit || Watch.seconds() >= Opts.TimeLimitSec) {
+      LimitHit = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// \returns the fractional integer variable to branch on, or -1 when all
+  /// integer variables are integral.  Among fractional variables, the
+  /// lowest BranchPriority class wins; within a class, the variable
+  /// farthest from integrality.
+  int pickBranchVar(const std::vector<double> &X) const {
+    int Best = -1;
+    int BestPriority = 0;
+    double BestFrac = 0.0;
+    for (int I = 0; I < M.numVars(); ++I) {
+      const ModelVar &MV = M.var(I);
+      if (MV.Kind == VarKind::Continuous)
+        continue;
+      double V = X[static_cast<size_t>(I)];
+      double Frac = std::abs(V - std::round(V));
+      if (Frac <= Opts.IntTol)
+        continue;
+      if (Best < 0 || MV.BranchPriority < BestPriority ||
+          (MV.BranchPriority == BestPriority && Frac > BestFrac)) {
+        Best = I;
+        BestPriority = MV.BranchPriority;
+        BestFrac = Frac;
+      }
+    }
+    return Best;
+  }
+
+  void acceptIncumbent(const std::vector<double> &X, double Obj) {
+    // Snap integer variables to exact integers.
+    std::vector<double> Snapped = X;
+    for (int I = 0; I < M.numVars(); ++I)
+      if (M.var(I).Kind != VarKind::Continuous)
+        Snapped[static_cast<size_t>(I)] =
+            std::round(Snapped[static_cast<size_t>(I)]);
+    if (!M.isFeasible(Snapped, 1e-5))
+      return; // Rounding broke a tight constraint; keep searching.
+    if (Incumbent.empty() || Obj < IncumbentObj - 1e-9) {
+      Incumbent = std::move(Snapped);
+      IncumbentObj = Obj;
+      if (Opts.StopAtFirstIncumbent)
+        StopEarly = true;
+    }
+  }
+
+  void dfs() {
+    if (StopEarly || limitsExceeded())
+      return;
+    ++Nodes;
+
+    LpResult Lp = solveLp(M, Lb, Ub);
+    if (Lp.Status == LpStatus::Infeasible)
+      return;
+    if (Lp.Status != LpStatus::Optimal) {
+      // Iteration trouble or unboundedness: nothing is proven below here.
+      LimitHit = true;
+      return;
+    }
+    if (!Incumbent.empty() && Lp.Objective >= IncumbentObj - 1e-9)
+      return; // Bound prune.
+
+    int BranchVar = pickBranchVar(Lp.X);
+    if (BranchVar < 0) {
+      acceptIncumbent(Lp.X, Lp.Objective);
+      return;
+    }
+
+    double V = Lp.X[static_cast<size_t>(BranchVar)];
+    double Floor = std::floor(V + Opts.IntTol);
+    double SavedLb = Lb[static_cast<size_t>(BranchVar)];
+    double SavedUb = Ub[static_cast<size_t>(BranchVar)];
+
+    bool UpFirst = (V - Floor) > 0.5;
+    for (int Side = 0; Side < 2 && !StopEarly; ++Side) {
+      bool Up = (Side == 0) == UpFirst;
+      if (Up) {
+        Lb[static_cast<size_t>(BranchVar)] = Floor + 1.0;
+        if (Lb[static_cast<size_t>(BranchVar)] <= SavedUb + 1e-9)
+          dfs();
+        Lb[static_cast<size_t>(BranchVar)] = SavedLb;
+      } else {
+        Ub[static_cast<size_t>(BranchVar)] = Floor;
+        if (Ub[static_cast<size_t>(BranchVar)] >= SavedLb - 1e-9)
+          dfs();
+        Ub[static_cast<size_t>(BranchVar)] = SavedUb;
+      }
+    }
+  }
+
+  const MilpModel &M;
+  const MilpOptions &Opts;
+  std::vector<double> Lb, Ub;
+  std::vector<double> Incumbent;
+  double IncumbentObj = 0.0;
+  std::int64_t Nodes = 0;
+  bool LimitHit = false;
+  bool StopEarly = false;
+  Stopwatch Watch;
+};
+
+} // namespace
+
+MilpResult swp::solveMilp(const MilpModel &M, const MilpOptions &Opts) {
+  Search S(M, Opts);
+  return S.run();
+}

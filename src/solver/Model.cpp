@@ -1,0 +1,93 @@
+//===- Model.cpp - MILP model builder -------------------------------------===//
+
+#include "swp/solver/Model.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace swp;
+
+LinExpr &LinExpr::addScaled(const LinExpr &Other, double Scale) {
+  for (const LinTerm &T : Other.Terms)
+    add(T.Var, T.Coef * Scale);
+  Constant += Other.Constant * Scale;
+  return *this;
+}
+
+void LinExpr::normalize() {
+  std::sort(Terms.begin(), Terms.end(),
+            [](const LinTerm &A, const LinTerm &B) { return A.Var < B.Var; });
+  std::vector<LinTerm> Merged;
+  Merged.reserve(Terms.size());
+  for (const LinTerm &T : Terms) {
+    if (!Merged.empty() && Merged.back().Var == T.Var) {
+      Merged.back().Coef += T.Coef;
+      continue;
+    }
+    Merged.push_back(T);
+  }
+  Merged.erase(std::remove_if(Merged.begin(), Merged.end(),
+                              [](const LinTerm &T) { return T.Coef == 0.0; }),
+               Merged.end());
+  Terms = std::move(Merged);
+}
+
+VarId MilpModel::addVar(double Lb, double Ub, VarKind Kind, std::string Name) {
+  assert(Lb <= Ub && "variable with empty domain");
+  Vars.push_back({Lb, Ub, Kind, std::move(Name), false, 0});
+  return static_cast<VarId>(Vars.size()) - 1;
+}
+
+void MilpModel::addConstraint(LinExpr Expr, CmpKind Cmp, double Rhs) {
+  Expr.normalize();
+  double FoldedRhs = Rhs - Expr.constant();
+  ModelConstraint C;
+  C.Expr = std::move(Expr);
+  C.Cmp = Cmp;
+  C.Rhs = FoldedRhs;
+  Constraints.push_back(std::move(C));
+}
+
+void MilpModel::setObjective(LinExpr Expr) {
+  Expr.normalize();
+  Objective = std::move(Expr);
+}
+
+double MilpModel::evaluate(const LinExpr &Expr, const std::vector<double> &X) {
+  double V = Expr.constant();
+  for (const LinTerm &T : Expr.terms())
+    V += T.Coef * X[static_cast<size_t>(T.Var)];
+  return V;
+}
+
+bool MilpModel::isFeasible(const std::vector<double> &X, double Tol) const {
+  if (X.size() != Vars.size())
+    return false;
+  for (int I = 0; I < numVars(); ++I) {
+    double V = X[static_cast<size_t>(I)];
+    const ModelVar &MV = Vars[static_cast<size_t>(I)];
+    if (V < MV.Lb - Tol || V > MV.Ub + Tol)
+      return false;
+    if (MV.Kind != VarKind::Continuous &&
+        std::abs(V - std::round(V)) > Tol)
+      return false;
+  }
+  for (const ModelConstraint &C : Constraints) {
+    double V = evaluate(C.Expr, X);
+    switch (C.Cmp) {
+    case CmpKind::LE:
+      if (V > C.Rhs + Tol)
+        return false;
+      break;
+    case CmpKind::GE:
+      if (V < C.Rhs - Tol)
+        return false;
+      break;
+    case CmpKind::EQ:
+      if (std::abs(V - C.Rhs) > Tol)
+        return false;
+      break;
+    }
+  }
+  return true;
+}

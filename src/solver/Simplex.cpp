@@ -1,0 +1,414 @@
+//===- Simplex.cpp - Dense two-phase primal simplex -----------------------===//
+
+#include "swp/solver/Simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace swp;
+
+namespace {
+
+constexpr double PivotEps = 1e-9;
+constexpr double CostEps = 1e-7;
+constexpr double FixEps = 1e-9;
+
+/// Dense simplex working state: tableau rows, two objective rows, basis.
+class Tableau {
+public:
+  Tableau(const MilpModel &M, const std::vector<double> &Lb,
+          const std::vector<double> &Ub);
+
+  /// True when some bound pair was contradictory (Lb > Ub).
+  bool boundsInfeasible() const { return BoundsInfeasible; }
+
+  LpResult run(const MilpModel &M, const std::vector<double> &Lb);
+
+private:
+  int numCols() const { return static_cast<int>(Obj1.size()); }
+
+  void pivot(int Row, int Col);
+  int chooseEntering(const std::vector<double> &ObjRow, bool Bland) const;
+  int chooseLeaving(int Col) const;
+  /// Runs pivots until optimality of \p ObjRow; returns false on iteration
+  /// or unboundedness trouble (Status is set).
+  bool optimize(std::vector<double> &ObjRow, LpStatus &Status);
+
+  std::vector<std::vector<double>> Rows; // Coefficients, RHS last.
+  std::vector<double> Obj1;              // Phase-1 reduced costs.
+  std::vector<double> Obj2;              // Phase-2 reduced costs.
+  std::vector<int> Basis;                // Basic column per row.
+  std::vector<bool> RowActive;
+  std::vector<bool> ColAllowed; // Artificials disallowed after phase 1.
+  std::vector<int> VarCol;      // Model var -> column (-1 when fixed).
+  std::vector<double> FixedVal; // Value of fixed vars.
+  int FirstArtificial = 0;
+  int Iterations = 0;
+  int MaxIterations = 0;
+  bool BoundsInfeasible = false;
+};
+
+Tableau::Tableau(const MilpModel &M, const std::vector<double> &Lb,
+                 const std::vector<double> &Ub) {
+  const int N = M.numVars();
+  VarCol.assign(static_cast<size_t>(N), -1);
+  FixedVal.assign(static_cast<size_t>(N), 0.0);
+
+  // Assign columns to non-fixed variables (shifted to y = x - lb >= 0).
+  int NumY = 0;
+  for (int I = 0; I < N; ++I) {
+    if (Lb[static_cast<size_t>(I)] >
+        Ub[static_cast<size_t>(I)] + 1e-9) {
+      BoundsInfeasible = true;
+      return;
+    }
+    if (Ub[static_cast<size_t>(I)] - Lb[static_cast<size_t>(I)] <= FixEps) {
+      FixedVal[static_cast<size_t>(I)] = Lb[static_cast<size_t>(I)];
+      continue;
+    }
+    VarCol[static_cast<size_t>(I)] = NumY++;
+  }
+
+  // Gather raw rows: (dense coeffs over y columns, sense, rhs).
+  struct RawRow {
+    std::vector<double> A;
+    CmpKind Cmp;
+    double Rhs;
+  };
+  std::vector<RawRow> Raw;
+  auto MakeRow = [&](const LinExpr &E, CmpKind Cmp, double Rhs) {
+    RawRow R;
+    R.A.assign(static_cast<size_t>(NumY), 0.0);
+    R.Cmp = Cmp;
+    R.Rhs = Rhs;
+    for (const LinTerm &T : E.terms()) {
+      int Col = VarCol[static_cast<size_t>(T.Var)];
+      // Shift: coef * x = coef * (lb + y); fixed vars fold entirely.
+      R.Rhs -= T.Coef * Lb[static_cast<size_t>(T.Var)];
+      if (Col >= 0)
+        R.A[static_cast<size_t>(Col)] += T.Coef;
+    }
+    // Skip trivial rows (all coefficients on fixed vars).
+    bool AllZero = true;
+    for (double V : R.A)
+      if (std::abs(V) > PivotEps) {
+        AllZero = false;
+        break;
+      }
+    if (AllZero) {
+      bool Ok = true;
+      switch (Cmp) {
+      case CmpKind::LE:
+        Ok = R.Rhs >= -1e-7;
+        break;
+      case CmpKind::GE:
+        Ok = R.Rhs <= 1e-7;
+        break;
+      case CmpKind::EQ:
+        Ok = std::abs(R.Rhs) <= 1e-7;
+        break;
+      }
+      if (!Ok)
+        BoundsInfeasible = true;
+      return;
+    }
+    Raw.push_back(std::move(R));
+  };
+
+  for (const ModelConstraint &C : M.constraints())
+    MakeRow(C.Expr, C.Cmp, C.Rhs);
+  if (BoundsInfeasible)
+    return;
+
+  // Upper-bound rows y_i <= ub - lb, unless implied by other rows.
+  for (int I = 0; I < N; ++I) {
+    int Col = VarCol[static_cast<size_t>(I)];
+    if (Col < 0)
+      continue;
+    double U = Ub[static_cast<size_t>(I)];
+    if (U == MilpModel::Inf)
+      continue;
+    const ModelVar &MV = M.var(I);
+    if (MV.UbRowRedundant && U >= MV.Ub - 1e-9)
+      continue;
+    RawRow R;
+    R.A.assign(static_cast<size_t>(NumY), 0.0);
+    R.A[static_cast<size_t>(Col)] = 1.0;
+    R.Cmp = CmpKind::LE;
+    R.Rhs = U - Lb[static_cast<size_t>(I)];
+    Raw.push_back(std::move(R));
+  }
+
+  // Normalize RHS >= 0, then append slack / artificial columns.
+  const int NumRows = static_cast<int>(Raw.size());
+  int NumSlack = 0, NumArt = 0;
+  for (RawRow &R : Raw) {
+    if (R.Rhs < 0) {
+      for (double &V : R.A)
+        V = -V;
+      R.Rhs = -R.Rhs;
+      if (R.Cmp == CmpKind::LE)
+        R.Cmp = CmpKind::GE;
+      else if (R.Cmp == CmpKind::GE)
+        R.Cmp = CmpKind::LE;
+    }
+    if (R.Cmp == CmpKind::LE)
+      ++NumSlack;
+    else if (R.Cmp == CmpKind::GE) {
+      ++NumSlack; // Surplus.
+      ++NumArt;
+    } else
+      ++NumArt;
+  }
+
+  const int TotalCols = NumY + NumSlack + NumArt;
+  FirstArtificial = NumY + NumSlack;
+  Rows.assign(static_cast<size_t>(NumRows),
+              std::vector<double>(static_cast<size_t>(TotalCols) + 1, 0.0));
+  Basis.assign(static_cast<size_t>(NumRows), -1);
+  RowActive.assign(static_cast<size_t>(NumRows), true);
+  ColAllowed.assign(static_cast<size_t>(TotalCols), true);
+  Obj1.assign(static_cast<size_t>(TotalCols) + 1, 0.0);
+  Obj2.assign(static_cast<size_t>(TotalCols) + 1, 0.0);
+
+  int SlackAt = NumY, ArtAt = FirstArtificial;
+  for (int R = 0; R < NumRows; ++R) {
+    std::vector<double> &Row = Rows[static_cast<size_t>(R)];
+    for (int J = 0; J < NumY; ++J)
+      Row[static_cast<size_t>(J)] = Raw[static_cast<size_t>(R)].A[static_cast<size_t>(J)];
+    Row[static_cast<size_t>(TotalCols)] = Raw[static_cast<size_t>(R)].Rhs;
+    switch (Raw[static_cast<size_t>(R)].Cmp) {
+    case CmpKind::LE:
+      Row[static_cast<size_t>(SlackAt)] = 1.0;
+      Basis[static_cast<size_t>(R)] = SlackAt++;
+      break;
+    case CmpKind::GE:
+      Row[static_cast<size_t>(SlackAt)] = -1.0;
+      ++SlackAt;
+      Row[static_cast<size_t>(ArtAt)] = 1.0;
+      Basis[static_cast<size_t>(R)] = ArtAt++;
+      break;
+    case CmpKind::EQ:
+      Row[static_cast<size_t>(ArtAt)] = 1.0;
+      Basis[static_cast<size_t>(R)] = ArtAt++;
+      break;
+    }
+  }
+
+  // Phase-1 reduced costs: cost 1 on artificials, reduced by the rows whose
+  // basic variable is an artificial.
+  for (int J = FirstArtificial; J < TotalCols; ++J)
+    Obj1[static_cast<size_t>(J)] = 1.0;
+  for (int R = 0; R < NumRows; ++R) {
+    if (Basis[static_cast<size_t>(R)] < FirstArtificial)
+      continue;
+    const std::vector<double> &Row = Rows[static_cast<size_t>(R)];
+    for (int J = 0; J <= TotalCols; ++J)
+      Obj1[static_cast<size_t>(J)] -= Row[static_cast<size_t>(J)];
+  }
+
+  // Phase-2 reduced costs: the shifted objective (constant handled later by
+  // evaluating the objective on the final point).
+  for (const LinTerm &T : M.objective().terms()) {
+    int Col = VarCol[static_cast<size_t>(T.Var)];
+    if (Col >= 0)
+      Obj2[static_cast<size_t>(Col)] += T.Coef;
+  }
+
+  MaxIterations = 200 * (NumRows + TotalCols) + 2000;
+}
+
+void Tableau::pivot(int Row, int Col) {
+  std::vector<double> &P = Rows[static_cast<size_t>(Row)];
+  const int Cols = numCols();
+  double Inv = 1.0 / P[static_cast<size_t>(Col)];
+  for (int J = 0; J < Cols; ++J)
+    P[static_cast<size_t>(J)] *= Inv;
+  P[static_cast<size_t>(Col)] = 1.0;
+
+  auto Eliminate = [&](std::vector<double> &Target) {
+    double F = Target[static_cast<size_t>(Col)];
+    if (std::abs(F) < 1e-12)
+      return;
+    for (int J = 0; J < Cols; ++J)
+      Target[static_cast<size_t>(J)] -= F * P[static_cast<size_t>(J)];
+    Target[static_cast<size_t>(Col)] = 0.0;
+  };
+  for (size_t R = 0; R < Rows.size(); ++R)
+    if (static_cast<int>(R) != Row)
+      Eliminate(Rows[R]);
+  Eliminate(Obj1);
+  Eliminate(Obj2);
+  Basis[static_cast<size_t>(Row)] = Col;
+}
+
+int Tableau::chooseEntering(const std::vector<double> &ObjRow,
+                            bool Bland) const {
+  const int Cols = numCols() - 1;
+  int Best = -1;
+  double BestVal = -CostEps;
+  for (int J = 0; J < Cols; ++J) {
+    if (!ColAllowed[static_cast<size_t>(J)])
+      continue;
+    double V = ObjRow[static_cast<size_t>(J)];
+    if (V >= -CostEps)
+      continue;
+    if (Bland)
+      return J;
+    if (V < BestVal) {
+      BestVal = V;
+      Best = J;
+    }
+  }
+  return Best;
+}
+
+int Tableau::chooseLeaving(int Col) const {
+  const int RhsIx = numCols() - 1;
+  int Best = -1;
+  double BestRatio = 0.0;
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    if (!RowActive[R])
+      continue;
+    double A = Rows[R][static_cast<size_t>(Col)];
+    if (A <= PivotEps)
+      continue;
+    double Ratio = Rows[R][static_cast<size_t>(RhsIx)] / A;
+    if (Best < 0 || Ratio < BestRatio - 1e-12 ||
+        (Ratio < BestRatio + 1e-12 && Basis[R] < Basis[static_cast<size_t>(Best)]))
+    {
+      Best = static_cast<int>(R);
+      BestRatio = Ratio;
+    }
+  }
+  return Best;
+}
+
+bool Tableau::optimize(std::vector<double> &ObjRow, LpStatus &Status) {
+  const int RhsIx = numCols() - 1;
+  int Stalled = 0;
+  double LastObj = ObjRow[static_cast<size_t>(RhsIx)];
+  const int BlandThreshold =
+      static_cast<int>(Rows.size() + static_cast<size_t>(numCols()));
+  while (true) {
+    if (++Iterations > MaxIterations) {
+      Status = LpStatus::IterLimit;
+      return false;
+    }
+    bool Bland = Stalled > BlandThreshold;
+    int Col = chooseEntering(ObjRow, Bland);
+    if (Col < 0)
+      return true; // Optimal for this objective row.
+    int Row = chooseLeaving(Col);
+    if (Row < 0) {
+      Status = LpStatus::Unbounded;
+      return false;
+    }
+    pivot(Row, Col);
+    double Obj = ObjRow[static_cast<size_t>(RhsIx)];
+    if (std::abs(Obj - LastObj) < 1e-12)
+      ++Stalled;
+    else {
+      Stalled = 0;
+      LastObj = Obj;
+    }
+  }
+}
+
+LpResult Tableau::run(const MilpModel &M, const std::vector<double> &Lb) {
+  LpResult Res;
+  const int TotalCols = numCols() - 1;
+  const int RhsIx = TotalCols;
+
+  // Phase 1: minimize the sum of artificials.
+  if (FirstArtificial < TotalCols) {
+    LpStatus Status = LpStatus::Optimal;
+    if (!optimize(Obj1, Status)) {
+      // Unboundedness is impossible in phase 1 (costs bounded below by 0);
+      // report iteration trouble as-is.
+      Res.Status = Status == LpStatus::Unbounded ? LpStatus::IterLimit : Status;
+      Res.Iterations = Iterations;
+      return Res;
+    }
+    double Phase1Obj = -Obj1[static_cast<size_t>(RhsIx)];
+    if (Phase1Obj > 1e-6) {
+      Res.Status = LpStatus::Infeasible;
+      Res.Iterations = Iterations;
+      return Res;
+    }
+    // Drive remaining artificials out of the basis, or deactivate their
+    // (redundant) rows.
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      if (Basis[R] < FirstArtificial)
+        continue;
+      int PivotCol = -1;
+      for (int J = 0; J < FirstArtificial; ++J) {
+        if (!ColAllowed[static_cast<size_t>(J)])
+          continue;
+        if (std::abs(Rows[R][static_cast<size_t>(J)]) > 1e-7) {
+          PivotCol = J;
+          break;
+        }
+      }
+      if (PivotCol >= 0)
+        pivot(static_cast<int>(R), PivotCol);
+      else
+        RowActive[R] = false;
+    }
+    for (int J = FirstArtificial; J < TotalCols; ++J)
+      ColAllowed[static_cast<size_t>(J)] = false;
+  }
+
+  // Phase 2: minimize the real objective.
+  LpStatus Status = LpStatus::Optimal;
+  if (!optimize(Obj2, Status)) {
+    Res.Status = Status;
+    Res.Iterations = Iterations;
+    return Res;
+  }
+
+  // Extract the solution: nonbasic columns sit at 0 (their lower bound).
+  std::vector<double> Y(static_cast<size_t>(TotalCols), 0.0);
+  for (size_t R = 0; R < Rows.size(); ++R)
+    if (RowActive[R] && Basis[R] >= 0)
+      Y[static_cast<size_t>(Basis[R])] = Rows[R][static_cast<size_t>(RhsIx)];
+
+  Res.X.assign(static_cast<size_t>(M.numVars()), 0.0);
+  for (int I = 0; I < M.numVars(); ++I) {
+    int Col = VarCol[static_cast<size_t>(I)];
+    Res.X[static_cast<size_t>(I)] =
+        Col >= 0 ? Lb[static_cast<size_t>(I)] + Y[static_cast<size_t>(Col)]
+                 : FixedVal[static_cast<size_t>(I)];
+  }
+  Res.Objective = MilpModel::evaluate(M.objective(), Res.X);
+  Res.Status = LpStatus::Optimal;
+  Res.Iterations = Iterations;
+  return Res;
+}
+
+} // namespace
+
+LpResult swp::solveLp(const MilpModel &M, const std::vector<double> &Lb,
+                      const std::vector<double> &Ub) {
+  assert(static_cast<int>(Lb.size()) == M.numVars() &&
+         static_cast<int>(Ub.size()) == M.numVars() &&
+         "bound arrays must match the model");
+  Tableau T(M, Lb, Ub);
+  if (T.boundsInfeasible()) {
+    LpResult Res;
+    Res.Status = LpStatus::Infeasible;
+    return Res;
+  }
+  return T.run(M, Lb);
+}
+
+LpResult swp::solveLp(const MilpModel &M) {
+  std::vector<double> Lb, Ub;
+  Lb.reserve(static_cast<size_t>(M.numVars()));
+  Ub.reserve(static_cast<size_t>(M.numVars()));
+  for (const ModelVar &V : M.vars()) {
+    Lb.push_back(V.Lb);
+    Ub.push_back(V.Ub);
+  }
+  return solveLp(M, Lb, Ub);
+}

@@ -1,0 +1,59 @@
+//===- Rational.cpp - Exact rational arithmetic ---------------------------===//
+
+#include "swp/support/Rational.h"
+
+#include <numeric>
+
+using namespace swp;
+
+Rational::Rational(std::int64_t N, std::int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  std::int64_t G = std::gcd(N < 0 ? -N : N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+std::int64_t Rational::floor() const {
+  if (Num >= 0)
+    return Num / Den;
+  return -((-Num + Den - 1) / Den);
+}
+
+std::int64_t Rational::ceil() const {
+  if (Num >= 0)
+    return (Num + Den - 1) / Den;
+  return -((-Num) / Den);
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  return Rational(Num * O.Num, Den * O.Den);
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  assert(O.Num != 0 && "division by zero rational");
+  return Rational(Num * O.Den, Den * O.Num);
+}
+
+bool Rational::operator<(const Rational &O) const {
+  return Num * O.Den < O.Num * Den;
+}

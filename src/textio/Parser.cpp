@@ -1,0 +1,334 @@
+//===- Parser.cpp - Text formats for machines and loops -------------------===//
+
+#include "swp/textio/Parser.h"
+
+#include "swp/support/Format.h"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace swp;
+
+namespace {
+
+/// Splits \p Line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  for (char C : Line) {
+    if (C == '#')
+      break;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      if (!Current.empty()) {
+        Tokens.push_back(Current);
+        Current.clear();
+      }
+      continue;
+    }
+    Current += C;
+  }
+  if (!Current.empty())
+    Tokens.push_back(Current);
+  return Tokens;
+}
+
+bool parseInt(const std::string &Tok, int &Out) {
+  if (Tok.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long V = std::strtol(Tok.c_str(), &End, 10);
+  if (errno != 0 || End != Tok.c_str() + Tok.size() || V < INT_MIN ||
+      V > INT_MAX)
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
+/// Parses 0/1 strings (one per stage) into a reservation table.
+bool parseTable(const std::vector<std::string> &Rows, ReservationTable &Out,
+                std::string &Err) {
+  if (Rows.empty()) {
+    Err = "reservation table needs at least one stage row";
+    return false;
+  }
+  std::vector<std::vector<std::uint8_t>> Data;
+  for (const std::string &Row : Rows) {
+    std::vector<std::uint8_t> Stage;
+    for (char C : Row) {
+      if (C != '0' && C != '1') {
+        Err = "reservation rows must be 0/1 strings, got '" + Row + "'";
+        return false;
+      }
+      Stage.push_back(C == '1' ? 1 : 0);
+    }
+    if (!Data.empty() && Stage.size() != Data.front().size()) {
+      Err = "all stage rows must have equal length";
+      return false;
+    }
+    Data.push_back(std::move(Stage));
+  }
+  if (Data.front().empty()) {
+    Err = "reservation rows must be non-empty";
+    return false;
+  }
+  Out = ReservationTable(std::move(Data));
+  return true;
+}
+
+std::string lineError(int LineNo, const std::string &Msg) {
+  return strFormat("line %d: %s", LineNo, Msg.c_str());
+}
+
+} // namespace
+
+bool swp::parseMachine(const std::string &Text, MachineModel &Out,
+                       std::string &Err) {
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  std::string MachineName = "machine";
+  struct PendingType {
+    std::string Name;
+    int Count = 1;
+    bool HasTable = false;
+    ReservationTable Table;
+    std::vector<ReservationTable> Variants;
+  };
+  std::vector<PendingType> Types;
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+    if (Tok[0] == "machine") {
+      if (Tok.size() != 2) {
+        Err = lineError(LineNo, "expected: machine <name>");
+        return false;
+      }
+      MachineName = Tok[1];
+      continue;
+    }
+    if (Tok[0] == "futype") {
+      if (Tok.size() != 4 || Tok[2] != "count") {
+        Err = lineError(LineNo, "expected: futype <name> count <n>");
+        return false;
+      }
+      PendingType P;
+      P.Name = Tok[1];
+      if (!parseInt(Tok[3], P.Count) || P.Count < 1) {
+        Err = lineError(LineNo, "bad unit count '" + Tok[3] + "'");
+        return false;
+      }
+      Types.push_back(std::move(P));
+      continue;
+    }
+    if (Tok[0] == "table" || Tok[0] == "variant") {
+      if (Types.empty()) {
+        Err = lineError(LineNo, Tok[0] + " before any futype");
+        return false;
+      }
+      ReservationTable Table;
+      std::string TableErr;
+      if (!parseTable({Tok.begin() + 1, Tok.end()}, Table, TableErr)) {
+        Err = lineError(LineNo, TableErr);
+        return false;
+      }
+      if (Tok[0] == "table") {
+        if (Types.back().HasTable) {
+          Err = lineError(LineNo, "duplicate table for futype " +
+                                      Types.back().Name);
+          return false;
+        }
+        Types.back().Table = std::move(Table);
+        Types.back().HasTable = true;
+      } else {
+        if (!Types.back().HasTable) {
+          Err = lineError(LineNo, "variant before table for futype " +
+                                      Types.back().Name);
+          return false;
+        }
+        Types.back().Variants.push_back(std::move(Table));
+      }
+      continue;
+    }
+    Err = lineError(LineNo, "unknown directive '" + Tok[0] + "'");
+    return false;
+  }
+
+  if (Types.empty()) {
+    Err = "no futype declared";
+    return false;
+  }
+  MachineModel M(MachineName);
+  for (PendingType &P : Types) {
+    if (!P.HasTable) {
+      Err = "futype " + P.Name + " has no table";
+      return false;
+    }
+    int R = M.addFuType(P.Name, P.Count, std::move(P.Table));
+    for (ReservationTable &V : P.Variants)
+      M.addVariant(R, std::move(V));
+  }
+  Out = std::move(M);
+  return true;
+}
+
+bool swp::parseLoop(const std::string &Text, const MachineModel &Machine,
+                    Ddg &Out, std::string &Err) {
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  Ddg G;
+  std::map<std::string, int> NodeByName;
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+    if (Tok[0] == "loop") {
+      if (Tok.size() != 2) {
+        Err = lineError(LineNo, "expected: loop <name>");
+        return false;
+      }
+      G.setName(Tok[1]);
+      continue;
+    }
+    if (Tok[0] == "node") {
+      // node <name> class <cls> latency <n> [variant <v>]
+      if (Tok.size() != 6 && Tok.size() != 8) {
+        Err = lineError(
+            LineNo, "expected: node <name> class <cls> latency <n> "
+                    "[variant <v>]");
+        return false;
+      }
+      if (Tok[2] != "class" || Tok[4] != "latency" ||
+          (Tok.size() == 8 && Tok[6] != "variant")) {
+        Err = lineError(LineNo, "malformed node directive");
+        return false;
+      }
+      if (NodeByName.count(Tok[1])) {
+        Err = lineError(LineNo, "duplicate node '" + Tok[1] + "'");
+        return false;
+      }
+      int Class = Machine.findType(Tok[3]);
+      if (Class < 0 && !parseInt(Tok[3], Class)) {
+        Err = lineError(LineNo, "unknown class '" + Tok[3] + "'");
+        return false;
+      }
+      if (Class < 0 || Class >= Machine.numTypes()) {
+        Err = lineError(LineNo, "class out of range: " + Tok[3]);
+        return false;
+      }
+      int Latency = 0;
+      if (!parseInt(Tok[5], Latency) || Latency < 0) {
+        Err = lineError(LineNo, "bad latency '" + Tok[5] + "'");
+        return false;
+      }
+      int Variant = 0;
+      if (Tok.size() == 8 &&
+          (!parseInt(Tok[7], Variant) || Variant < 0 ||
+           Variant >= Machine.type(Class).numVariants())) {
+        Err = lineError(LineNo, "bad variant '" + Tok[7] + "'");
+        return false;
+      }
+      NodeByName[Tok[1]] =
+          G.addNodeVariant(Tok[1], Class, Variant, Latency);
+      continue;
+    }
+    if (Tok[0] == "edge") {
+      // edge <src> -> <dst> distance <m> [latency <d>]
+      if ((Tok.size() != 6 && Tok.size() != 8) || Tok[2] != "->" ||
+          Tok[4] != "distance" || (Tok.size() == 8 && Tok[6] != "latency")) {
+        Err = lineError(LineNo, "expected: edge <src> -> <dst> distance <m> "
+                                "[latency <d>]");
+        return false;
+      }
+      auto SrcIt = NodeByName.find(Tok[1]);
+      auto DstIt = NodeByName.find(Tok[3]);
+      if (SrcIt == NodeByName.end() || DstIt == NodeByName.end()) {
+        Err = lineError(LineNo, "edge references unknown node");
+        return false;
+      }
+      int Distance = 0;
+      if (!parseInt(Tok[5], Distance) || Distance < 0) {
+        Err = lineError(LineNo, "bad distance '" + Tok[5] + "'");
+        return false;
+      }
+      if (Tok.size() == 8) {
+        int Latency = 0;
+        if (!parseInt(Tok[7], Latency) || Latency < 0) {
+          Err = lineError(LineNo, "bad latency '" + Tok[7] + "'");
+          return false;
+        }
+        G.addEdgeWithLatency(SrcIt->second, DstIt->second, Distance, Latency);
+      } else {
+        G.addEdge(SrcIt->second, DstIt->second, Distance);
+      }
+      continue;
+    }
+    Err = lineError(LineNo, "unknown directive '" + Tok[0] + "'");
+    return false;
+  }
+
+  if (G.numNodes() == 0) {
+    Err = "loop has no nodes";
+    return false;
+  }
+  if (!G.isWellFormed(Machine.numTypes()) || !Machine.acceptsDdg(G)) {
+    Err = "loop is malformed for this machine (zero-distance cycle?)";
+    return false;
+  }
+  Out = std::move(G);
+  return true;
+}
+
+namespace {
+
+std::string tableRows(const ReservationTable &Table) {
+  std::string Out;
+  for (int S = 0; S < Table.numStages(); ++S) {
+    Out += ' ';
+    for (int L = 0; L < Table.execTime(); ++L)
+      Out += Table.busy(S, L) ? '1' : '0';
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string swp::printMachine(const MachineModel &M) {
+  std::string Out = "machine " + M.name() + "\n";
+  for (int R = 0; R < M.numTypes(); ++R) {
+    const FuType &Ty = M.type(R);
+    Out += strFormat("futype %s count %d\n", Ty.Name.c_str(), Ty.Count);
+    Out += "table" + tableRows(Ty.Table) + "\n";
+    for (int V = 1; V < Ty.numVariants(); ++V)
+      Out += "variant" + tableRows(Ty.variant(V)) + "\n";
+  }
+  return Out;
+}
+
+std::string swp::printLoop(const Ddg &G, const MachineModel &Machine) {
+  std::string Out = "loop " + G.name() + "\n";
+  for (int I = 0; I < G.numNodes(); ++I) {
+    const DdgNode &N = G.node(I);
+    Out += strFormat("node %s class %s latency %d", N.Name.c_str(),
+                     Machine.type(N.OpClass).Name.c_str(), N.Latency);
+    if (N.Variant != 0)
+      Out += strFormat(" variant %d", N.Variant);
+    Out += '\n';
+  }
+  for (const DdgEdge &E : G.edges())
+    Out += strFormat("edge %s -> %s distance %d latency %d\n",
+                     G.node(E.Src).Name.c_str(), G.node(E.Dst).Name.c_str(),
+                     E.Distance, E.Latency);
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- Corpus.cpp - Synthetic loop corpus ---------------------------------===//
+
+#include "swp/workload/Corpus.h"
+
+#include "swp/support/Format.h"
+#include "swp/support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace swp;
+
+namespace {
+
+// Class mix calibrated to scientific-kernel instruction profiles: memory
+// and FP dominate, divides are rare.
+struct ClassSpec {
+  int OpClass;
+  int Latency;
+  double Weight;
+};
+
+const ClassSpec ClassMix[] = {
+    {0, 1, 0.22}, // SCIU
+    {1, 2, 0.10}, // MCIU
+    {2, 4, 0.30}, // FPU
+    {3, 2, 0.33}, // LSU
+    {4, 6, 0.05}, // FDIV
+};
+
+int sampleClass(Rng &R) {
+  double X = R.unit();
+  double Acc = 0.0;
+  for (const ClassSpec &C : ClassMix) {
+    Acc += C.Weight;
+    if (X < Acc)
+      return C.OpClass;
+  }
+  return ClassMix[std::size(ClassMix) - 1].OpClass;
+}
+
+int classLatency(int OpClass) {
+  for (const ClassSpec &C : ClassMix)
+    if (C.OpClass == OpClass)
+      return C.Latency;
+  return 1;
+}
+
+} // namespace
+
+Ddg swp::generateRandomLoop(const MachineModel &Machine, std::uint64_t Seed,
+                            const CorpusOptions &Opts) {
+  Rng R(Seed);
+  // 3 + geometric node count, capped.
+  int Extra = static_cast<int>(
+      std::floor(-std::log(1.0 - R.unit()) * Opts.MeanExtraNodes));
+  int N = std::min(3 + Extra, Opts.MaxNodes);
+
+  Ddg G(strFormat("loop-%llu", static_cast<unsigned long long>(Seed)));
+  for (int I = 0; I < N; ++I) {
+    int OpClass = sampleClass(R);
+    G.addNode(strFormat("n%d", I), OpClass, classLatency(OpClass));
+  }
+
+  // Forward dependences: mostly a chain with a few diamonds, giving DAGs
+  // that look like expression trees feeding stores.
+  for (int I = 1; I < N; ++I) {
+    if (R.chance(0.85))
+      G.addEdge(R.intIn(std::max(0, I - 4), I - 1), I, 0);
+    if (I >= 2 && R.chance(0.30))
+      G.addEdge(R.intIn(0, I - 2), I, 0);
+  }
+
+  // Loop-carried recurrences.
+  if (R.chance(Opts.RecurrenceProb)) {
+    int NumBack = R.chance(0.3) ? 2 : 1;
+    for (int B = 0; B < NumBack; ++B) {
+      int To = R.intIn(0, N - 1);
+      int From = R.intIn(To, N - 1);
+      G.addEdge(From, To, R.chance(0.75) ? 1 : 2);
+    }
+  }
+
+  (void)Machine;
+  return G;
+}
+
+std::vector<Ddg> swp::generateCorpus(const MachineModel &Machine,
+                                     const CorpusOptions &Opts) {
+  std::vector<Ddg> Corpus;
+  Corpus.reserve(static_cast<size_t>(Opts.NumLoops));
+  Rng SeedStream(Opts.Seed);
+  for (int I = 0; I < Opts.NumLoops; ++I) {
+    Ddg G = generateRandomLoop(Machine, SeedStream.next(), Opts);
+    G.setName(strFormat("loop-%04d", I));
+    Corpus.push_back(std::move(G));
+  }
+  return Corpus;
+}

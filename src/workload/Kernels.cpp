@@ -1,0 +1,333 @@
+//===- Kernels.cpp - Hand-written loop kernels ----------------------------===//
+
+#include "swp/workload/Kernels.h"
+
+using namespace swp;
+
+namespace {
+
+// ppc604Like() op classes.
+constexpr int Sciu = 0;
+constexpr int Mciu = 1;
+constexpr int Fpu = 2;
+constexpr int Lsu = 3;
+constexpr int Fdiv = 4;
+
+// Node latencies per class on the PPC604-like machine.
+constexpr int LatSciu = 1;
+constexpr int LatMciu = 2;
+constexpr int LatFpu = 4;
+constexpr int LatLsu = 2;
+constexpr int LatFdiv = 6;
+
+} // namespace
+
+Ddg swp::motivatingLoop() {
+  // Example machines: class 0 = FP, class 1 = LS.
+  Ddg G("motivating");
+  int I0 = G.addNode("i0", 1, 1); // load        (reconstructed latency)
+  int I1 = G.addNode("i1", 1, 2); // load
+  int I2 = G.addNode("i2", 0, 2); // FP op with a self-recurrence
+  int I3 = G.addNode("i3", 0, 2); // FP op
+  int I4 = G.addNode("i4", 0, 4); // FP op (long latency to the store)
+  int I5 = G.addNode("i5", 1, 1); // store
+  G.addEdge(I0, I1, 0);
+  G.addEdge(I1, I2, 0);
+  G.addEdge(I2, I2, 1); // T_dep = 2/1 = 2, the paper's critical cycle.
+  G.addEdge(I2, I3, 0);
+  G.addEdge(I3, I4, 0);
+  G.addEdge(I4, I5, 0);
+  return G;
+}
+
+Ddg swp::scheduleALoop() {
+  Ddg G("schedule-a");
+  int Ld = G.addNode("ld", 1, 1);
+  int F0 = G.addNode("f0", 0, 2);
+  int F1 = G.addNode("f1", 0, 2);
+  int F2 = G.addNode("f2", 0, 2);
+  int St = G.addNode("st", 1, 1);
+  G.addEdge(Ld, F0, 0);
+  G.addEdge(F0, St, 0);
+  (void)F1;
+  (void)F2;
+  return G;
+}
+
+std::vector<Ddg> swp::classicKernels() {
+  std::vector<Ddg> Kernels;
+
+  {
+    // daxpy: y[i] += a * x[i].
+    Ddg G("daxpy");
+    int Lx = G.addNode("ldx", Lsu, LatLsu);
+    int Ly = G.addNode("ldy", Lsu, LatLsu);
+    int Mu = G.addNode("mul", Fpu, LatFpu);
+    int Ad = G.addNode("add", Fpu, LatFpu);
+    int St = G.addNode("sty", Lsu, LatLsu);
+    G.addEdge(Lx, Mu, 0);
+    G.addEdge(Mu, Ad, 0);
+    G.addEdge(Ly, Ad, 0);
+    G.addEdge(Ad, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // ddot: s += x[i] * y[i] — FP-add self-recurrence.
+    Ddg G("ddot");
+    int Lx = G.addNode("ldx", Lsu, LatLsu);
+    int Ly = G.addNode("ldy", Lsu, LatLsu);
+    int Mu = G.addNode("mul", Fpu, LatFpu);
+    int Ad = G.addNode("acc", Fpu, LatFpu);
+    G.addEdge(Lx, Mu, 0);
+    G.addEdge(Ly, Mu, 0);
+    G.addEdge(Mu, Ad, 0);
+    G.addEdge(Ad, Ad, 1);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Livermore kernel 1 (hydro): x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+    Ddg G("liv1-hydro");
+    int Ly = G.addNode("ldy", Lsu, LatLsu);
+    int Lz1 = G.addNode("ldz1", Lsu, LatLsu);
+    int Lz2 = G.addNode("ldz2", Lsu, LatLsu);
+    int M1 = G.addNode("mul1", Fpu, LatFpu);
+    int M2 = G.addNode("mul2", Fpu, LatFpu);
+    int A1 = G.addNode("add1", Fpu, LatFpu);
+    int M3 = G.addNode("mul3", Fpu, LatFpu);
+    int A2 = G.addNode("add2", Fpu, LatFpu);
+    int St = G.addNode("stx", Lsu, LatLsu);
+    G.addEdge(Lz1, M1, 0);
+    G.addEdge(Lz2, M2, 0);
+    G.addEdge(M1, A1, 0);
+    G.addEdge(M2, A1, 0);
+    G.addEdge(Ly, M3, 0);
+    G.addEdge(A1, M3, 0);
+    G.addEdge(M3, A2, 0);
+    G.addEdge(A2, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Livermore kernel 5 (tridiagonal): x[i] = z[i] * (y[i] - x[i-1]).
+    Ddg G("liv5-tridiag");
+    int Lz = G.addNode("ldz", Lsu, LatLsu);
+    int Ly = G.addNode("ldy", Lsu, LatLsu);
+    int Su = G.addNode("sub", Fpu, LatFpu);
+    int Mu = G.addNode("mul", Fpu, LatFpu);
+    int St = G.addNode("stx", Lsu, LatLsu);
+    G.addEdge(Ly, Su, 0);
+    G.addEdge(Lz, Mu, 0);
+    G.addEdge(Su, Mu, 0);
+    G.addEdge(Mu, Su, 1); // x[i-1] recurrence: T_dep = 8.
+    G.addEdge(Mu, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Livermore kernel 11 (first sum): x[k] = x[k-1] + y[k].
+    Ddg G("liv11-firstsum");
+    int Ly = G.addNode("ldy", Lsu, LatLsu);
+    int Ad = G.addNode("add", Fpu, LatFpu);
+    int St = G.addNode("stx", Lsu, LatLsu);
+    G.addEdge(Ly, Ad, 0);
+    G.addEdge(Ad, Ad, 1);
+    G.addEdge(Ad, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // 5-tap FIR filter: y[i] = sum_k c[k] * x[i+k].
+    Ddg G("fir5");
+    int Loads[5], Muls[5];
+    for (int K = 0; K < 5; ++K) {
+      Loads[K] = G.addNode("ldx" + std::to_string(K), Lsu, LatLsu);
+      Muls[K] = G.addNode("mul" + std::to_string(K), Fpu, LatFpu);
+      G.addEdge(Loads[K], Muls[K], 0);
+    }
+    int A0 = G.addNode("add0", Fpu, LatFpu);
+    int A1 = G.addNode("add1", Fpu, LatFpu);
+    int A2 = G.addNode("add2", Fpu, LatFpu);
+    int A3 = G.addNode("add3", Fpu, LatFpu);
+    int St = G.addNode("sty", Lsu, LatLsu);
+    G.addEdge(Muls[0], A0, 0);
+    G.addEdge(Muls[1], A0, 0);
+    G.addEdge(Muls[2], A1, 0);
+    G.addEdge(Muls[3], A1, 0);
+    G.addEdge(A0, A2, 0);
+    G.addEdge(A1, A2, 0);
+    G.addEdge(Muls[4], A3, 0);
+    G.addEdge(A2, A3, 0);
+    G.addEdge(A3, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Complex multiply: (a+bi)(c+di) streamed from memory.
+    Ddg G("cmplx-mul");
+    int La = G.addNode("lda", Lsu, LatLsu);
+    int Lb = G.addNode("ldb", Lsu, LatLsu);
+    int Lc = G.addNode("ldc", Lsu, LatLsu);
+    int Ld = G.addNode("ldd", Lsu, LatLsu);
+    int M1 = G.addNode("ac", Fpu, LatFpu);
+    int M2 = G.addNode("bd", Fpu, LatFpu);
+    int M3 = G.addNode("ad", Fpu, LatFpu);
+    int M4 = G.addNode("bc", Fpu, LatFpu);
+    int Su = G.addNode("re", Fpu, LatFpu);
+    int Ad = G.addNode("im", Fpu, LatFpu);
+    int S1 = G.addNode("stre", Lsu, LatLsu);
+    int S2 = G.addNode("stim", Lsu, LatLsu);
+    G.addEdge(La, M1, 0);
+    G.addEdge(Lc, M1, 0);
+    G.addEdge(Lb, M2, 0);
+    G.addEdge(Ld, M2, 0);
+    G.addEdge(La, M3, 0);
+    G.addEdge(Ld, M3, 0);
+    G.addEdge(Lb, M4, 0);
+    G.addEdge(Lc, M4, 0);
+    G.addEdge(M1, Su, 0);
+    G.addEdge(M2, Su, 0);
+    G.addEdge(M3, Ad, 0);
+    G.addEdge(M4, Ad, 0);
+    G.addEdge(Su, S1, 0);
+    G.addEdge(Ad, S2, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Horner evaluation with a loop-carried accumulator:
+    // s = s * x + c[i].
+    Ddg G("horner");
+    int Lc = G.addNode("ldc", Lsu, LatLsu);
+    int Mu = G.addNode("mul", Fpu, LatFpu);
+    int Ad = G.addNode("add", Fpu, LatFpu);
+    G.addEdge(Lc, Ad, 0);
+    G.addEdge(Mu, Ad, 0);
+    G.addEdge(Ad, Mu, 1); // s feeds next iteration's multiply.
+    Kernels.push_back(G);
+  }
+
+  {
+    // Newton reciprocal step with a true divide.
+    Ddg G("recip");
+    int Ld = G.addNode("ldx", Lsu, LatLsu);
+    int Dv = G.addNode("div", Fdiv, LatFdiv);
+    int St = G.addNode("str", Lsu, LatLsu);
+    G.addEdge(Ld, Dv, 0);
+    G.addEdge(Dv, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Integer checksum: cs = cs * 31 + data[i].
+    Ddg G("checksum");
+    int Ld = G.addNode("ld", Lsu, LatLsu);
+    int Mu = G.addNode("mul31", Mciu, LatMciu);
+    int Ad = G.addNode("add", Sciu, LatSciu);
+    G.addEdge(Ld, Ad, 0);
+    G.addEdge(Mu, Ad, 0);
+    G.addEdge(Ad, Mu, 1);
+    Kernels.push_back(G);
+  }
+
+  {
+    // 3-point stencil: x[i] = a * (y[i-1] + y[i] + y[i+1]).
+    Ddg G("stencil3");
+    int L0 = G.addNode("ldy0", Lsu, LatLsu);
+    int L1 = G.addNode("ldy1", Lsu, LatLsu);
+    int L2 = G.addNode("ldy2", Lsu, LatLsu);
+    int A0 = G.addNode("add0", Fpu, LatFpu);
+    int A1 = G.addNode("add1", Fpu, LatFpu);
+    int Mu = G.addNode("mul", Fpu, LatFpu);
+    int St = G.addNode("stx", Lsu, LatLsu);
+    G.addEdge(L0, A0, 0);
+    G.addEdge(L1, A0, 0);
+    G.addEdge(A0, A1, 0);
+    G.addEdge(L2, A1, 0);
+    G.addEdge(A1, Mu, 0);
+    G.addEdge(Mu, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Integer saxpy via the multi-cycle integer unit.
+    Ddg G("saxpy-int");
+    int Lx = G.addNode("ldx", Lsu, LatLsu);
+    int Ly = G.addNode("ldy", Lsu, LatLsu);
+    int Mu = G.addNode("mul", Mciu, LatMciu);
+    int Ad = G.addNode("add", Sciu, LatSciu);
+    int St = G.addNode("sty", Lsu, LatLsu);
+    G.addEdge(Lx, Mu, 0);
+    G.addEdge(Mu, Ad, 0);
+    G.addEdge(Ly, Ad, 0);
+    G.addEdge(Ad, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Pointer chase: p = p->next (load feeds its own address).
+    Ddg G("ptr-chase");
+    int Ld = G.addNode("ldnext", Lsu, LatLsu);
+    int Use = G.addNode("use", Sciu, LatSciu);
+    G.addEdge(Ld, Ld, 1); // T_dep = load latency.
+    G.addEdge(Ld, Use, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Normalization: x[i] = (x[i] - mu) / sigma — divide-heavy FP loop.
+    Ddg G("normalize");
+    int Ld = G.addNode("ldx", Lsu, LatLsu);
+    int Su = G.addNode("sub", Fpu, LatFpu);
+    int Dv = G.addNode("div", Fdiv, LatFdiv);
+    int St = G.addNode("stx", Lsu, LatLsu);
+    G.addEdge(Ld, Su, 0);
+    G.addEdge(Su, Dv, 0);
+    G.addEdge(Dv, St, 0);
+    Kernels.push_back(G);
+  }
+
+  {
+    // Larger mixed loop: predicated state update with address arithmetic
+    // (16 nodes, one 2-iteration recurrence).
+    Ddg G("state-update");
+    int Ai = G.addNode("addi", Sciu, LatSciu);
+    int L0 = G.addNode("ld0", Lsu, LatLsu);
+    int L1 = G.addNode("ld1", Lsu, LatLsu);
+    int M0 = G.addNode("fmul0", Fpu, LatFpu);
+    int M1 = G.addNode("fmul1", Fpu, LatFpu);
+    int A0 = G.addNode("fadd0", Fpu, LatFpu);
+    int A1 = G.addNode("fadd1", Fpu, LatFpu);
+    int Cm = G.addNode("cmp", Sciu, LatSciu);
+    int Se = G.addNode("sel", Sciu, LatSciu);
+    int Mi = G.addNode("imul", Mciu, LatMciu);
+    int Ax = G.addNode("addx", Sciu, LatSciu);
+    int S0 = G.addNode("st0", Lsu, LatLsu);
+    int L2 = G.addNode("ld2", Lsu, LatLsu);
+    int A2 = G.addNode("fadd2", Fpu, LatFpu);
+    int S1 = G.addNode("st1", Lsu, LatLsu);
+    int Bx = G.addNode("bump", Sciu, LatSciu);
+    G.addEdge(Ai, L0, 0);
+    G.addEdge(Ai, L1, 0);
+    G.addEdge(L0, M0, 0);
+    G.addEdge(L1, M1, 0);
+    G.addEdge(M0, A0, 0);
+    G.addEdge(M1, A0, 0);
+    G.addEdge(A0, A1, 0);
+    G.addEdge(A1, A1, 2); // Recurrence across two iterations.
+    G.addEdge(A0, Cm, 0);
+    G.addEdge(Cm, Se, 0);
+    G.addEdge(Se, Mi, 0);
+    G.addEdge(Mi, Ax, 0);
+    G.addEdge(Ax, S0, 0);
+    G.addEdge(L2, A2, 0);
+    G.addEdge(A1, A2, 0);
+    G.addEdge(A2, S1, 0);
+    G.addEdge(Bx, Ai, 1); // Induction variable bump.
+    G.addEdge(Ai, Bx, 0);
+    Kernels.push_back(G);
+  }
+
+  return Kernels;
+}

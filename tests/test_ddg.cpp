@@ -1,0 +1,225 @@
+//===- test_ddg.cpp - DDG and analyses tests ------------------------------===//
+
+#include "swp/ddg/Analysis.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/ddg/Dot.h"
+#include "swp/support/Rng.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace swp;
+
+namespace {
+
+/// Chain a -> b -> c with a back edge c -> a (distance BackDistance).
+Ddg makeCycle(int LatA, int LatB, int LatC, int BackDistance) {
+  Ddg G("cycle");
+  int A = G.addNode("a", 0, LatA);
+  int B = G.addNode("b", 0, LatB);
+  int C = G.addNode("c", 0, LatC);
+  G.addEdge(A, B, 0);
+  G.addEdge(B, C, 0);
+  G.addEdge(C, A, BackDistance);
+  return G;
+}
+
+} // namespace
+
+TEST(Ddg, AddNodesAndEdges) {
+  Ddg G("g");
+  int A = G.addNode("a", 0, 2);
+  int B = G.addNode("b", 1, 3);
+  G.addEdge(A, B, 0);
+  G.addEdgeWithLatency(B, A, 1, 7);
+  EXPECT_EQ(G.numNodes(), 2);
+  EXPECT_EQ(G.numEdges(), 2);
+  EXPECT_EQ(G.edges()[0].Latency, 2) << "edge latency defaults to producer";
+  EXPECT_EQ(G.edges()[1].Latency, 7);
+  EXPECT_EQ(G.node(B).OpClass, 1);
+}
+
+TEST(Ddg, NodesOfClass) {
+  Ddg G("g");
+  G.addNode("a", 0, 1);
+  G.addNode("b", 1, 1);
+  G.addNode("c", 0, 1);
+  std::vector<int> Zero = G.nodesOfClass(0);
+  ASSERT_EQ(Zero.size(), 2u);
+  EXPECT_EQ(Zero[0], 0);
+  EXPECT_EQ(Zero[1], 2);
+  EXPECT_TRUE(G.nodesOfClass(5).empty());
+}
+
+TEST(Ddg, WellFormedAcceptsLoopCarriedCycles) {
+  Ddg G = makeCycle(1, 1, 1, 1);
+  EXPECT_TRUE(G.isWellFormed(1));
+}
+
+TEST(Ddg, WellFormedRejectsZeroDistanceCycles) {
+  Ddg G = makeCycle(1, 1, 1, 0);
+  EXPECT_FALSE(G.isWellFormed(1));
+}
+
+TEST(Ddg, WellFormedRejectsBadClass) {
+  Ddg G("g");
+  G.addNode("a", 3, 1);
+  EXPECT_FALSE(G.isWellFormed(2));
+  EXPECT_TRUE(G.isWellFormed(4));
+}
+
+TEST(Analysis, AcyclicHasZeroMii) {
+  Ddg G("chain");
+  int A = G.addNode("a", 0, 5);
+  int B = G.addNode("b", 0, 5);
+  G.addEdge(A, B, 0);
+  EXPECT_FALSE(hasPositiveCycle(G, 0));
+  EXPECT_EQ(recurrenceMii(G), 0);
+  EXPECT_DOUBLE_EQ(maxCycleRatio(G), 0.0);
+  EXPECT_TRUE(criticalCycleNodes(G).empty());
+}
+
+TEST(Analysis, SelfLoopMii) {
+  Ddg G("self");
+  int A = G.addNode("a", 0, 2);
+  G.addEdge(A, A, 1);
+  EXPECT_EQ(recurrenceMii(G), 2);
+  EXPECT_NEAR(maxCycleRatio(G), 2.0, 1e-6);
+}
+
+TEST(Analysis, CycleRatioRoundsUp) {
+  // Cycle latency 5 over distance 2: T_dep = 2.5 -> recurrenceMii = 3.
+  Ddg G = makeCycle(2, 2, 1, 2);
+  EXPECT_EQ(recurrenceMii(G), 3);
+  EXPECT_NEAR(maxCycleRatio(G), 2.5, 1e-6);
+  EXPECT_TRUE(hasPositiveCycle(G, 2));
+  EXPECT_FALSE(hasPositiveCycle(G, 3));
+}
+
+TEST(Analysis, MaxOverMultipleCycles) {
+  // Two cycles: ratio 3/1 and ratio 5/2 -> T_dep = 3.
+  Ddg G("two-cycles");
+  int A = G.addNode("a", 0, 3);
+  int B = G.addNode("b", 0, 2);
+  int C = G.addNode("c", 0, 3);
+  G.addEdge(A, A, 1); // 3/1.
+  G.addEdge(B, C, 0); // 2 + 3 over distance 2.
+  G.addEdge(C, B, 2);
+  EXPECT_EQ(recurrenceMii(G), 3);
+  EXPECT_NEAR(maxCycleRatio(G), 3.0, 1e-6);
+}
+
+TEST(Analysis, CriticalCycleIdentified) {
+  Ddg G("two-cycles");
+  int A = G.addNode("a", 0, 3);
+  int B = G.addNode("b", 0, 2);
+  int C = G.addNode("c", 0, 3);
+  G.addEdge(A, A, 1);
+  G.addEdge(B, C, 0);
+  G.addEdge(C, B, 2);
+  std::vector<int> Crit = criticalCycleNodes(G);
+  ASSERT_EQ(Crit.size(), 1u) << "the self loop on a is the critical cycle";
+  EXPECT_EQ(Crit[0], A);
+}
+
+TEST(Analysis, CriticalCycleFractionalRatio) {
+  Ddg G = makeCycle(2, 2, 1, 2); // Ratio 5/2.
+  std::vector<int> Crit = criticalCycleNodes(G);
+  std::sort(Crit.begin(), Crit.end());
+  EXPECT_EQ(Crit, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Analysis, MotivatingLoopTDepIsTwo) {
+  Ddg G = motivatingLoop();
+  EXPECT_EQ(recurrenceMii(G), 2);
+  std::vector<int> Crit = criticalCycleNodes(G);
+  ASSERT_EQ(Crit.size(), 1u);
+  EXPECT_EQ(G.node(Crit[0]).Name, "i2");
+}
+
+TEST(Analysis, SccComponents) {
+  Ddg G("scc");
+  int A = G.addNode("a", 0, 1);
+  int B = G.addNode("b", 0, 1);
+  int C = G.addNode("c", 0, 1);
+  int D = G.addNode("d", 0, 1);
+  G.addEdge(A, B, 0);
+  G.addEdge(B, A, 1);
+  G.addEdge(B, C, 0);
+  G.addEdge(C, D, 0);
+  auto Comps = stronglyConnectedComponents(G);
+  ASSERT_EQ(Comps.size(), 3u);
+  bool FoundAB = false;
+  for (const auto &Comp : Comps)
+    if (Comp == std::vector<int>{A, B})
+      FoundAB = true;
+  EXPECT_TRUE(FoundAB);
+}
+
+TEST(Analysis, SccAllOneComponent) {
+  Ddg G = makeCycle(1, 1, 1, 1);
+  auto Comps = stronglyConnectedComponents(G);
+  ASSERT_EQ(Comps.size(), 1u);
+  EXPECT_EQ(Comps[0].size(), 3u);
+}
+
+TEST(Dot, RendersNodesAndEdges) {
+  Ddg G = motivatingLoop();
+  std::string Out = toDot(G);
+  EXPECT_NE(Out.find("digraph"), std::string::npos);
+  EXPECT_NE(Out.find("i2"), std::string::npos);
+  EXPECT_NE(Out.find("style=dashed"), std::string::npos)
+      << "loop-carried edges are dashed";
+}
+
+//===----------------------------------------------------------------------===//
+// Properties on random cyclic graphs.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Ddg randomCyclicDdg(std::uint64_t Seed) {
+  Rng R(Seed);
+  int N = R.intIn(2, 8);
+  Ddg G("rand");
+  for (int I = 0; I < N; ++I)
+    G.addNode("n" + std::to_string(I), 0, R.intIn(1, 6));
+  for (int I = 1; I < N; ++I)
+    G.addEdge(R.intIn(0, I - 1), I, 0);
+  int Back = R.intIn(1, 3);
+  for (int K = 0; K < Back; ++K) {
+    int To = R.intIn(0, N - 1);
+    int From = R.intIn(To, N - 1);
+    G.addEdge(From, To, R.intIn(1, 2));
+  }
+  return G;
+}
+
+} // namespace
+
+class DdgPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DdgPropertyTest, MiiMatchesCeilOfRatio) {
+  Ddg G = randomCyclicDdg(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  int Mii = recurrenceMii(G);
+  double Ratio = maxCycleRatio(G);
+  EXPECT_EQ(Mii, static_cast<int>(std::ceil(Ratio - 1e-7)));
+  if (Mii > 0) {
+    EXPECT_TRUE(hasPositiveCycle(G, Mii - 1));
+    EXPECT_FALSE(hasPositiveCycle(G, Mii));
+    EXPECT_FALSE(hasPositiveCycle(G, Mii + 3)) << "monotone in T";
+  }
+}
+
+TEST_P(DdgPropertyTest, CriticalCycleFound) {
+  Ddg G = randomCyclicDdg(static_cast<std::uint64_t>(GetParam()) * 999983 + 7);
+  if (recurrenceMii(G) == 0)
+    return;
+  EXPECT_FALSE(criticalCycleNodes(G).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DdgPropertyTest,
+                         ::testing::Range(0, 40));

@@ -1,0 +1,134 @@
+//===- test_heuristics.cpp - IMS and enumerative scheduler tests ----------===//
+
+#include "swp/core/Verifier.h"
+#include "swp/core/Driver.h"
+#include "swp/heuristics/Enumerative.h"
+#include "swp/heuristics/IterativeModulo.h"
+#include "swp/machine/Catalog.h"
+#include "swp/workload/Corpus.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+TEST(Ims, SchedulesMotivatingLoop) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ImsResult R = iterativeModuloSchedule(G, M);
+  ASSERT_TRUE(R.found());
+  EXPECT_GE(R.Schedule.T, R.TLowerBound);
+  VerifyResult V = verifySchedule(G, M, R.Schedule);
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+TEST(Ims, ProducesFixedMapping) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ImsResult R = iterativeModuloSchedule(G, M);
+  ASSERT_TRUE(R.found());
+  EXPECT_TRUE(R.Schedule.hasMapping());
+}
+
+TEST(Ims, HandlesHazardMachine) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleHazardMachine();
+  ImsResult R = iterativeModuloSchedule(G, M);
+  ASSERT_TRUE(R.found());
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+  EXPECT_GE(R.Schedule.T, 6) << "hazard T_res is 6 here";
+}
+
+TEST(Ims, SchedulesAllClassicKernels) {
+  MachineModel M = ppc604Like();
+  for (const Ddg &G : classicKernels()) {
+    ImsResult R = iterativeModuloSchedule(G, M);
+    ASSERT_TRUE(R.found()) << G.name();
+    VerifyResult V = verifySchedule(G, M, R.Schedule);
+    EXPECT_TRUE(V.Ok) << G.name() << ": " << V.Error;
+    EXPECT_GE(R.Schedule.T, R.TLowerBound) << G.name();
+  }
+}
+
+TEST(Enumerative, SchedulesMotivatingLoop) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  EnumResult R = enumerativeSchedule(G, M);
+  ASSERT_TRUE(R.found());
+  EXPECT_TRUE(R.ProvenRateOptimal);
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+}
+
+TEST(Enumerative, ProvesScheduleAInfeasibilityAtT3) {
+  Ddg G = scheduleALoop();
+  MachineModel M = exampleTwoFpMachine();
+  EnumResult R = enumerativeSchedule(G, M);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(R.Schedule.T, 4) << "fixed mapping costs one cycle of II";
+  EXPECT_TRUE(R.ProvenRateOptimal);
+}
+
+TEST(Enumerative, MatchesIlpOnKernels) {
+  // Enumerative (exhaustive) and ILP must agree on the rate-optimal II.
+  MachineModel M = ppc604Like();
+  int Checked = 0;
+  for (const Ddg &G : classicKernels()) {
+    if (G.numNodes() > 9)
+      continue; // Keep the exhaustive runs fast.
+    EnumResult E = enumerativeSchedule(G, M);
+    SchedulerResult I = scheduleLoop(G, M);
+    ASSERT_TRUE(E.found()) << G.name();
+    ASSERT_TRUE(I.found()) << G.name();
+    EXPECT_EQ(E.Schedule.T, I.Schedule.T) << G.name();
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 8);
+}
+
+TEST(Heuristics, ImsNeverBeatsExhaustive) {
+  MachineModel M = ppc604Like();
+  for (const Ddg &G : classicKernels()) {
+    if (G.numNodes() > 9)
+      continue;
+    ImsResult H = iterativeModuloSchedule(G, M);
+    EnumResult E = enumerativeSchedule(G, M);
+    ASSERT_TRUE(H.found()) << G.name();
+    ASSERT_TRUE(E.found()) << G.name();
+    EXPECT_GE(H.Schedule.T, E.Schedule.T)
+        << G.name() << ": a heuristic cannot beat the optimum";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests on random loops.
+//===----------------------------------------------------------------------===//
+
+class HeuristicPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicPropertyTest, ImsSchedulesVerifyOnRandomLoops) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.MaxNodes = 10;
+  Ddg G = generateRandomLoop(
+      M, static_cast<std::uint64_t>(GetParam()) * 48271 + 11, Opts);
+  ImsResult R = iterativeModuloSchedule(G, M);
+  ASSERT_TRUE(R.found()) << G.name();
+  VerifyResult V = verifySchedule(G, M, R.Schedule);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  EXPECT_GE(R.Schedule.T, R.TLowerBound);
+}
+
+TEST_P(HeuristicPropertyTest, EnumerativeSchedulesVerifyOnRandomLoops) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.MaxNodes = 8;
+  Ddg G = generateRandomLoop(
+      M, static_cast<std::uint64_t>(GetParam()) * 16807 + 23, Opts);
+  EnumResult R = enumerativeSchedule(G, M);
+  ASSERT_TRUE(R.found()) << G.name();
+  VerifyResult V = verifySchedule(G, M, R.Schedule);
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, HeuristicPropertyTest,
+                         ::testing::Range(0, 25));

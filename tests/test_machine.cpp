@@ -1,0 +1,205 @@
+//===- test_machine.cpp - Reservation tables and machine models -----------===//
+
+#include "swp/machine/Catalog.h"
+#include "swp/machine/MachineModel.h"
+#include "swp/machine/ReservationTable.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+TEST(ReservationTable, CleanPipelinedShape) {
+  ReservationTable T = ReservationTable::cleanPipelined(3);
+  EXPECT_EQ(T.numStages(), 3);
+  EXPECT_EQ(T.execTime(), 3);
+  EXPECT_TRUE(T.isCleanPipelined());
+  EXPECT_TRUE(T.busy(0, 0));
+  EXPECT_FALSE(T.busy(0, 1));
+  EXPECT_TRUE(T.busy(2, 2));
+}
+
+TEST(ReservationTable, NonPipelinedShape) {
+  ReservationTable T = ReservationTable::nonPipelined(4);
+  EXPECT_EQ(T.numStages(), 1);
+  EXPECT_EQ(T.execTime(), 4);
+  EXPECT_FALSE(T.isCleanPipelined());
+  for (int L = 0; L < 4; ++L)
+    EXPECT_TRUE(T.busy(0, L));
+}
+
+TEST(ReservationTable, BusyColumns) {
+  ReservationTable T = exampleHazardMachine().type(0).Table;
+  // FP: stage1 @ {0}, stage2 @ {1}, stage3 @ {1,2}.
+  EXPECT_EQ(T.busyColumns(0), (std::vector<int>{0}));
+  EXPECT_EQ(T.busyColumns(1), (std::vector<int>{1}));
+  EXPECT_EQ(T.busyColumns(2), (std::vector<int>{1, 2}));
+}
+
+TEST(ReservationTable, ModuloConstraint) {
+  // Stage busy at columns 1 and 3 collides with itself at T = 2.
+  ReservationTable T = moduloViolationTable();
+  EXPECT_FALSE(T.satisfiesModuloConstraint(2));
+  EXPECT_TRUE(T.satisfiesModuloConstraint(3));
+  EXPECT_TRUE(T.satisfiesModuloConstraint(4));
+  EXPECT_FALSE(T.satisfiesModuloConstraint(1));
+}
+
+TEST(ReservationTable, CleanAlwaysSatisfiesModulo) {
+  ReservationTable T = ReservationTable::cleanPipelined(5);
+  for (int Period = 1; Period <= 8; ++Period)
+    EXPECT_TRUE(T.satisfiesModuloConstraint(Period));
+}
+
+TEST(ReservationTable, ConflictsAtOffsetClean) {
+  // Clean pipeline: two ops on one unit conflict only at equal offsets.
+  ReservationTable T = ReservationTable::cleanPipelined(3);
+  int Period = 4;
+  EXPECT_TRUE(T.conflictsAtOffset(0, Period));
+  for (int D = 1; D < Period; ++D)
+    EXPECT_FALSE(T.conflictsAtOffset(D, Period));
+}
+
+TEST(ReservationTable, ConflictsAtOffsetNonPipelined) {
+  // Non-pipelined exec 2 at T = 4: offsets within +-1 (mod 4) conflict.
+  ReservationTable T = ReservationTable::nonPipelined(2);
+  EXPECT_TRUE(T.conflictsAtOffset(0, 4));
+  EXPECT_TRUE(T.conflictsAtOffset(1, 4));
+  EXPECT_FALSE(T.conflictsAtOffset(2, 4));
+  EXPECT_TRUE(T.conflictsAtOffset(3, 4));
+}
+
+TEST(ReservationTable, ConflictSymmetry) {
+  ReservationTable T = exampleHazardMachine().type(0).Table;
+  for (int Period = 3; Period <= 8; ++Period)
+    for (int D = 0; D < Period; ++D)
+      EXPECT_EQ(T.conflictsAtOffset(D, Period),
+                T.conflictsAtOffset((Period - D) % Period, Period))
+          << "delta " << D << " period " << Period;
+}
+
+TEST(ReservationTable, RenderShowsGrid) {
+  std::string Out = ReservationTable::nonPipelined(2).render();
+  EXPECT_NE(Out.find("Stage 1"), std::string::npos);
+  EXPECT_NE(Out.find("1"), std::string::npos);
+}
+
+TEST(MachineModel, FindTypeAndUnits) {
+  MachineModel M = ppc604Like();
+  EXPECT_EQ(M.numTypes(), 5);
+  EXPECT_EQ(M.findType("FPU"), 2);
+  EXPECT_EQ(M.findType("nope"), -1);
+  EXPECT_EQ(M.totalUnits(), 6);
+  EXPECT_EQ(M.globalUnitIndex(0, 1), 1);
+  EXPECT_EQ(M.globalUnitIndex(1, 0), 2);
+  EXPECT_EQ(M.globalUnitIndex(4, 0), 5);
+}
+
+TEST(MachineModel, ResourceMiiCleanPipeline) {
+  // 3 FP ops on 1 clean FP unit: one issue slot each -> T_res = 3.
+  MachineModel M = exampleCleanMachine();
+  Ddg G("g");
+  for (int I = 0; I < 3; ++I)
+    G.addNode("f" + std::to_string(I), 0, 2);
+  EXPECT_EQ(M.resourceMii(G), 3);
+}
+
+TEST(MachineModel, ResourceMiiNonPipelined) {
+  // 3 FP ops, exec 2, on 2 non-pipelined units: ceil(6/2) = 3.
+  MachineModel M = exampleNonPipelinedMachine();
+  Ddg G("g");
+  for (int I = 0; I < 3; ++I)
+    G.addNode("f" + std::to_string(I), 0, 2);
+  EXPECT_EQ(M.resourceMii(G), 3);
+}
+
+TEST(MachineModel, ResourceMiiHazardStage) {
+  // Hazard FP: stage 3 busy 2 cycles/op; 3 ops on 1 unit -> ceil(6/1) = 6.
+  MachineModel M = exampleHazardMachine();
+  Ddg G("g");
+  for (int I = 0; I < 3; ++I)
+    G.addNode("f" + std::to_string(I), 0, 2);
+  EXPECT_EQ(M.resourceMii(G), 6);
+}
+
+TEST(MachineModel, ResourceMiiTakesMaxOverTypes) {
+  MachineModel M = exampleCleanMachine();
+  Ddg G("g");
+  G.addNode("f", 0, 2);
+  for (int I = 0; I < 4; ++I)
+    G.addNode("m" + std::to_string(I), 1, 1);
+  EXPECT_EQ(M.resourceMii(G), 4) << "4 LS ops on 1 LS unit dominate";
+}
+
+TEST(MachineModel, ResourceMiiIgnoresUnusedTypes) {
+  MachineModel M = exampleHazardMachine();
+  Ddg G("g");
+  G.addNode("ls", 1, 1);
+  EXPECT_EQ(M.resourceMii(G), 2) << "LS stage 1 is busy 2 cycles per op";
+}
+
+TEST(MachineModel, ModuloFeasibleChecksOnlyUsedTypes) {
+  MachineModel M("m");
+  M.addFuType("BAD", 1, moduloViolationTable());
+  M.addFuType("OK", 1, ReservationTable::cleanPipelined(2));
+  Ddg OnlyOk("g");
+  OnlyOk.addNode("x", 1, 1);
+  EXPECT_TRUE(M.moduloFeasible(OnlyOk, 2));
+  Ddg UsesBad("g2");
+  UsesBad.addNode("y", 0, 1);
+  EXPECT_FALSE(M.moduloFeasible(UsesBad, 2));
+  EXPECT_TRUE(M.moduloFeasible(UsesBad, 4));
+}
+
+TEST(Catalog, MachineShapes) {
+  EXPECT_EQ(exampleCleanMachine().numTypes(), 2);
+  EXPECT_TRUE(exampleCleanMachine().type(0).Table.isCleanPipelined());
+  EXPECT_FALSE(exampleNonPipelinedMachine().type(0).Table.isCleanPipelined());
+  EXPECT_EQ(exampleNonPipelinedMachine().type(0).Count, 2);
+  EXPECT_EQ(exampleHazardMachine().type(0).Table.numStages(), 3);
+  EXPECT_EQ(ppc604Like().findType("FDIV"), 4);
+  EXPECT_EQ(cleanVliw().numTypes(), ppc604Like().numTypes());
+  for (int R = 0; R < cleanVliw().numTypes(); ++R)
+    EXPECT_TRUE(cleanVliw().type(R).Table.isCleanPipelined());
+}
+
+TEST(Catalog, KernelsWellFormedForPpc604) {
+  MachineModel M = ppc604Like();
+  for (const Ddg &G : classicKernels())
+    EXPECT_TRUE(G.isWellFormed(M.numTypes())) << G.name();
+}
+
+TEST(MachineModel, VariantAccessors) {
+  MachineModel M = ppc604MultiFunction();
+  EXPECT_EQ(M.type(2).numVariants(), 2);
+  EXPECT_EQ(M.type(0).numVariants(), 1);
+  Ddg G("g");
+  int Div = G.addNodeVariant("d", 2, 1, 8);
+  int Mul = G.addNode("m", 2, 4);
+  EXPECT_EQ(M.tableFor(G.node(Div)).execTime(), 8);
+  EXPECT_EQ(M.tableFor(G.node(Mul)).execTime(), 4);
+}
+
+TEST(MachineModel, ModuloFeasibleChecksVariants) {
+  MachineModel M("m");
+  int R = M.addFuType("X", 1, ReservationTable::cleanPipelined(2));
+  M.addVariant(R, moduloViolationTable()); // Self-conflicts at T = 2.
+  Ddg UsesPrimary("a");
+  UsesPrimary.addNode("p", 0, 1);
+  EXPECT_TRUE(M.moduloFeasible(UsesPrimary, 2));
+  Ddg UsesVariant("b");
+  UsesVariant.addNodeVariant("v", 0, 1, 1);
+  EXPECT_FALSE(M.moduloFeasible(UsesVariant, 2));
+  EXPECT_TRUE(M.moduloFeasible(UsesVariant, 4));
+}
+
+TEST(ReservationTable, CrossTableConflictWithUnequalStageCounts) {
+  // A 1-stage table only collides with the other table's stage 1.
+  ReservationTable OneStage = ReservationTable::nonPipelined(2);
+  ReservationTable ThreeStage = ReservationTable::cleanPipelined(3);
+  // OneStage busy stage1 @ {0,1}; ThreeStage busy stage1 @ {0} only.
+  EXPECT_TRUE(tablesConflictAtOffset(OneStage, ThreeStage, 0, 6));
+  EXPECT_TRUE(tablesConflictAtOffset(OneStage, ThreeStage, 1, 6));
+  EXPECT_FALSE(tablesConflictAtOffset(OneStage, ThreeStage, 2, 6))
+      << "stages 2-3 of the clean pipe do not exist on the 1-stage table";
+}

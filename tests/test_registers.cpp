@@ -1,0 +1,183 @@
+//===- test_registers.cpp - Buffer / register-pressure extension tests ----===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Registers.h"
+#include "swp/core/Verifier.h"
+#include "swp/machine/Catalog.h"
+#include "swp/workload/Corpus.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+namespace {
+
+ModuloSchedule paperSchedule() {
+  ModuloSchedule S;
+  S.T = 4;
+  S.StartTime = {0, 1, 3, 5, 7, 11};
+  S.Mapping = {0, 0, 0, 0, 1, 0};
+  return S;
+}
+
+} // namespace
+
+TEST(Buffers, EdgeCountsHandComputed) {
+  Ddg G = motivatingLoop();
+  ModuloSchedule S = paperSchedule();
+  // Edge i0->i1: sep 1 -> ceil(1/4) = 1. Edge i4->i5: sep 4 -> 1.
+  // Self edge i2->i2 distance 1: sep 0 + 4 = 4 -> 1.
+  for (const DdgEdge &E : G.edges())
+    EXPECT_EQ(edgeBufferCount(G, S, E), 1)
+        << G.node(E.Src).Name << "->" << G.node(E.Dst).Name;
+  EXPECT_EQ(totalBuffers(G, S), 6);
+}
+
+TEST(Buffers, LongSeparationNeedsMoreBuffers) {
+  Ddg G("g");
+  int A = G.addNode("a", 0, 1);
+  int B = G.addNode("b", 0, 1);
+  G.addEdge(A, B, 0);
+  ModuloSchedule S;
+  S.T = 2;
+  S.StartTime = {0, 5}; // Separation 5 at T = 2: ceil(5/2) = 3 copies.
+  EXPECT_EQ(edgeBufferCount(G, S, G.edges()[0]), 3);
+}
+
+TEST(Buffers, MinimumOneBufferPerEdge) {
+  Ddg G("g");
+  int A = G.addNode("a", 0, 0);
+  int B = G.addNode("b", 0, 1);
+  G.addEdgeWithLatency(A, B, 0, 0);
+  ModuloSchedule S;
+  S.T = 3;
+  S.StartTime = {0, 0};
+  EXPECT_EQ(edgeBufferCount(G, S, G.edges()[0]), 1);
+}
+
+TEST(Lifetimes, ValueLifetimeSpansLastUse) {
+  Ddg G("g");
+  int A = G.addNode("a", 0, 2);
+  int B = G.addNode("b", 0, 2);
+  int C = G.addNode("c", 0, 2);
+  G.addEdge(A, B, 0);
+  G.addEdge(A, C, 1); // Used again one iteration later.
+  ModuloSchedule S;
+  S.T = 3;
+  S.StartTime = {0, 2, 2};
+  EXPECT_EQ(valueLifetime(G, S, A), 5) << "last use at t_c + T*1 = 5";
+  EXPECT_EQ(valueLifetime(G, S, B), 0) << "no consumers";
+}
+
+TEST(Lifetimes, MaxLiveCountsOverlappingGenerations) {
+  // One value with lifetime 5 at T = 2 keeps ceil-ish 3 copies alive at
+  // some slot (floor 2 everywhere plus 1 partial).
+  Ddg G("g");
+  int A = G.addNode("a", 0, 1);
+  int B = G.addNode("b", 0, 1);
+  G.addEdge(A, B, 0);
+  ModuloSchedule S;
+  S.T = 2;
+  S.StartTime = {0, 5};
+  std::vector<int> Live = livePerSlot(G, S);
+  ASSERT_EQ(Live.size(), 2u);
+  EXPECT_EQ(Live[0], 3);
+  EXPECT_EQ(Live[1], 2);
+  EXPECT_EQ(maxLive(G, S), 3);
+}
+
+TEST(Lifetimes, RenderShowsChartAndMaxLive) {
+  Ddg G = motivatingLoop();
+  std::string Out = renderLifetimes(G, paperSchedule());
+  EXPECT_NE(Out.find("MaxLive"), std::string::npos);
+  EXPECT_NE(Out.find("i2"), std::string::npos);
+}
+
+TEST(BufferMinimization, ReducesBuffersAtSameT) {
+  // A diamond with slack: feasibility scheduling may stretch lifetimes;
+  // buffer minimization must reach the minimum.
+  MachineModel M = exampleCleanMachine();
+  Ddg G("diamond");
+  int A = G.addNode("a", 0, 2);
+  int B = G.addNode("b", 0, 2);
+  int C = G.addNode("c", 1, 1);
+  int D = G.addNode("d", 1, 1);
+  G.addEdge(A, B, 0);
+  G.addEdge(A, C, 0);
+  G.addEdge(B, D, 0);
+  G.addEdge(C, D, 0);
+
+  SchedulerOptions Plain;
+  SchedulerResult R1 = scheduleLoop(G, M, Plain);
+  ASSERT_TRUE(R1.found());
+
+  SchedulerOptions MinBuf;
+  MinBuf.MinimizeBuffers = true;
+  SchedulerResult R2 = scheduleLoop(G, M, MinBuf);
+  ASSERT_TRUE(R2.found());
+  EXPECT_EQ(R1.Schedule.T, R2.Schedule.T) << "same rate-optimal T";
+  EXPECT_LE(totalBuffers(G, R2.Schedule), totalBuffers(G, R1.Schedule));
+  EXPECT_TRUE(verifySchedule(G, M, R2.Schedule).Ok);
+}
+
+TEST(BufferMinimization, MatchesBruteMinimumOnMotivatingLoop) {
+  MachineModel M = exampleNonPipelinedMachine();
+  Ddg G = motivatingLoop();
+  SchedulerOptions MinBuf;
+  MinBuf.MinimizeBuffers = true;
+  MinBuf.TimeLimitPerT = 30.0;
+  SchedulerResult R = scheduleLoop(G, M, MinBuf);
+  ASSERT_TRUE(R.found());
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+  // The chain has 6 edges; each needs at least 1 buffer, and the
+  // latency-4 edge i4->i5 fits within one period at T = 4, so the true
+  // minimum is 6 — the ASAP-like schedule achieves it.
+  EXPECT_EQ(R.Schedule.T, 4);
+  EXPECT_EQ(totalBuffers(G, R.Schedule), 6);
+}
+
+TEST(BufferMinimization, NeverWorseThanFeasibilitySchedule) {
+  MachineModel M = ppc604Like();
+  int Checked = 0;
+  for (const Ddg &G : classicKernels()) {
+    if (G.numNodes() > 9)
+      continue;
+    SchedulerOptions Plain;
+    SchedulerResult R1 = scheduleLoop(G, M, Plain);
+    SchedulerOptions MinBuf;
+    MinBuf.MinimizeBuffers = true;
+    MinBuf.TimeLimitPerT = 10.0;
+    SchedulerResult R2 = scheduleLoop(G, M, MinBuf);
+    if (!R1.found() || !R2.found())
+      continue;
+    ASSERT_EQ(R1.Schedule.T, R2.Schedule.T) << G.name();
+    EXPECT_LE(totalBuffers(G, R2.Schedule), totalBuffers(G, R1.Schedule))
+        << G.name();
+    EXPECT_TRUE(verifySchedule(G, M, R2.Schedule).Ok) << G.name();
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 8);
+}
+
+class BufferPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferPropertyTest, MinimizedBuffersVerifyAndLowerBoundHolds) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.MaxNodes = 7;
+  Ddg G = generateRandomLoop(
+      M, static_cast<std::uint64_t>(GetParam()) * 1299709ULL + 31, Opts);
+  SchedulerOptions MinBuf;
+  MinBuf.MinimizeBuffers = true;
+  MinBuf.TimeLimitPerT = 10.0;
+  SchedulerResult R = scheduleLoop(G, M, MinBuf);
+  if (!R.found())
+    return; // Censored: nothing to check.
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+  // Lower bound: one buffer per edge.
+  EXPECT_GE(totalBuffers(G, R.Schedule), G.numEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, BufferPropertyTest,
+                         ::testing::Range(0, 12));

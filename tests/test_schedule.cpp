@@ -1,0 +1,171 @@
+//===- test_schedule.cpp - Schedule, kernel expander, circular arcs -------===//
+
+#include "swp/core/CircularArcs.h"
+#include "swp/core/KernelExpander.h"
+#include "swp/core/Schedule.h"
+#include "swp/machine/Catalog.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace swp;
+
+namespace {
+
+ModuloSchedule paperSchedule() {
+  ModuloSchedule S;
+  S.T = 4;
+  S.StartTime = {0, 1, 3, 5, 7, 11};
+  S.Mapping = {0, 0, 0, 0, 1, 0};
+  return S;
+}
+
+} // namespace
+
+TEST(Schedule, OffsetAndStage) {
+  ModuloSchedule S = paperSchedule();
+  EXPECT_EQ(S.offset(0), 0);
+  EXPECT_EQ(S.offset(2), 3);
+  EXPECT_EQ(S.offset(5), 3);
+  EXPECT_EQ(S.stageIndex(0), 0);
+  EXPECT_EQ(S.stageIndex(3), 1);
+  EXPECT_EQ(S.stageIndex(5), 2);
+}
+
+TEST(Schedule, AMatrixMatchesPaperFigure3) {
+  ModuloSchedule S = paperSchedule();
+  auto A = S.aMatrix();
+  ASSERT_EQ(A.size(), 4u);
+  // Row 1 (t=1): i1 and i3 -> [0 1 0 1 0 0]; row 3: i2, i4, i5.
+  EXPECT_EQ(A[1], (std::vector<int>{0, 1, 0, 1, 0, 0}));
+  EXPECT_EQ(A[3], (std::vector<int>{0, 0, 1, 0, 1, 1}));
+  EXPECT_EQ(A[0], (std::vector<int>{1, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(A[2], (std::vector<int>{0, 0, 0, 0, 0, 0}));
+  // Exactly one 1 per column.
+  for (int I = 0; I < 6; ++I) {
+    int Sum = 0;
+    for (int Slot = 0; Slot < 4; ++Slot)
+      Sum += A[static_cast<size_t>(Slot)][static_cast<size_t>(I)];
+    EXPECT_EQ(Sum, 1);
+  }
+}
+
+TEST(Schedule, RenderTkaContainsVectors) {
+  std::string Out = paperSchedule().renderTka();
+  EXPECT_NE(Out.find("t = [0, 1, 3, 5, 7, 11]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("K = [0, 0, 0, 1, 1, 2]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("A (T = 4)"), std::string::npos);
+}
+
+TEST(Schedule, RenderPatternUsageNamesOps) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  std::string Out = paperSchedule().renderPatternUsage(G, M);
+  EXPECT_NE(Out.find("FP usage"), std::string::npos);
+  EXPECT_NE(Out.find("LS usage"), std::string::npos);
+  EXPECT_NE(Out.find("i2"), std::string::npos);
+}
+
+TEST(KernelExpander, InstanceCountAndOrder) {
+  Ddg G = motivatingLoop();
+  ExpandedSchedule E = expandSchedule(G, paperSchedule(), 3);
+  EXPECT_EQ(E.Instances.size(), 18u);
+  EXPECT_TRUE(std::is_sorted(E.Instances.begin(), E.Instances.end(),
+                             [](const ScheduledInstance &A,
+                                const ScheduledInstance &B) {
+                               return A.Start < B.Start;
+                             }));
+}
+
+TEST(KernelExpander, KernelBoundary) {
+  Ddg G = motivatingLoop();
+  ExpandedSchedule E = expandSchedule(G, paperSchedule(), 3);
+  // Max k = 2, so the steady-state kernel starts at 2 * T = 8.
+  EXPECT_EQ(E.KernelStart, 8);
+  EXPECT_EQ(E.KernelLength, 4);
+}
+
+TEST(KernelExpander, RenderShowsIterationsAndKernelMark) {
+  Ddg G = motivatingLoop();
+  std::string Out = renderOverlappedIterations(G, paperSchedule(), 3);
+  EXPECT_NE(Out.find("Iter 0"), std::string::npos);
+  EXPECT_NE(Out.find("Iter 2"), std::string::npos);
+  EXPECT_NE(Out.find("kernel"), std::string::npos);
+  EXPECT_NE(Out.find("i5"), std::string::npos);
+}
+
+TEST(CircularArcs, OverlapMatchesReservationConflicts) {
+  ReservationTable T = ReservationTable::nonPipelined(2);
+  EXPECT_TRUE(arcsOverlap(T, 4, 0, 1));
+  EXPECT_TRUE(arcsOverlap(T, 4, 1, 0));
+  EXPECT_FALSE(arcsOverlap(T, 4, 0, 2));
+  EXPECT_TRUE(arcsOverlap(T, 4, 3, 0)) << "wrap-around arc overlaps slot 0";
+}
+
+TEST(CircularArcs, FirstFitProducesValidColoring) {
+  ReservationTable T = ReservationTable::nonPipelined(2);
+  std::vector<int> Offsets = {0, 2, 0, 2};
+  std::vector<int> Colors = firstFitUnitColoring(T, 4, Offsets);
+  ASSERT_EQ(Colors.size(), 4u);
+  for (size_t I = 0; I < Offsets.size(); ++I)
+    for (size_t J = I + 1; J < Offsets.size(); ++J)
+      if (Colors[I] == Colors[J]) {
+        EXPECT_FALSE(arcsOverlap(T, 4, Offsets[I], Offsets[J]));
+      }
+  EXPECT_EQ(*std::max_element(Colors.begin(), Colors.end()), 1)
+      << "two units suffice here";
+}
+
+TEST(CircularArcs, ThreeCliqueNeedsThreeColors) {
+  // The Schedule A instance: exec-2 arcs at offsets 0, 1, 2 on T = 3.
+  ReservationTable T = ReservationTable::nonPipelined(2);
+  std::vector<int> Colors = firstFitUnitColoring(T, 3, {0, 1, 2});
+  EXPECT_EQ(*std::max_element(Colors.begin(), Colors.end()), 2);
+}
+
+TEST(CircularArcs, RenderShowsWrapAnnotation) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  // FP ops i2, i3, i4 at offsets 3, 1, 3: offset-3 exec-2 arcs wrap.
+  std::string Out = renderArcs(G, M, 0, 4, {3, 1, 3}, {0, 0, 1});
+  EXPECT_NE(Out.find("wraps"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("unit 1"), std::string::npos);
+  EXPECT_NE(Out.find("i3"), std::string::npos);
+}
+
+TEST(Mve, UnrollFactorFromLifetimes) {
+  // Value with lifetime 5 at T = 2 needs ceil(5/2) = 3 kernel copies.
+  Ddg G("g");
+  int A = G.addNode("a", 0, 1);
+  int B = G.addNode("b", 0, 1);
+  G.addEdge(A, B, 0);
+  ModuloSchedule S;
+  S.T = 2;
+  S.StartTime = {0, 5};
+  EXPECT_EQ(mveUnrollFactor(G, S), 3);
+}
+
+TEST(Mve, FactorOneWhenLifetimesFitOnePeriod) {
+  Ddg G = motivatingLoop();
+  ModuloSchedule S;
+  S.T = 4;
+  S.StartTime = {0, 1, 3, 5, 7, 11};
+  S.Mapping = {0, 0, 0, 0, 1, 0};
+  EXPECT_EQ(mveUnrollFactor(G, S), 1);
+}
+
+TEST(Mve, RenderNamesCopies) {
+  Ddg G("g");
+  int A = G.addNode("a", 0, 1);
+  int B = G.addNode("b", 0, 1);
+  G.addEdge(A, B, 0);
+  ModuloSchedule S;
+  S.T = 2;
+  S.StartTime = {0, 5};
+  std::string Out = renderUnrolledKernel(G, S);
+  EXPECT_NE(Out.find("unrolled 3x"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("a.0"), std::string::npos);
+  EXPECT_NE(Out.find("a.2"), std::string::npos);
+}

@@ -1,0 +1,177 @@
+//===- test_textio.cpp - Machine / loop text-format tests -----------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Verifier.h"
+#include "swp/machine/Catalog.h"
+#include "swp/textio/Parser.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+namespace {
+
+const char *MachineText = R"(
+# A comment.
+machine demo
+futype FP count 2
+table 10 01
+futype LS count 1
+table 100 010 001
+variant 111 000 000
+)";
+
+const char *LoopText = R"(
+loop sample
+node ld class LS latency 2
+node f0 class FP latency 2
+node blk class LS latency 3 variant 1
+edge ld -> f0 distance 0
+edge f0 -> f0 distance 1 latency 2
+edge f0 -> blk distance 0
+)";
+
+} // namespace
+
+TEST(MachineParser, ParsesTypesCountsTables) {
+  MachineModel M;
+  std::string Err;
+  ASSERT_TRUE(parseMachine(MachineText, M, Err)) << Err;
+  EXPECT_EQ(M.name(), "demo");
+  ASSERT_EQ(M.numTypes(), 2);
+  EXPECT_EQ(M.type(0).Name, "FP");
+  EXPECT_EQ(M.type(0).Count, 2);
+  EXPECT_EQ(M.type(0).Table.numStages(), 2);
+  EXPECT_EQ(M.type(0).Table.execTime(), 2);
+  EXPECT_EQ(M.type(1).numVariants(), 2);
+  EXPECT_TRUE(M.type(1).variant(1).busy(0, 2));
+}
+
+TEST(MachineParser, RoundTripsCatalogMachines) {
+  for (const MachineModel &Orig :
+       {ppc604Like(), exampleHazardMachine(), ppc604MultiFunction()}) {
+    std::string Text = printMachine(Orig);
+    MachineModel Parsed;
+    std::string Err;
+    ASSERT_TRUE(parseMachine(Text, Parsed, Err)) << Orig.name() << ": " << Err;
+    ASSERT_EQ(Parsed.numTypes(), Orig.numTypes());
+    for (int R = 0; R < Orig.numTypes(); ++R) {
+      EXPECT_EQ(Parsed.type(R).Name, Orig.type(R).Name);
+      EXPECT_EQ(Parsed.type(R).Count, Orig.type(R).Count);
+      EXPECT_EQ(Parsed.type(R).numVariants(), Orig.type(R).numVariants());
+      for (int V = 0; V < Orig.type(R).numVariants(); ++V) {
+        const ReservationTable &A = Orig.type(R).variant(V);
+        const ReservationTable &B = Parsed.type(R).variant(V);
+        ASSERT_EQ(A.numStages(), B.numStages());
+        ASSERT_EQ(A.execTime(), B.execTime());
+        for (int S = 0; S < A.numStages(); ++S)
+          for (int L = 0; L < A.execTime(); ++L)
+            EXPECT_EQ(A.busy(S, L), B.busy(S, L));
+      }
+    }
+  }
+}
+
+TEST(MachineParser, RejectsMalformedInput) {
+  MachineModel M;
+  std::string Err;
+  EXPECT_FALSE(parseMachine("futype X\n", M, Err));
+  EXPECT_NE(Err.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parseMachine("table 101\n", M, Err)) << "table before futype";
+  EXPECT_FALSE(parseMachine("machine m\nfutype X count 0\ntable 1\n", M, Err));
+  EXPECT_FALSE(parseMachine("machine m\nfutype X count 1\ntable 1 11\n", M,
+                            Err))
+      << "ragged stage rows";
+  EXPECT_FALSE(parseMachine("machine m\nfutype X count 1\ntable 1x1\n", M,
+                            Err));
+  EXPECT_FALSE(parseMachine("machine m\nfutype X count 1\n", M, Err))
+      << "missing table";
+  EXPECT_FALSE(parseMachine("", M, Err)) << "no types";
+  EXPECT_FALSE(parseMachine("bogus\n", M, Err));
+  EXPECT_FALSE(parseMachine(
+      "machine m\nfutype X count 1\nvariant 1\ntable 1\n", M, Err))
+      << "variant before table";
+}
+
+TEST(LoopParser, ParsesNodesEdgesVariants) {
+  MachineModel M;
+  std::string Err;
+  ASSERT_TRUE(parseMachine(MachineText, M, Err)) << Err;
+  Ddg G;
+  ASSERT_TRUE(parseLoop(LoopText, M, G, Err)) << Err;
+  EXPECT_EQ(G.name(), "sample");
+  ASSERT_EQ(G.numNodes(), 3);
+  EXPECT_EQ(G.node(0).Name, "ld");
+  EXPECT_EQ(G.node(0).OpClass, 1);
+  EXPECT_EQ(G.node(2).Variant, 1);
+  ASSERT_EQ(G.numEdges(), 3);
+  EXPECT_EQ(G.edges()[0].Latency, 2) << "defaults to producer latency";
+  EXPECT_EQ(G.edges()[1].Distance, 1);
+}
+
+TEST(LoopParser, AcceptsNumericClass) {
+  MachineModel M;
+  std::string Err;
+  ASSERT_TRUE(parseMachine(MachineText, M, Err)) << Err;
+  Ddg G;
+  ASSERT_TRUE(parseLoop("loop g\nnode a class 0 latency 1\n", M, G, Err))
+      << Err;
+  EXPECT_EQ(G.node(0).OpClass, 0);
+}
+
+TEST(LoopParser, RejectsMalformedInput) {
+  MachineModel M;
+  std::string Err;
+  ASSERT_TRUE(parseMachine(MachineText, M, Err)) << Err;
+  Ddg G;
+  EXPECT_FALSE(parseLoop("", M, G, Err)) << "empty loop";
+  EXPECT_FALSE(parseLoop("node a class NOPE latency 1\n", M, G, Err));
+  EXPECT_FALSE(parseLoop("node a class FP latency -2\n", M, G, Err));
+  EXPECT_FALSE(parseLoop("node a class FP latency 1 variant 9\n", M, G, Err));
+  EXPECT_FALSE(parseLoop(
+      "node a class FP latency 1\nnode a class FP latency 1\n", M, G, Err))
+      << "duplicate node";
+  EXPECT_FALSE(parseLoop(
+      "node a class FP latency 1\nedge a -> b distance 0\n", M, G, Err))
+      << "unknown edge endpoint";
+  EXPECT_FALSE(parseLoop(
+      "node a class FP latency 1\nnode b class FP latency 1\n"
+      "edge a -> b distance 0\nedge b -> a distance 0\n",
+      M, G, Err))
+      << "zero-distance cycle";
+}
+
+TEST(LoopParser, RoundTripsKernels) {
+  MachineModel M = ppc604Like();
+  for (const Ddg &Orig : classicKernels()) {
+    std::string Text = printLoop(Orig, M);
+    Ddg Parsed;
+    std::string Err;
+    ASSERT_TRUE(parseLoop(Text, M, Parsed, Err)) << Orig.name() << ": " << Err;
+    ASSERT_EQ(Parsed.numNodes(), Orig.numNodes());
+    ASSERT_EQ(Parsed.numEdges(), Orig.numEdges());
+    for (int I = 0; I < Orig.numNodes(); ++I) {
+      EXPECT_EQ(Parsed.node(I).Name, Orig.node(I).Name);
+      EXPECT_EQ(Parsed.node(I).OpClass, Orig.node(I).OpClass);
+      EXPECT_EQ(Parsed.node(I).Latency, Orig.node(I).Latency);
+    }
+    for (int E = 0; E < Orig.numEdges(); ++E) {
+      EXPECT_EQ(Parsed.edges()[static_cast<size_t>(E)].Src,
+                Orig.edges()[static_cast<size_t>(E)].Src);
+      EXPECT_EQ(Parsed.edges()[static_cast<size_t>(E)].Latency,
+                Orig.edges()[static_cast<size_t>(E)].Latency);
+    }
+  }
+}
+
+TEST(TextIo, ParsedInputsScheduleEndToEnd) {
+  MachineModel M;
+  std::string Err;
+  ASSERT_TRUE(parseMachine(MachineText, M, Err)) << Err;
+  Ddg G;
+  ASSERT_TRUE(parseLoop(LoopText, M, G, Err)) << Err;
+  SchedulerResult R = scheduleLoop(G, M);
+  ASSERT_TRUE(R.found());
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+}

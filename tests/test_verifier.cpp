@@ -1,0 +1,184 @@
+//===- test_verifier.cpp - Schedule verifier tests ------------------------===//
+
+#include "swp/core/Verifier.h"
+#include "swp/machine/Catalog.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+namespace {
+
+/// The paper's Figure 3 schedule of the motivating loop: t = [0,1,3,5,7,11]
+/// at T = 4 on the non-pipelined machine (2 FP units).
+ModuloSchedule paperSchedule() {
+  ModuloSchedule S;
+  S.T = 4;
+  S.StartTime = {0, 1, 3, 5, 7, 11};
+  // i2 @ offset 3, i3 @ offset 1, i4 @ offset 3: i2 and i4 overlap (same
+  // offset) and must sit on different FP units; i3 fits either.
+  S.Mapping = {0, 0, 0, 0, 1, 0};
+  return S;
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsPaperSchedule) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  VerifyResult V = verifySchedule(G, M, paperSchedule());
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+TEST(Verifier, PaperTkaDecomposition) {
+  ModuloSchedule S = paperSchedule();
+  // K = [0,0,0,1,1,2] and offsets [0,1,3,1,3,3], as printed in the paper.
+  EXPECT_EQ(S.kVector(), (std::vector<int>{0, 0, 0, 1, 1, 2}));
+  EXPECT_EQ(S.offset(2), 3);
+  EXPECT_EQ(S.offset(3), 1);
+  EXPECT_EQ(S.offset(5), 3);
+}
+
+TEST(Verifier, RejectsDependenceViolation) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.StartTime[1] = 0; // i0 -> i1 needs separation 1.
+  VerifyResult V = verifySchedule(G, M, S);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("dependence"), std::string::npos) << V.Error;
+}
+
+TEST(Verifier, RejectsSelfRecurrenceViolation) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.T = 1; // Self edge on i2 needs T >= 2.
+  S.StartTime = {0, 1, 3, 5, 7, 11};
+  S.Mapping = {0, 0, 0, 1, 0, 0};
+  EXPECT_FALSE(verifySchedule(G, M, S).Ok);
+}
+
+TEST(Verifier, RejectsUnitCollision) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.Mapping[4] = 0; // i2 and i4 now share unit 0 at the same offset.
+  VerifyResult V = verifySchedule(G, M, S);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("collide"), std::string::npos) << V.Error;
+}
+
+TEST(Verifier, RejectsBadUnitIndex) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.Mapping[2] = 5;
+  EXPECT_FALSE(verifySchedule(G, M, S).Ok);
+}
+
+TEST(Verifier, RejectsNegativeStart) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.StartTime[0] = -1;
+  EXPECT_FALSE(verifySchedule(G, M, S).Ok);
+}
+
+TEST(Verifier, RejectsSizeMismatch) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.StartTime.pop_back();
+  EXPECT_FALSE(verifySchedule(G, M, S).Ok);
+}
+
+TEST(Verifier, RejectsZeroPeriod) {
+  Ddg G = motivatingLoop();
+  MachineModel M = exampleNonPipelinedMachine();
+  ModuloSchedule S = paperSchedule();
+  S.T = 0;
+  EXPECT_FALSE(verifySchedule(G, M, S).Ok);
+}
+
+TEST(Verifier, RunTimeMappingCapacityCheck) {
+  // Schedule A: offsets 0,1,2 of exec-2 FP ops on 2 units — aggregate
+  // capacity holds without a mapping.
+  Ddg G = scheduleALoop();
+  MachineModel M = exampleTwoFpMachine();
+  ModuloSchedule S;
+  S.T = 3;
+  // Dependences: ld->f0 (lat 1), f0->st (lat 2).  t = [0,1,2,3,4]:
+  // FP offsets f0@1, f1@2, f2@0 cover each slot twice (capacity 2); the
+  // store lands at offset 1, clear of the load's clean LS pipeline.
+  S.StartTime = {0, 1, 2, 3, 4};
+  VerifyResult V = verifySchedule(G, M, S);
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+TEST(Verifier, RunTimeMappingOversubscription) {
+  Ddg G = scheduleALoop();
+  MachineModel M = exampleTwoFpMachine();
+  ModuloSchedule S;
+  S.T = 3;
+  S.StartTime = {0, 1, 1, 1, 3}; // Three FP ops at one offset: usage 3 > 2.
+  VerifyResult V = verifySchedule(G, M, S);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("oversubscribed"), std::string::npos) << V.Error;
+}
+
+TEST(Verifier, SimulationPlacesAlternatingUnits) {
+  // The Schedule A schedule is executable with run-time unit pickup even
+  // though no fixed mapping exists.
+  Ddg G = scheduleALoop();
+  MachineModel M = exampleTwoFpMachine();
+  ModuloSchedule S;
+  S.T = 3;
+  S.StartTime = {0, 1, 2, 3, 4};
+  std::string Err;
+  EXPECT_TRUE(simulateRunTimeMapping(G, M, S, 10, &Err)) << Err;
+}
+
+TEST(Verifier, SimulationDetectsImpossibleSchedule) {
+  Ddg G = scheduleALoop();
+  MachineModel M = exampleTwoFpMachine();
+  ModuloSchedule S;
+  S.T = 3;
+  S.StartTime = {0, 1, 1, 1, 3}; // 3 simultaneous FP ops on 2 units.
+  std::string Err;
+  EXPECT_FALSE(simulateRunTimeMapping(G, M, S, 4, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Verifier, HazardStageCollision) {
+  // On the hazard machine, FP stage 3 (busy cycles 1-2) makes offsets 0
+  // and 1 collide on one unit even though issue slots differ.
+  Ddg G("fp2");
+  G.addNode("f0", 0, 2);
+  G.addNode("f1", 0, 2);
+  MachineModel M = exampleHazardMachine();
+  ModuloSchedule S;
+  S.T = 6;
+  S.StartTime = {0, 1};
+  S.Mapping = {0, 0};
+  VerifyResult V = verifySchedule(G, M, S);
+  EXPECT_FALSE(V.Ok);
+  // Offset distance 3 is conflict-free (stage 3 usage {1,2} vs {4,5}).
+  S.StartTime = {0, 3};
+  EXPECT_TRUE(verifySchedule(G, M, S).Ok) << verifySchedule(G, M, S).Error;
+}
+
+TEST(Verifier, ModuloConstraintViolationDetected) {
+  MachineModel M("m");
+  M.addFuType("BAD", 1, moduloViolationTable());
+  Ddg G("g");
+  G.addNode("x", 0, 1);
+  ModuloSchedule S;
+  S.T = 2;
+  S.StartTime = {0};
+  S.Mapping = {0};
+  VerifyResult V = verifySchedule(G, M, S);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("modulo"), std::string::npos) << V.Error;
+}

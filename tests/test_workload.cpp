@@ -1,0 +1,145 @@
+//===- test_workload.cpp - Kernels and corpus generator tests -------------===//
+
+#include "swp/ddg/Analysis.h"
+#include "swp/machine/Catalog.h"
+#include "swp/workload/Corpus.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace swp;
+
+TEST(Kernels, MotivatingLoopShape) {
+  Ddg G = motivatingLoop();
+  EXPECT_EQ(G.numNodes(), 6);
+  EXPECT_EQ(G.node(0).Name, "i0");
+  EXPECT_EQ(G.node(5).Name, "i5");
+  // FP ops i2..i4, LS ops i0, i1, i5.
+  EXPECT_EQ(G.nodesOfClass(0), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(G.nodesOfClass(1), (std::vector<int>{0, 1, 5}));
+  EXPECT_TRUE(G.isWellFormed(2));
+}
+
+TEST(Kernels, MotivatingLoopAsapMatchesPaper) {
+  // The ASAP start times along the chain are the paper's t vector.
+  Ddg G = motivatingLoop();
+  std::vector<int> Asap(6, 0);
+  for (int Pass = 0; Pass < 6; ++Pass)
+    for (const DdgEdge &E : G.edges())
+      if (E.Distance == 0)
+        Asap[static_cast<size_t>(E.Dst)] =
+            std::max(Asap[static_cast<size_t>(E.Dst)],
+                     Asap[static_cast<size_t>(E.Src)] + E.Latency);
+  EXPECT_EQ(Asap, (std::vector<int>{0, 1, 3, 5, 7, 11}));
+}
+
+TEST(Kernels, ScheduleALoopShape) {
+  Ddg G = scheduleALoop();
+  EXPECT_EQ(G.numNodes(), 5);
+  EXPECT_EQ(G.nodesOfClass(0).size(), 3u);
+  EXPECT_TRUE(G.isWellFormed(2));
+}
+
+TEST(Kernels, ClassicKernelCount) {
+  EXPECT_GE(classicKernels().size(), 14u);
+}
+
+TEST(Kernels, KnownRecurrences) {
+  std::vector<Ddg> Ks = classicKernels();
+  auto FindKernel = [&Ks](const std::string &Name) -> const Ddg & {
+    for (const Ddg &G : Ks)
+      if (G.name() == Name)
+        return G;
+    static Ddg Empty;
+    return Empty;
+  };
+  EXPECT_EQ(recurrenceMii(FindKernel("daxpy")), 0);
+  EXPECT_EQ(recurrenceMii(FindKernel("ddot")), 4);
+  EXPECT_EQ(recurrenceMii(FindKernel("liv5-tridiag")), 8);
+  EXPECT_EQ(recurrenceMii(FindKernel("liv11-firstsum")), 4);
+  EXPECT_EQ(recurrenceMii(FindKernel("ptr-chase")), 2);
+  EXPECT_EQ(recurrenceMii(FindKernel("horner")), 8);
+  EXPECT_EQ(recurrenceMii(FindKernel("checksum")), 3);
+}
+
+TEST(Kernels, UniqueNames) {
+  std::set<std::string> Names;
+  for (const Ddg &G : classicKernels())
+    EXPECT_TRUE(Names.insert(G.name()).second) << "duplicate " << G.name();
+}
+
+TEST(Corpus, DeterministicAcrossCalls) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.NumLoops = 20;
+  std::vector<Ddg> A = generateCorpus(M, Opts);
+  std::vector<Ddg> B = generateCorpus(M, Opts);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].numNodes(), B[I].numNodes());
+    EXPECT_EQ(A[I].numEdges(), B[I].numEdges());
+    for (int E = 0; E < A[I].numEdges(); ++E) {
+      EXPECT_EQ(A[I].edges()[static_cast<size_t>(E)].Src,
+                B[I].edges()[static_cast<size_t>(E)].Src);
+      EXPECT_EQ(A[I].edges()[static_cast<size_t>(E)].Dst,
+                B[I].edges()[static_cast<size_t>(E)].Dst);
+    }
+  }
+}
+
+TEST(Corpus, AllLoopsWellFormed) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.NumLoops = 200;
+  for (const Ddg &G : generateCorpus(M, Opts))
+    EXPECT_TRUE(G.isWellFormed(M.numTypes())) << G.name();
+}
+
+TEST(Corpus, SizeStatisticsMatchPaper) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.NumLoops = 1066;
+  std::vector<Ddg> Corpus = generateCorpus(M, Opts);
+  ASSERT_EQ(Corpus.size(), 1066u);
+  double Sum = 0;
+  int MaxN = 0;
+  for (const Ddg &G : Corpus) {
+    Sum += G.numNodes();
+    MaxN = std::max(MaxN, G.numNodes());
+    EXPECT_GE(G.numNodes(), 3);
+    EXPECT_LE(G.numNodes(), Opts.MaxNodes);
+  }
+  double Mean = Sum / 1066.0;
+  EXPECT_GT(Mean, 5.0) << "paper reports mean ~6 nodes";
+  EXPECT_LT(Mean, 8.5);
+  EXPECT_GE(MaxN, 15) << "a tail of larger loops must exist";
+}
+
+TEST(Corpus, RecurrenceFractionReasonable) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.NumLoops = 400;
+  int WithRecurrence = 0;
+  for (const Ddg &G : generateCorpus(M, Opts))
+    if (recurrenceMii(G) > 0)
+      ++WithRecurrence;
+  double Frac = static_cast<double>(WithRecurrence) / 400.0;
+  EXPECT_GT(Frac, 0.25);
+  EXPECT_LT(Frac, 0.60);
+}
+
+TEST(Corpus, SeedChangesCorpus) {
+  MachineModel M = ppc604Like();
+  CorpusOptions A, B;
+  A.NumLoops = B.NumLoops = 10;
+  B.Seed = A.Seed + 1;
+  std::vector<Ddg> CA = generateCorpus(M, A);
+  std::vector<Ddg> CB = generateCorpus(M, B);
+  bool AnyDiff = false;
+  for (size_t I = 0; I < CA.size(); ++I)
+    AnyDiff |= CA[I].numNodes() != CB[I].numNodes() ||
+               CA[I].numEdges() != CB[I].numEdges();
+  EXPECT_TRUE(AnyDiff);
+}

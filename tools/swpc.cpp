@@ -1,0 +1,240 @@
+//===- swpc.cpp - Command-line software pipeliner -------------------------===//
+//
+// swpc: schedule a loop from text files on a machine description.
+//
+//   swpc --machine M.machine --loop L.loop [options]
+//
+// Options:
+//   --scheduler ilp|ims|slack|enum   scheduling algorithm (default ilp)
+//   --mapping fixed|runtime          mapping discipline (default fixed)
+//   --min-buffers                    buffer-minimal schedule (ilp only)
+//   --time-limit SECONDS             per-T MILP/search limit (default 10)
+//   --iterations N                   iterations in kernel listings (4)
+//   --print WHAT[,WHAT...]           tka, kernel, usage, arcs, lifetimes,
+//                                    dot, loop, machine (default summary)
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/CircularArcs.h"
+#include "swp/core/Driver.h"
+#include "swp/core/KernelExpander.h"
+#include "swp/core/Registers.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Analysis.h"
+#include "swp/ddg/Dot.h"
+#include "swp/heuristics/Enumerative.h"
+#include "swp/heuristics/IterativeModulo.h"
+#include "swp/heuristics/SlackModulo.h"
+#include "swp/textio/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace swp;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --machine FILE --loop FILE [--scheduler "
+               "ilp|ims|slack|enum]\n"
+               "       [--mapping fixed|runtime] [--min-buffers] "
+               "[--time-limit S]\n"
+               "       [--iterations N] [--print tka,kernel,usage,arcs,"
+               "lifetimes,dot,loop,machine]\n",
+               Argv0);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool wantArtifact(const std::string &Prints, const char *What) {
+  size_t Pos = 0;
+  while (Pos < Prints.size()) {
+    size_t Comma = Prints.find(',', Pos);
+    std::string Item = Prints.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Item == What)
+      return true;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string MachinePath, LoopPath, Scheduler = "ilp", Mapping = "fixed";
+  std::string Prints;
+  bool MinBuffers = false;
+  double TimeLimit = 10.0;
+  int Iterations = 4;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    std::string Val;
+    if (Arg == "--machine" && Next(Val))
+      MachinePath = Val;
+    else if (Arg == "--loop" && Next(Val))
+      LoopPath = Val;
+    else if (Arg == "--scheduler" && Next(Val))
+      Scheduler = Val;
+    else if (Arg == "--mapping" && Next(Val))
+      Mapping = Val;
+    else if (Arg == "--min-buffers")
+      MinBuffers = true;
+    else if (Arg == "--time-limit" && Next(Val))
+      TimeLimit = std::atof(Val.c_str());
+    else if (Arg == "--iterations" && Next(Val))
+      Iterations = std::atoi(Val.c_str());
+    else if (Arg == "--print" && Next(Val))
+      Prints = Val;
+    else
+      return usage(Argv[0]);
+  }
+  if (MachinePath.empty() || LoopPath.empty())
+    return usage(Argv[0]);
+  if (Mapping != "fixed" && Mapping != "runtime")
+    return usage(Argv[0]);
+
+  std::string MachineText, LoopText, Err;
+  if (!readFile(MachinePath, MachineText)) {
+    std::fprintf(stderr, "error: cannot read machine file %s\n",
+                 MachinePath.c_str());
+    return 1;
+  }
+  if (!readFile(LoopPath, LoopText)) {
+    std::fprintf(stderr, "error: cannot read loop file %s\n",
+                 LoopPath.c_str());
+    return 1;
+  }
+
+  MachineModel Machine;
+  if (!parseMachine(MachineText, Machine, Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", MachinePath.c_str(), Err.c_str());
+    return 1;
+  }
+  Ddg Loop;
+  if (!parseLoop(LoopText, Machine, Loop, Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", LoopPath.c_str(), Err.c_str());
+    return 1;
+  }
+
+  if (wantArtifact(Prints, "machine"))
+    std::printf("%s\n", printMachine(Machine).c_str());
+  if (wantArtifact(Prints, "loop"))
+    std::printf("%s\n", printLoop(Loop, Machine).c_str());
+  if (wantArtifact(Prints, "dot"))
+    std::printf("%s\n", toDot(Loop).c_str());
+
+  ModuloSchedule Schedule;
+  int TLb = 0;
+  bool Proven = false;
+  if (Scheduler == "ilp") {
+    SchedulerOptions Opts;
+    Opts.TimeLimitPerT = TimeLimit;
+    Opts.Mapping = Mapping == "fixed" ? MappingKind::Fixed
+                                      : MappingKind::RunTime;
+    Opts.MinimizeBuffers = MinBuffers;
+    SchedulerResult R = scheduleLoop(Loop, Machine, Opts);
+    TLb = R.TLowerBound;
+    Proven = R.ProvenRateOptimal;
+    if (R.found())
+      Schedule = std::move(R.Schedule);
+  } else if (Scheduler == "ims") {
+    ImsResult R = iterativeModuloSchedule(Loop, Machine);
+    TLb = R.TLowerBound;
+    if (R.found())
+      Schedule = std::move(R.Schedule);
+  } else if (Scheduler == "slack") {
+    SlackResult R = slackModuloSchedule(Loop, Machine);
+    TLb = R.TLowerBound;
+    if (R.found())
+      Schedule = std::move(R.Schedule);
+  } else if (Scheduler == "enum") {
+    EnumOptions Opts;
+    Opts.TimeLimitPerT = TimeLimit;
+    EnumResult R = enumerativeSchedule(Loop, Machine, Opts);
+    TLb = R.TLowerBound;
+    Proven = R.ProvenRateOptimal;
+    if (R.found())
+      Schedule = std::move(R.Schedule);
+  } else {
+    return usage(Argv[0]);
+  }
+
+  if (Schedule.T == 0) {
+    std::fprintf(stderr, "no schedule found (T_lb = %d)\n", TLb);
+    return 1;
+  }
+  VerifyResult V = verifySchedule(Loop, Machine, Schedule);
+  if (!V.Ok) {
+    std::fprintf(stderr, "internal error: schedule fails verification: %s\n",
+                 V.Error.c_str());
+    return 1;
+  }
+
+  std::printf("loop %s on machine %s: II = %d (T_dep %d, T_res %d)%s\n",
+              Loop.name().c_str(), Machine.name().c_str(), Schedule.T,
+              recurrenceMii(Loop), Machine.resourceMii(Loop),
+              Proven ? ", proven rate-optimal" : "");
+  if (Schedule.hasMapping()) {
+    std::printf("mapping:");
+    for (int I = 0; I < Loop.numNodes(); ++I)
+      std::printf(" %s->%s#%d", Loop.node(I).Name.c_str(),
+                  Machine.type(Loop.node(I).OpClass).Name.c_str(),
+                  Schedule.Mapping[static_cast<size_t>(I)]);
+    std::printf("\n");
+  }
+  std::printf("buffers = %d, maxlive = %d\n", totalBuffers(Loop, Schedule),
+              maxLive(Loop, Schedule));
+
+  if (wantArtifact(Prints, "tka"))
+    std::printf("\n%s", Schedule.renderTka().c_str());
+  if (wantArtifact(Prints, "kernel"))
+    std::printf("\n%s",
+                renderOverlappedIterations(Loop, Schedule, Iterations)
+                    .c_str());
+  if (wantArtifact(Prints, "usage"))
+    std::printf("\n%s", Schedule.renderPatternUsage(Loop, Machine).c_str());
+  if (wantArtifact(Prints, "lifetimes"))
+    std::printf("\n%s", renderLifetimes(Loop, Schedule).c_str());
+  if (wantArtifact(Prints, "arcs")) {
+    for (int R = 0; R < Machine.numTypes(); ++R) {
+      std::vector<int> Ops = Loop.nodesOfClass(R);
+      if (Ops.size() < 2)
+        continue;
+      std::vector<int> Offsets, Colors;
+      for (int Op : Ops) {
+        Offsets.push_back(Schedule.offset(Op));
+        Colors.push_back(Schedule.hasMapping()
+                             ? Schedule.Mapping[static_cast<size_t>(Op)]
+                             : 0);
+      }
+      std::printf("\n%s", renderArcs(Loop, Machine, R, Schedule.T, Offsets,
+                                     Colors)
+                              .c_str());
+    }
+  }
+  return 0;
+}
