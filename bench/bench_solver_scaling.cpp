@@ -13,6 +13,7 @@
 #include "swp/heuristics/Enumerative.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/machine/Catalog.h"
+#include "swp/service/SchedulerService.h"
 #include "swp/solver/BranchAndBound.h"
 #include "swp/solver/Simplex.h"
 #include "swp/workload/Corpus.h"
@@ -94,6 +95,30 @@ void BM_RecurrenceMii(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_RecurrenceMii)->Arg(8)->Arg(16)->Arg(24);
+
+/// Batch throughput of the scheduling service over a fixed 64-loop corpus
+/// slice as the worker count grows (Arg = jobs).  Real time, not CPU time:
+/// the point is wall-clock parallel speedup.  The cache is off so every
+/// iteration solves cold.
+void BM_ServiceBatch(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  CorpusOptions COpts;
+  COpts.NumLoops = 64;
+  std::vector<Ddg> Corpus = generateCorpus(M, COpts);
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = static_cast<int>(State.range(0));
+  SvcOpts.Sched.TimeLimitPerT = 2.0;
+  SvcOpts.Sched.MaxTSlack = 12;
+  SvcOpts.UseCache = false;
+  for (auto _ : State) {
+    SchedulerService Svc(M, SvcOpts);
+    std::vector<SchedulerResult> Results = Svc.scheduleAll(Corpus);
+    benchmark::DoNotOptimize(Results.size());
+  }
+  State.counters["loops"] = static_cast<double>(Corpus.size());
+  State.counters["jobs"] = static_cast<double>(SvcOpts.Jobs);
+}
+BENCHMARK(BM_ServiceBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_VerifierThroughput(benchmark::State &State) {
   MachineModel M = ppc604Like();

@@ -10,13 +10,18 @@
 // "10/30" note).
 //
 // Env: SWP_CORPUS_SIZE (default 1066), SWP_TIME_LIMIT seconds per T
-// (default 2).
+// (default 2), SWP_JOBS (default 0 = serial only; > 0 additionally runs
+// the corpus through the SchedulerService thread pool, checks the parallel
+// results match the serial baseline loop for loop, and reports the
+// speedup plus service statistics).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "swp/core/Driver.h"
 #include "swp/machine/Catalog.h"
+#include "swp/service/SchedulerService.h"
+#include "swp/service/ServiceStats.h"
 #include "swp/support/Format.h"
 #include "swp/support/Statistics.h"
 #include "swp/support/Stopwatch.h"
@@ -42,11 +47,17 @@ int main() {
 
   std::map<int, std::vector<double>> SizesBySlack; // II - T_lb -> DDG sizes.
   std::vector<double> UnscheduledSizes;
+  struct LoopSummary {
+    int T = 0;
+    bool Proven = false;
+  };
+  std::vector<LoopSummary> Serial(Corpus.size());
   int Censored = 0, Scheduled = 0;
   Stopwatch Total;
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const Ddg &G = Corpus[I];
     SchedulerResult R = scheduleLoop(G, Machine, SOpts);
+    Serial[I] = {R.Schedule.T, R.ProvenRateOptimal};
     if (R.found()) {
       ++Scheduled;
       SizesBySlack[R.Schedule.T - R.TLowerBound].push_back(G.numNodes());
@@ -59,6 +70,7 @@ int main() {
       std::fprintf(stderr, "  ... %zu/%zu loops (%.1fs)\n", I + 1,
                    Corpus.size(), Total.seconds());
   }
+  double SerialSeconds = Total.seconds();
 
   TextTable Table;
   Table.setHeader({"Number of Loops", "Initiation Interval",
@@ -107,5 +119,30 @@ int main() {
     std::printf("  mean nodes above T_lb     = %.1f   (paper: 16-17, i.e. "
                 "bigger than at T_lb) -> %s\n",
                 MeanAbove, MeanAbove > MeanAtLb ? "REPRODUCED" : "MISMATCH");
+
+  int Jobs = benchutil::envInt("SWP_JOBS", 0);
+  if (Jobs > 0) {
+    std::printf("\nparallel path (SchedulerService, --jobs %d):\n", Jobs);
+    ServiceOptions SvcOpts;
+    SvcOpts.Jobs = Jobs;
+    SvcOpts.Sched = SOpts;
+    SchedulerService Svc(Machine, SvcOpts);
+    Stopwatch ParWall;
+    std::vector<SchedulerResult> Par = Svc.scheduleAll(Corpus);
+    double ParSeconds = ParWall.seconds();
+
+    int Mismatches = 0;
+    for (size_t I = 0; I < Corpus.size(); ++I)
+      if (Par[I].Schedule.T != Serial[I].T ||
+          Par[I].ProvenRateOptimal != Serial[I].Proven)
+        ++Mismatches;
+    std::printf("  serial %.1fs, parallel %.1fs -> speedup %.2fx, "
+                "%d/%zu result mismatches (expect 0; time-limit censoring "
+                "can perturb loads near the limit)\n",
+                SerialSeconds, ParSeconds,
+                ParSeconds > 0 ? SerialSeconds / ParSeconds : 0.0,
+                Mismatches, Corpus.size());
+    std::printf("\n%s", Svc.stats().render().c_str());
+  }
   return 0;
 }

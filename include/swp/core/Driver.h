@@ -54,6 +54,10 @@ struct SchedulerOptions {
   /// internally; it never affects infeasibility proofs (those always come
   /// from the exhaustive search or the LP itself).
   bool LpRoundingProbe = true;
+  /// Cooperative cancellation/deadline token, polled between candidate T
+  /// and inside the branch-and-bound node loop.  A default token never
+  /// fires; the scheduling service installs per-loop deadlines here.
+  CancellationToken Cancel;
 };
 
 /// One candidate-T attempt record.
@@ -62,6 +66,9 @@ struct TAttempt {
   /// True when T was skipped for violating the modulo constraint.
   bool ModuloSkipped = false;
   MilpStatus Status = MilpStatus::Unknown;
+  /// What censored this attempt's proof (SearchStop::None when nothing
+  /// did) — distinguishes time limit / node limit / cancellation.
+  SearchStop StopReason = SearchStop::None;
   double Seconds = 0.0;
   std::int64_t Nodes = 0;
 };
@@ -78,6 +85,10 @@ struct SchedulerResult {
   /// True when the independent verifier rejected an extracted schedule
   /// (a bug — never expected; the schedule is then discarded).
   bool VerifyFailed = false;
+  /// True when the search was cut short by the options' cancellation
+  /// token (deadline or explicit cancel); the result covers only the T
+  /// attempted before the cut.
+  bool Cancelled = false;
   double TotalSeconds = 0.0;
   std::int64_t TotalNodes = 0;
   std::vector<TAttempt> Attempts;
@@ -90,11 +101,14 @@ SchedulerResult scheduleLoop(const Ddg &G, const MachineModel &Machine,
                              const SchedulerOptions &Opts = {});
 
 /// Builds and solves the MILP for one fixed \p T; \returns the solver
-/// outcome and, when feasible, writes the extracted schedule.
+/// outcome and, when feasible, writes the extracted schedule.  \p StopOut,
+/// when non-null, receives what censored the search (SearchStop::None when
+/// nothing did).
 MilpStatus scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
                        const SchedulerOptions &Opts, ModuloSchedule &Out,
                        double *SecondsOut = nullptr,
-                       std::int64_t *NodesOut = nullptr);
+                       std::int64_t *NodesOut = nullptr,
+                       SearchStop *StopOut = nullptr);
 
 } // namespace swp
 

@@ -1,0 +1,82 @@
+//===- swp/service/Fingerprint.h - Canonical job fingerprints ---*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical 128-bit fingerprints of scheduling jobs, the result cache's
+/// key.  A fingerprint covers everything the rate-optimal search reads —
+/// DDG structure (op classes, latencies, variants, edge distances and
+/// latencies), the machine's reservation tables and unit counts, and the
+/// result-affecting scheduler options — and deliberately ignores names:
+/// two structurally identical loops hash equal, so repeated corpus shapes
+/// hit the cache instead of re-solving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_FINGERPRINT_H
+#define SWP_SERVICE_FINGERPRINT_H
+
+#include "swp/core/Driver.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/machine/MachineModel.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swp {
+
+/// A 128-bit hash; two independently seeded 64-bit lanes make accidental
+/// collisions across a million-loop corpus implausible.
+struct Fingerprint {
+  std::uint64_t Hi = 0;
+  std::uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &) const = default;
+};
+
+/// Hash functor for unordered containers keyed by Fingerprint.
+struct FingerprintHasher {
+  std::size_t operator()(const Fingerprint &F) const {
+    return static_cast<std::size_t>(F.Lo ^ (F.Hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Streaming two-lane FNV-style hasher used to build fingerprints.
+class FingerprintBuilder {
+public:
+  FingerprintBuilder &add(std::uint64_t V);
+  FingerprintBuilder &add(int V) {
+    return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(V)));
+  }
+  /// Hashes the exact bit pattern (distinguishes 0.0 from -0.0; that is
+  /// fine for a cache key).
+  FingerprintBuilder &addDouble(double V);
+
+  Fingerprint finish() const { return {Hi, Lo}; }
+
+private:
+  std::uint64_t Hi = 0xcbf29ce484222325ULL;
+  std::uint64_t Lo = 0x2545f4914f6cdd1dULL;
+};
+
+/// Fingerprints \p G's structure (ignores the graph and node names).
+Fingerprint fingerprintDdg(const Ddg &G);
+
+/// Fingerprints \p M's unit counts and reservation tables (ignores names).
+Fingerprint fingerprintMachine(const MachineModel &M);
+
+/// Fingerprints the result-affecting fields of \p Opts (mapping kind,
+/// limits, window, objectives; the cancellation token is excluded).
+Fingerprint fingerprintOptions(const SchedulerOptions &Opts);
+
+/// The full cache key of one service job: DDG x machine x options, plus
+/// the service-level mode bits that change what is computed.
+Fingerprint fingerprintJob(const Ddg &G, const MachineModel &M,
+                           const SchedulerOptions &Opts, bool Portfolio,
+                           double DeadlineSeconds);
+
+} // namespace swp
+
+#endif // SWP_SERVICE_FINGERPRINT_H

@@ -1,0 +1,64 @@
+//===- swp/service/ResultCache.h - Memoized scheduling results --*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, mutex-protected map from job fingerprints to finished
+/// SchedulerResults.  Sharding keeps lock contention negligible when many
+/// worker threads look up concurrently; the solver is deterministic, so a
+/// first-insert-wins policy on duplicate keys returns results identical to
+/// a cold solve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_RESULTCACHE_H
+#define SWP_SERVICE_RESULTCACHE_H
+
+#include "swp/core/Driver.h"
+#include "swp/service/Fingerprint.h"
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace swp {
+
+/// Thread-safe fingerprint -> SchedulerResult cache.
+class ResultCache {
+public:
+  explicit ResultCache(std::size_t NumShards = 16);
+
+  /// \returns true and writes \p Out when \p Key is cached.
+  bool lookup(const Fingerprint &Key, SchedulerResult &Out) const;
+
+  /// Inserts \p Value under \p Key; the first insert wins on a duplicate
+  /// key (concurrent solvers of identical jobs produce equal results).
+  void insert(const Fingerprint &Key, const SchedulerResult &Value);
+
+  /// Number of cached entries (racy under concurrent inserts; exact when
+  /// quiescent).
+  std::size_t size() const;
+
+  void clear();
+
+private:
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<Fingerprint, SchedulerResult, FingerprintHasher> Map;
+  };
+
+  Shard &shardFor(const Fingerprint &Key) const {
+    return *Shards[static_cast<std::size_t>(FingerprintHasher()(Key)) %
+                   Shards.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace swp
+
+#endif // SWP_SERVICE_RESULTCACHE_H

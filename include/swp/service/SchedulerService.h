@@ -1,0 +1,125 @@
+//===- swp/service/SchedulerService.h - Parallel scheduling -----*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch scheduling service: many loops, one machine, a fixed-size
+/// worker pool.  Each submitted DDG flows through
+///
+///     queue -> [result cache] -> portfolio/ILP solve -> stats
+///
+/// Portfolio mode races the cheap heuristics (iterative-modulo and slack
+/// scheduling) against the rate-optimal ILP per loop: the heuristic leg
+/// runs first (it is orders of magnitude faster, so it always wins the
+/// race to an incumbent), its schedule becomes the upper-bound incumbent,
+/// and the ILP leg is restricted to strictly better T — or cancelled
+/// outright when the incumbent already sits on the lower bound.  The
+/// outcome is decided by the *results*, never by thread timing, so a
+/// portfolio batch is deterministic.
+///
+/// Cancellation is cooperative: every job's solve carries a token nested
+/// under the service-wide source, checked in the driver's per-T loop and
+/// the branch-and-bound node loop; per-loop deadlines use the same token.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_SCHEDULERSERVICE_H
+#define SWP_SERVICE_SCHEDULERSERVICE_H
+
+#include "swp/core/Driver.h"
+#include "swp/machine/MachineModel.h"
+#include "swp/service/ResultCache.h"
+#include "swp/service/ServiceStats.h"
+#include "swp/service/ThreadPool.h"
+#include "swp/support/Cancellation.h"
+
+#include <future>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace swp {
+
+/// How one portfolio race was settled (for stats and tests).
+enum class PortfolioOutcome {
+  /// The heuristic incumbent hit T_lb; the ILP leg was cancelled unstarted.
+  HeuristicWon,
+  /// The ILP leg found a schedule (strictly better than the incumbent, or
+  /// there was no incumbent).
+  IlpWon,
+  /// The ILP leg found nothing below the incumbent; the heuristic schedule
+  /// stands (proven rate-optimal when the ILP proved every smaller T
+  /// infeasible).
+  FellBackToHeuristic,
+  /// Neither leg produced a schedule.
+  NothingFound,
+};
+
+/// Runs the portfolio race for one loop.  \p Opts configures the ILP leg;
+/// its Cancel token is honored by both legs.  Exposed standalone so swpc
+/// and tests can run it without a pool.
+SchedulerResult portfolioSchedule(const Ddg &G, const MachineModel &Machine,
+                                  const SchedulerOptions &Opts = {},
+                                  PortfolioOutcome *OutcomeOut = nullptr);
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  int Jobs = 0;
+  /// Per-loop scheduler knobs (the ILP leg in portfolio mode).
+  SchedulerOptions Sched;
+  /// Race the heuristics against the ILP per loop.
+  bool Portfolio = false;
+  /// Memoize results by canonical fingerprint.
+  bool UseCache = true;
+  /// Per-loop wall-clock deadline in seconds (0 = none); expiring cancels
+  /// the solve cooperatively.
+  double DeadlinePerLoop = 0.0;
+};
+
+/// Schedules many loops concurrently on one machine model.
+class SchedulerService {
+public:
+  explicit SchedulerService(MachineModel Machine, ServiceOptions Opts = {});
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService &) = delete;
+  SchedulerService &operator=(const SchedulerService &) = delete;
+
+  /// Enqueues one loop; the future resolves with its SchedulerResult.
+  std::future<SchedulerResult> submit(Ddg G);
+
+  /// Schedules every loop of \p Loops; results are returned in input
+  /// order (the whole batch runs through the pool concurrently).
+  std::vector<SchedulerResult> scheduleAll(std::span<const Ddg> Loops);
+
+  /// Cooperatively cancels every queued and running job.  Already-running
+  /// solves unwind at their next token poll and report Cancelled.
+  void cancelAll();
+
+  /// Snapshot of the observability counters.
+  ServiceStats stats() const;
+
+  const MachineModel &machine() const { return Machine; }
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  SchedulerResult scheduleOne(const Ddg &G);
+
+  MachineModel Machine;
+  ServiceOptions Opts;
+  ResultCache Cache;
+  CancellationSource GlobalCancel;
+
+  mutable std::mutex StatsMutex;
+  ServiceStats Counters;
+
+  /// Declared last so workers die before any state they touch.
+  ThreadPool Pool;
+};
+
+} // namespace swp
+
+#endif // SWP_SERVICE_SCHEDULERSERVICE_H

@@ -1,0 +1,75 @@
+//===- swp/service/ThreadPool.h - Fixed-size worker pool --------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a FIFO job queue, the execution substrate
+/// of SchedulerService.  Jobs are opaque closures; result plumbing (futures)
+/// lives in the caller.  The queue records its high-water mark for the
+/// service's observability stats.  The destructor drains the queue: jobs
+/// already enqueued still run, then workers exit and are joined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_THREADPOOL_H
+#define SWP_SERVICE_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace swp {
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; non-positive means one per hardware
+  /// thread (at least one).
+  explicit ThreadPool(int Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues an opaque job.
+  void enqueue(std::function<void()> Job);
+
+  /// Enqueues a callable and \returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn &&Callable) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<Fn>(Callable));
+    std::future<R> Result = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Result;
+  }
+
+  int threadCount() const { return static_cast<int>(Workers.size()); }
+
+  /// Deepest the queue has ever been (jobs waiting, excluding running).
+  int queueHighWater() const;
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mutex;
+  std::condition_variable Available;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  int HighWater = 0;
+  bool Stopping = false;
+};
+
+} // namespace swp
+
+#endif // SWP_SERVICE_THREADPOOL_H

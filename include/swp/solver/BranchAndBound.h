@@ -19,6 +19,7 @@
 #define SWP_SOLVER_BRANCHANDBOUND_H
 
 #include "swp/solver/Model.h"
+#include "swp/support/Cancellation.h"
 
 #include <cstdint>
 #include <vector>
@@ -38,6 +39,27 @@ enum class MilpStatus {
   Unknown,
 };
 
+/// Why a search stopped before completing its proof.  Complements
+/// MilpStatus: a Feasible/Unknown status says *that* the proof was
+/// censored, the stop reason says *by what*.
+enum class SearchStop {
+  /// The search ran to completion (proof finished, or it stopped at the
+  /// first incumbent by request).
+  None,
+  /// The wall-clock limit expired.
+  TimeLimit,
+  /// The node limit was reached.
+  NodeLimit,
+  /// A cancellation token fired (explicit cancel or deadline).
+  Cancelled,
+  /// The LP relaxation failed to converge at some node, censoring every
+  /// proof beneath it.
+  LpStall,
+};
+
+/// Short lowercase name of \p S ("time-limit", "cancelled", ...).
+const char *searchStopName(SearchStop S);
+
 /// Knobs for a branch-and-bound run.
 struct MilpOptions {
   /// Wall-clock limit in seconds (checked per node).
@@ -52,11 +74,16 @@ struct MilpOptions {
   /// becomes the initial incumbent, so a censored search can never return
   /// anything worse.  Ignored when infeasible or empty.
   std::vector<double> WarmStart;
+  /// Cooperative cancellation: polled once per node alongside the time and
+  /// node limits.  A default token never fires.
+  CancellationToken Cancel;
 };
 
 /// Result of a branch-and-bound run.
 struct MilpResult {
   MilpStatus Status = MilpStatus::Unknown;
+  /// What cut the search short (SearchStop::None when nothing did).
+  SearchStop StopReason = SearchStop::None;
   double Objective = 0.0;
   /// Incumbent assignment (empty when none was found).
   std::vector<double> X;

@@ -1,0 +1,117 @@
+//===- swp/support/Cancellation.h - Cooperative cancellation ----*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation and deadline tokens.  A CancellationSource owns
+/// the shared stop state; the CancellationToken it hands out is a cheap
+/// copyable view that long-running searches poll at safe points (the
+/// branch-and-bound node loop, the driver's per-T loop).  Cancellation is
+/// strictly cooperative: nothing is interrupted, the holder of a token just
+/// observes the request and unwinds.
+///
+/// A deadline is a one-shot absolute time on the steady clock; once it
+/// passes, the token reads as cancelled without anyone calling cancel().
+/// Tokens are thread-safe; a default-constructed token never cancels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_CANCELLATION_H
+#define SWP_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace swp {
+
+namespace detail {
+
+/// Shared stop state: an explicit flag, an optional steady-clock deadline
+/// (nanoseconds since clock epoch; 0 = no deadline), and an optional
+/// parent state so a source can inherit a broader scope's cancellation
+/// (e.g. a per-loop deadline nested under a service-wide cancelAll).
+struct CancelState {
+  std::atomic<bool> Requested{false};
+  std::atomic<std::int64_t> DeadlineNs{0};
+  std::shared_ptr<const CancelState> Parent;
+
+  bool cancelled() const {
+    if (Requested.load(std::memory_order_relaxed))
+      return true;
+    std::int64_t D = DeadlineNs.load(std::memory_order_relaxed);
+    if (D != 0) {
+      auto Now = std::chrono::steady_clock::now().time_since_epoch();
+      if (std::chrono::duration_cast<std::chrono::nanoseconds>(Now)
+              .count() >= D)
+        return true;
+    }
+    return Parent && Parent->cancelled();
+  }
+};
+
+} // namespace detail
+
+/// A view of a CancellationSource's stop state.  Default-constructed tokens
+/// are valid and never report cancellation, so APIs can take one by value
+/// with no "optional" wrapper.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+
+  /// True when cancel() was called on the source or its deadline passed.
+  bool cancelled() const { return State && State->cancelled(); }
+
+  /// True when this token is connected to a source (i.e. can ever cancel).
+  bool connected() const { return State != nullptr; }
+
+private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<detail::CancelState> S)
+      : State(std::move(S)) {}
+
+  std::shared_ptr<detail::CancelState> State;
+};
+
+/// Owns cancellable state and hands out tokens.
+class CancellationSource {
+public:
+  CancellationSource() : State(std::make_shared<detail::CancelState>()) {}
+
+  /// Creates a source nested under \p Parent: its tokens also report
+  /// cancelled whenever the parent token does.
+  explicit CancellationSource(const CancellationToken &Parent)
+      : CancellationSource() {
+    State->Parent = Parent.State;
+  }
+
+  CancellationToken token() const { return CancellationToken(State); }
+
+  /// Requests cancellation; idempotent and thread-safe.
+  void cancel() { State->Requested.store(true, std::memory_order_relaxed); }
+
+  /// Sets a deadline \p Seconds from now; tokens report cancelled once it
+  /// passes.  Non-positive values cancel immediately.
+  void setDeadlineAfter(double Seconds) {
+    auto Now = std::chrono::steady_clock::now().time_since_epoch();
+    std::int64_t NowNs =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count();
+    std::int64_t DeltaNs =
+        static_cast<std::int64_t>(Seconds * 1e9);
+    if (DeltaNs <= 0)
+      cancel();
+    else
+      State->DeadlineNs.store(NowNs + DeltaNs, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const { return State->cancelled(); }
+
+private:
+  std::shared_ptr<detail::CancelState> State;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_CANCELLATION_H

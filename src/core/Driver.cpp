@@ -132,7 +132,8 @@ ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
 
 MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
                             const SchedulerOptions &Opts, ModuloSchedule &Out,
-                            double *SecondsOut, std::int64_t *NodesOut) {
+                            double *SecondsOut, std::int64_t *NodesOut,
+                            SearchStop *StopOut) {
   Stopwatch Watch;
   const bool Optimizing = Opts.ColoringObjective || Opts.MinimizeBuffers;
   FormulationOptions FOpts;
@@ -146,8 +147,11 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     *SecondsOut = 0.0;
   if (NodesOut)
     *NodesOut = 0;
+  if (StopOut)
+    *StopOut = SearchStop::None;
 
   MilpOptions MOpts;
+  MOpts.Cancel = Opts.Cancel;
   if (Optimizing) {
     // Get any feasible schedule first (cheap: probe + first-incumbent
     // search) and lift it into a warm start, so a censored optimization
@@ -194,6 +198,8 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     *SecondsOut = Watch.seconds();
   if (NodesOut)
     *NodesOut = Res.Nodes;
+  if (StopOut)
+    *StopOut = Res.StopReason;
   if (Res.hasSolution())
     Out = extractSchedule(G, Machine, T, FOpts, Vars, Res.X);
   return Res.Status;
@@ -210,6 +216,10 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
   bool AllBelowProven = true;
   for (int T = Result.TLowerBound;
        T <= Result.TLowerBound + Opts.MaxTSlack; ++T) {
+    if (Opts.Cancel.cancelled()) {
+      Result.Cancelled = true;
+      break;
+    }
     TAttempt Attempt;
     Attempt.T = T;
     if (!Machine.moduloFeasible(G, T)) {
@@ -223,9 +233,13 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
 
     ModuloSchedule Candidate;
     Attempt.Status = scheduleAtT(G, Machine, T, Opts, Candidate,
-                                 &Attempt.Seconds, &Attempt.Nodes);
+                                 &Attempt.Seconds, &Attempt.Nodes,
+                                 &Attempt.StopReason);
     Result.TotalNodes += Attempt.Nodes;
     Result.Attempts.push_back(Attempt);
+
+    if (Attempt.StopReason == SearchStop::Cancelled)
+      Result.Cancelled = true;
 
     if (Attempt.Status == MilpStatus::Optimal ||
         Attempt.Status == MilpStatus::Feasible) {
@@ -242,6 +256,8 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
     }
     if (Attempt.Status != MilpStatus::Infeasible)
       AllBelowProven = false; // Limit censored the proof at this T.
+    if (Result.Cancelled)
+      break; // A cancelled attempt proves nothing; larger T are moot too.
   }
   Result.TotalSeconds = Total.seconds();
   return Result;

@@ -1,0 +1,45 @@
+//===- ResultCache.cpp - Memoized scheduling results ----------------------===//
+
+#include "swp/service/ResultCache.h"
+
+using namespace swp;
+
+ResultCache::ResultCache(std::size_t NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  Shards.reserve(NumShards);
+  for (std::size_t I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+bool ResultCache::lookup(const Fingerprint &Key, SchedulerResult &Out) const {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void ResultCache::insert(const Fingerprint &Key, const SchedulerResult &Value) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Map.try_emplace(Key, Value);
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Total += S->Map.size();
+  }
+  return Total;
+}
+
+void ResultCache::clear() {
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->Map.clear();
+  }
+}

@@ -1,0 +1,206 @@
+//===- SchedulerService.cpp - Parallel scheduling service -----------------===//
+
+#include "swp/service/SchedulerService.h"
+
+#include "swp/core/Verifier.h"
+#include "swp/heuristics/IterativeModulo.h"
+#include "swp/heuristics/SlackModulo.h"
+#include "swp/service/Fingerprint.h"
+#include "swp/support/Stopwatch.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+SchedulerResult swp::portfolioSchedule(const Ddg &G,
+                                       const MachineModel &Machine,
+                                       const SchedulerOptions &Opts,
+                                       PortfolioOutcome *OutcomeOut) {
+  Stopwatch Total;
+  auto Outcome = [&](PortfolioOutcome O) {
+    if (OutcomeOut)
+      *OutcomeOut = O;
+  };
+
+  // Heuristic leg.  IMS and slack scheduling finish in microseconds on
+  // corpus-sized loops, so they always win the race to a first incumbent;
+  // the better of the two becomes the upper bound.
+  ImsOptions ImsOpts;
+  ImsOpts.MaxTSlack = Opts.MaxTSlack;
+  ImsResult Ims = iterativeModuloSchedule(G, Machine, ImsOpts);
+  ModuloSchedule Incumbent;
+  if (Ims.found())
+    Incumbent = Ims.Schedule;
+  bool HeurVerifyFailed = false;
+  if (!Opts.Cancel.cancelled()) {
+    SlackOptions SlackOpts;
+    SlackOpts.MaxTSlack = Opts.MaxTSlack;
+    SlackResult Slack = slackModuloSchedule(G, Machine, SlackOpts);
+    if (Slack.found() &&
+        (Incumbent.T == 0 || Slack.Schedule.T < Incumbent.T))
+      Incumbent = Slack.Schedule;
+  }
+  if (Incumbent.T > 0 && Opts.VerifySchedules &&
+      !verifySchedule(G, Machine, Incumbent).Ok) {
+    // Never expected; drop the incumbent and let the ILP leg stand alone.
+    HeurVerifyFailed = true;
+    Incumbent = ModuloSchedule();
+  }
+
+  SchedulerResult R;
+  R.TDep = Ims.TDep;
+  R.TRes = Ims.TRes;
+  R.TLowerBound = Ims.TLowerBound;
+  R.VerifyFailed = HeurVerifyFailed;
+
+  if (Incumbent.T > 0 && Incumbent.T == R.TLowerBound) {
+    // The incumbent sits on the lower bound: it is rate-optimal by
+    // construction, so the ILP leg loses the race unstarted.
+    R.Schedule = std::move(Incumbent);
+    R.ProvenRateOptimal = true;
+    R.TotalSeconds = Total.seconds();
+    Outcome(PortfolioOutcome::HeuristicWon);
+    return R;
+  }
+
+  // ILP leg, restricted to strictly better T than the incumbent (the
+  // race's only way to win is to beat it, so T >= Incumbent.T is pruned).
+  SchedulerOptions IlpOpts = Opts;
+  if (Incumbent.T > 0)
+    IlpOpts.MaxTSlack =
+        std::min(Opts.MaxTSlack, Incumbent.T - 1 - R.TLowerBound);
+  SchedulerResult Ilp = scheduleLoop(G, Machine, IlpOpts);
+  Ilp.VerifyFailed = Ilp.VerifyFailed || HeurVerifyFailed;
+  if (Ilp.found()) {
+    Ilp.TotalSeconds = Total.seconds();
+    Outcome(PortfolioOutcome::IlpWon);
+    return Ilp;
+  }
+
+  if (Incumbent.T == 0) {
+    Ilp.TotalSeconds = Total.seconds();
+    Outcome(PortfolioOutcome::NothingFound);
+    return Ilp;
+  }
+
+  // Fall back to the heuristic incumbent.  It is proven rate-optimal
+  // exactly when the ILP leg conclusively refuted every smaller T.
+  R.Attempts = std::move(Ilp.Attempts);
+  R.TotalNodes = Ilp.TotalNodes;
+  R.Cancelled = Ilp.Cancelled;
+  bool AllBelowProven =
+      !Ilp.Cancelled && static_cast<int>(R.Attempts.size()) ==
+                            Incumbent.T - R.TLowerBound;
+  for (const TAttempt &A : R.Attempts)
+    AllBelowProven = AllBelowProven && A.Status == MilpStatus::Infeasible;
+  R.Schedule = std::move(Incumbent);
+  R.ProvenRateOptimal = AllBelowProven;
+  R.TotalSeconds = Total.seconds();
+  Outcome(PortfolioOutcome::FellBackToHeuristic);
+  return R;
+}
+
+SchedulerService::SchedulerService(MachineModel M, ServiceOptions O)
+    : Machine(std::move(M)), Opts(O), Pool(O.Jobs) {
+  Counters.Jobs = Pool.threadCount();
+}
+
+SchedulerService::~SchedulerService() = default;
+
+std::future<SchedulerResult> SchedulerService::submit(Ddg G) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.Submitted;
+  }
+  return Pool.submit(
+      [this, Loop = std::move(G)] { return scheduleOne(Loop); });
+}
+
+std::vector<SchedulerResult>
+SchedulerService::scheduleAll(std::span<const Ddg> Loops) {
+  std::vector<std::future<SchedulerResult>> Futures;
+  Futures.reserve(Loops.size());
+  for (const Ddg &G : Loops)
+    Futures.push_back(submit(G));
+  std::vector<SchedulerResult> Results;
+  Results.reserve(Loops.size());
+  for (auto &F : Futures)
+    Results.push_back(F.get());
+  return Results;
+}
+
+void SchedulerService::cancelAll() { GlobalCancel.cancel(); }
+
+ServiceStats SchedulerService::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  ServiceStats S = Counters;
+  S.QueueHighWater = Pool.queueHighWater();
+  return S;
+}
+
+SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
+  Stopwatch Latency;
+  Fingerprint Key;
+  SchedulerResult R;
+  bool Hit = false;
+  if (Opts.UseCache) {
+    Key = fingerprintJob(G, Machine, Opts.Sched, Opts.Portfolio,
+                         Opts.DeadlinePerLoop);
+    Hit = Cache.lookup(Key, R);
+  }
+
+  PortfolioOutcome Outcome = PortfolioOutcome::NothingFound;
+  bool RanPortfolio = false;
+  if (!Hit) {
+    CancellationSource JobCancel(GlobalCancel.token());
+    if (Opts.DeadlinePerLoop > 0)
+      JobCancel.setDeadlineAfter(Opts.DeadlinePerLoop);
+    SchedulerOptions SOpts = Opts.Sched;
+    SOpts.Cancel = JobCancel.token();
+    if (Opts.Portfolio) {
+      R = portfolioSchedule(G, Machine, SOpts, &Outcome);
+      RanPortfolio = true;
+    } else {
+      R = scheduleLoop(G, Machine, SOpts);
+    }
+    // A cancelled solve is not the job's true answer; never cache it.
+    if (Opts.UseCache && !R.Cancelled)
+      Cache.insert(Key, R);
+  }
+
+  bool Censored = false;
+  for (const TAttempt &A : R.Attempts)
+    Censored = Censored || A.StopReason == SearchStop::TimeLimit ||
+               A.StopReason == SearchStop::NodeLimit ||
+               A.StopReason == SearchStop::LpStall;
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.Completed;
+    if (Hit)
+      ++Counters.CacheHits;
+    else if (Opts.UseCache)
+      ++Counters.CacheMisses;
+    if (R.Cancelled)
+      ++Counters.Cancellations;
+    if (Censored)
+      ++Counters.CensoredProofs;
+    if (RanPortfolio) {
+      switch (Outcome) {
+      case PortfolioOutcome::HeuristicWon:
+        ++Counters.PortfolioHeuristicWins;
+        break;
+      case PortfolioOutcome::IlpWon:
+        ++Counters.PortfolioIlpWins;
+        break;
+      case PortfolioOutcome::FellBackToHeuristic:
+        ++Counters.PortfolioFallbacks;
+        break;
+      case PortfolioOutcome::NothingFound:
+        break;
+      }
+    }
+    Counters.Latency.add(Latency.seconds());
+  }
+  return R;
+}

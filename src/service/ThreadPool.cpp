@@ -1,0 +1,54 @@
+//===- ThreadPool.cpp - Fixed-size worker pool ----------------------------===//
+
+#include "swp/service/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+ThreadPool::ThreadPool(int Threads) {
+  if (Threads <= 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(static_cast<std::size_t>(Threads));
+  for (int I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Available.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+    HighWater = std::max(HighWater, static_cast<int>(Queue.size()));
+  }
+  Available.notify_one();
+}
+
+int ThreadPool::queueHighWater() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return HighWater;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Available.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping with a drained queue.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+  }
+}

@@ -37,6 +37,8 @@ public:
     Res.Seconds = Watch.seconds();
     Res.X = std::move(Incumbent);
     Res.Objective = IncumbentObj;
+    Res.StopReason = Stop;
+    bool LimitHit = Stop != SearchStop::None;
     if (!Res.X.empty())
       Res.Status = (LimitHit && !StopEarly) ? MilpStatus::Feasible
                                             : MilpStatus::Optimal;
@@ -47,8 +49,18 @@ public:
 
 private:
   bool limitsExceeded() {
-    if (Nodes >= Opts.NodeLimit || Watch.seconds() >= Opts.TimeLimitSec) {
-      LimitHit = true;
+    if (Stop != SearchStop::None)
+      return true;
+    if (Opts.Cancel.cancelled()) {
+      Stop = SearchStop::Cancelled;
+      return true;
+    }
+    if (Nodes >= Opts.NodeLimit) {
+      Stop = SearchStop::NodeLimit;
+      return true;
+    }
+    if (Watch.seconds() >= Opts.TimeLimitSec) {
+      Stop = SearchStop::TimeLimit;
       return true;
     }
     return false;
@@ -107,7 +119,8 @@ private:
       return;
     if (Lp.Status != LpStatus::Optimal) {
       // Iteration trouble or unboundedness: nothing is proven below here.
-      LimitHit = true;
+      if (Stop == SearchStop::None)
+        Stop = SearchStop::LpStall;
       return;
     }
     if (!Incumbent.empty() && Lp.Objective >= IncumbentObj - 1e-9)
@@ -147,12 +160,28 @@ private:
   std::vector<double> Incumbent;
   double IncumbentObj = 0.0;
   std::int64_t Nodes = 0;
-  bool LimitHit = false;
+  SearchStop Stop = SearchStop::None;
   bool StopEarly = false;
   Stopwatch Watch;
 };
 
 } // namespace
+
+const char *swp::searchStopName(SearchStop S) {
+  switch (S) {
+  case SearchStop::None:
+    return "none";
+  case SearchStop::TimeLimit:
+    return "time-limit";
+  case SearchStop::NodeLimit:
+    return "node-limit";
+  case SearchStop::Cancelled:
+    return "cancelled";
+  case SearchStop::LpStall:
+    return "lp-stall";
+  }
+  return "?";
+}
 
 MilpResult swp::solveMilp(const MilpModel &M, const MilpOptions &Opts) {
   Search S(M, Opts);

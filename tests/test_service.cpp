@@ -1,0 +1,435 @@
+//===- test_service.cpp - Scheduling service tests ------------------------===//
+//
+// Unit and integration tests of the swp/service subsystem: cancellation
+// tokens, the thread pool, job fingerprints, the result cache, and the
+// SchedulerService itself — including the determinism contract (a parallel
+// batch run is bit-identical to the serial baseline) and the portfolio
+// race's agreement with the plain rate-optimal driver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Analysis.h"
+#include "swp/heuristics/IterativeModulo.h"
+#include "swp/heuristics/SlackModulo.h"
+#include "swp/machine/Catalog.h"
+#include "swp/service/Fingerprint.h"
+#include "swp/service/ResultCache.h"
+#include "swp/service/SchedulerService.h"
+#include "swp/service/ServiceStats.h"
+#include "swp/service/ThreadPool.h"
+#include "swp/support/Cancellation.h"
+#include "swp/workload/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+using namespace swp;
+
+namespace {
+
+/// Deterministic censoring: the node limit fires long before the generous
+/// time limit, so serial and parallel runs censor identically regardless
+/// of machine load (wall-clock censoring would be scheduling-dependent).
+/// Kept small — every node is an LP solve — so censored loops stay cheap.
+SchedulerOptions deterministicOptions() {
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 60.0;
+  Opts.NodeLimitPerT = 250;
+  Opts.MaxTSlack = 4;
+  return Opts;
+}
+
+std::vector<Ddg> corpusSlice(int NumLoops) {
+  MachineModel M = ppc604Like();
+  CorpusOptions Opts;
+  Opts.NumLoops = NumLoops;
+  return generateCorpus(M, Opts);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cancellation tokens
+//===----------------------------------------------------------------------===//
+
+TEST(Cancellation, DefaultTokenNeverCancels) {
+  CancellationToken T;
+  EXPECT_FALSE(T.connected());
+  EXPECT_FALSE(T.cancelled());
+}
+
+TEST(Cancellation, ExplicitCancelPropagates) {
+  CancellationSource Src;
+  CancellationToken T = Src.token();
+  EXPECT_TRUE(T.connected());
+  EXPECT_FALSE(T.cancelled());
+  Src.cancel();
+  EXPECT_TRUE(T.cancelled());
+}
+
+TEST(Cancellation, DeadlineFires) {
+  CancellationSource Src;
+  Src.setDeadlineAfter(-1.0);
+  EXPECT_TRUE(Src.token().cancelled());
+
+  CancellationSource Slow;
+  Slow.setDeadlineAfter(0.005);
+  EXPECT_FALSE(Slow.token().cancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(Slow.token().cancelled());
+}
+
+TEST(Cancellation, NestedSourceInheritsParent) {
+  CancellationSource Parent;
+  CancellationSource Child(Parent.token());
+  EXPECT_FALSE(Child.token().cancelled());
+  Parent.cancel();
+  EXPECT_TRUE(Child.token().cancelled());
+  // And the child can cancel independently without touching the parent.
+  CancellationSource P2;
+  CancellationSource C2(P2.token());
+  C2.cancel();
+  EXPECT_TRUE(C2.token().cancelled());
+  EXPECT_FALSE(P2.token().cancelled());
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryJob) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(4);
+    EXPECT_EQ(Pool.threadCount(), 4);
+    for (int I = 0; I < 100; ++I)
+      Pool.enqueue([&Count] { Count.fetch_add(1); });
+  } // Destructor drains the queue.
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool Pool(2);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I < 16; ++I)
+    Futures.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Futures[static_cast<size_t>(I)].get(), I * I);
+}
+
+TEST(ThreadPool, TracksQueueHighWater) {
+  ThreadPool Pool(1);
+  // Block the single worker so enqueued jobs pile up measurably.
+  std::promise<void> Gate;
+  std::shared_future<void> Open = Gate.get_future().share();
+  Pool.enqueue([Open] { Open.wait(); });
+  for (int I = 0; I < 8; ++I)
+    Pool.enqueue([] {});
+  EXPECT_GE(Pool.queueHighWater(), 8);
+  Gate.set_value();
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, IgnoresNames) {
+  MachineModel M = ppc604Like();
+  Ddg A("alpha");
+  int A0 = A.addNode("load", 3, 2);
+  int A1 = A.addNode("add", 0, 1);
+  A.addEdge(A0, A1, 0);
+  Ddg B("beta");
+  int B0 = B.addNode("x", 3, 2);
+  int B1 = B.addNode("y", 0, 1);
+  B.addEdge(B0, B1, 0);
+  EXPECT_EQ(fingerprintDdg(A), fingerprintDdg(B));
+  EXPECT_EQ(fingerprintJob(A, M, {}, false, 0.0),
+            fingerprintJob(B, M, {}, false, 0.0));
+}
+
+TEST(Fingerprint, SensitiveToStructure) {
+  Ddg Base;
+  int N0 = Base.addNode("a", 3, 2);
+  int N1 = Base.addNode("b", 0, 1);
+  Base.addEdge(N0, N1, 0);
+  Fingerprint FBase = fingerprintDdg(Base);
+
+  Ddg Latency = Base;
+  Latency.addEdgeWithLatency(N1, N0, 1, 4);
+  EXPECT_NE(fingerprintDdg(Latency), FBase);
+
+  Ddg OtherClass;
+  OtherClass.addNode("a", 2, 2);
+  OtherClass.addNode("b", 0, 1);
+  OtherClass.addEdge(0, 1, 0);
+  EXPECT_NE(fingerprintDdg(OtherClass), FBase);
+
+  Ddg OtherDistance;
+  OtherDistance.addNode("a", 3, 2);
+  OtherDistance.addNode("b", 0, 1);
+  OtherDistance.addEdge(0, 1, 1);
+  EXPECT_NE(fingerprintDdg(OtherDistance), FBase);
+}
+
+TEST(Fingerprint, SensitiveToMachineAndOptions) {
+  EXPECT_NE(fingerprintMachine(ppc604Like()),
+            fingerprintMachine(cleanVliw()));
+
+  SchedulerOptions A;
+  SchedulerOptions B;
+  B.Mapping = MappingKind::RunTime;
+  EXPECT_NE(fingerprintOptions(A), fingerprintOptions(B));
+  SchedulerOptions C;
+  C.NodeLimitPerT = 123;
+  EXPECT_NE(fingerprintOptions(A), fingerprintOptions(C));
+
+  Ddg G;
+  G.addNode("a", 0, 1);
+  MachineModel M = ppc604Like();
+  EXPECT_NE(fingerprintJob(G, M, A, false, 0.0),
+            fingerprintJob(G, M, A, true, 0.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Result cache
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCache, StoresAndRetrieves) {
+  ResultCache Cache;
+  Fingerprint Key{1, 2};
+  SchedulerResult Miss;
+  EXPECT_FALSE(Cache.lookup(Key, Miss));
+  SchedulerResult Value;
+  Value.TLowerBound = 7;
+  Cache.insert(Key, Value);
+  SchedulerResult Out;
+  ASSERT_TRUE(Cache.lookup(Key, Out));
+  EXPECT_EQ(Out.TLowerBound, 7);
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(ResultCache, FirstInsertWins) {
+  ResultCache Cache;
+  Fingerprint Key{3, 4};
+  SchedulerResult First;
+  First.TLowerBound = 1;
+  SchedulerResult Second;
+  Second.TLowerBound = 2;
+  Cache.insert(Key, First);
+  Cache.insert(Key, Second);
+  SchedulerResult Out;
+  ASSERT_TRUE(Cache.lookup(Key, Out));
+  EXPECT_EQ(Out.TLowerBound, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(DriverCancellation, PreCancelledTokenShortCircuits) {
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 99, {});
+  CancellationSource Src;
+  Src.cancel();
+  SchedulerOptions Opts;
+  Opts.Cancel = Src.token();
+  SchedulerResult R = scheduleLoop(G, M, Opts);
+  EXPECT_FALSE(R.found());
+  EXPECT_TRUE(R.Cancelled);
+  EXPECT_TRUE(R.Attempts.empty());
+}
+
+TEST(DriverCancellation, ScheduleAtTReportsCancelledStop) {
+  // Bypass scheduleLoop's per-T token check and hit the one inside the
+  // branch-and-bound node loop: scheduleAtT must surface Cancelled.
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 99, {});
+  int T = std::max({1, recurrenceMii(G), M.resourceMii(G)});
+  while (!M.moduloFeasible(G, T))
+    ++T;
+  CancellationSource Src;
+  Src.cancel();
+  SchedulerOptions Opts;
+  Opts.Cancel = Src.token();
+  Opts.LpRoundingProbe = false; // Force the search into branch and bound.
+  ModuloSchedule Out;
+  double Seconds = 0.0;
+  std::int64_t Nodes = 0;
+  SearchStop Stop = SearchStop::None;
+  MilpStatus Status = scheduleAtT(G, M, T, Opts, Out, &Seconds, &Nodes,
+                                  &Stop);
+  EXPECT_EQ(Status, MilpStatus::Unknown);
+  EXPECT_EQ(Stop, SearchStop::Cancelled);
+  EXPECT_EQ(Nodes, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler service
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulerService, ParallelBatchMatchesSerialBitForBit) {
+  // The tentpole determinism contract: a --jobs 8 batch over a 128-loop
+  // corpus slice produces exactly the serial driver's (T, proven,
+  // verify-failed) tuple per loop.
+  MachineModel M = ppc604Like();
+  std::vector<Ddg> Corpus = corpusSlice(128);
+  SchedulerOptions SOpts = deterministicOptions();
+
+  std::vector<SchedulerResult> Serial;
+  Serial.reserve(Corpus.size());
+  for (const Ddg &G : Corpus)
+    Serial.push_back(scheduleLoop(G, M, SOpts));
+
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 8;
+  SvcOpts.Sched = SOpts;
+  SchedulerService Svc(M, SvcOpts);
+  std::vector<SchedulerResult> Parallel = Svc.scheduleAll(Corpus);
+
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Parallel[I].Schedule.T, Serial[I].Schedule.T)
+        << Corpus[I].name();
+    EXPECT_EQ(Parallel[I].ProvenRateOptimal, Serial[I].ProvenRateOptimal)
+        << Corpus[I].name();
+    EXPECT_EQ(Parallel[I].VerifyFailed, Serial[I].VerifyFailed)
+        << Corpus[I].name();
+    EXPECT_EQ(Parallel[I].TLowerBound, Serial[I].TLowerBound)
+        << Corpus[I].name();
+  }
+
+  // Re-scheduling the same corpus must be answered from the cache with
+  // results equal to the cold solves.
+  std::vector<SchedulerResult> Cached = Svc.scheduleAll(Corpus);
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Submitted, 2 * Corpus.size());
+  EXPECT_EQ(Stats.Completed, 2 * Corpus.size());
+  EXPECT_GE(Stats.CacheHits, Corpus.size()); // Second pass is all hits.
+  EXPECT_EQ(Stats.CacheHits + Stats.CacheMisses, Stats.Completed);
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Cached[I].Schedule.T, Serial[I].Schedule.T);
+    EXPECT_EQ(Cached[I].ProvenRateOptimal, Serial[I].ProvenRateOptimal);
+    EXPECT_EQ(Cached[I].VerifyFailed, Serial[I].VerifyFailed);
+  }
+}
+
+TEST(SchedulerService, SubmitResolvesSingleLoop) {
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 7, {});
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 2;
+  SchedulerService Svc(M, SvcOpts);
+  SchedulerResult R = Svc.submit(G).get();
+  SchedulerResult Ref = scheduleLoop(G, M, SvcOpts.Sched);
+  EXPECT_EQ(R.Schedule.T, Ref.Schedule.T);
+  EXPECT_EQ(R.ProvenRateOptimal, Ref.ProvenRateOptimal);
+  if (R.found()) {
+    EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+  }
+}
+
+TEST(SchedulerService, PortfolioAgreesWithSerialIlp) {
+  MachineModel M = ppc604Like();
+  std::vector<Ddg> Corpus = corpusSlice(48);
+  SchedulerOptions SOpts = deterministicOptions();
+
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 4;
+  SvcOpts.Sched = SOpts;
+  SvcOpts.Portfolio = true;
+  SchedulerService Svc(M, SvcOpts);
+  std::vector<SchedulerResult> Portfolio = Svc.scheduleAll(Corpus);
+
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    const Ddg &G = Corpus[I];
+    const SchedulerResult &P = Portfolio[I];
+    if (!P.found())
+      continue;
+    EXPECT_TRUE(verifySchedule(G, M, P.Schedule).Ok) << G.name();
+    EXPECT_GE(P.Schedule.T, P.TLowerBound) << G.name();
+    // The portfolio can never be worse than its heuristic legs.
+    ImsResult Ims = iterativeModuloSchedule(G, M);
+    if (Ims.found()) {
+      EXPECT_LE(P.Schedule.T, Ims.Schedule.T) << G.name();
+    }
+    SlackResult Slack = slackModuloSchedule(G, M);
+    if (Slack.found()) {
+      EXPECT_LE(P.Schedule.T, Slack.Schedule.T) << G.name();
+    }
+    // And a proven-rate-optimal portfolio answer equals the serial ILP's
+    // proven answer.
+    SchedulerResult Ref = scheduleLoop(G, M, SOpts);
+    if (P.ProvenRateOptimal && Ref.ProvenRateOptimal) {
+      EXPECT_EQ(P.Schedule.T, Ref.Schedule.T) << G.name();
+    }
+  }
+
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.PortfolioHeuristicWins + Stats.PortfolioIlpWins +
+                Stats.PortfolioFallbacks,
+            Stats.CacheMisses)
+      << "every cold portfolio job settles one way";
+}
+
+TEST(SchedulerService, CancelAllResolvesEverything) {
+  MachineModel M = ppc604Like();
+  std::vector<Ddg> Corpus = corpusSlice(32);
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 2;
+  SvcOpts.UseCache = false;
+  SchedulerService Svc(M, SvcOpts);
+  std::vector<std::future<SchedulerResult>> Futures;
+  for (const Ddg &G : Corpus)
+    Futures.push_back(Svc.submit(G));
+  Svc.cancelAll();
+  for (auto &F : Futures)
+    F.get(); // Every future must resolve — no deadlock, no abandonment.
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Completed, Corpus.size());
+  EXPECT_EQ(Stats.Submitted, Corpus.size());
+}
+
+TEST(SchedulerService, DeadlineCancelsHardLoop) {
+  MachineModel M = ppc604Like();
+  // A large saturated loop: the rate-optimal search needs many B&B nodes,
+  // so a microscopic deadline fires mid-solve.
+  CorpusOptions CO;
+  CO.MaxNodes = 20;
+  CO.MeanExtraNodes = 1000.0;
+  Ddg G = generateRandomLoop(M, 4242, CO);
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 1;
+  SvcOpts.DeadlinePerLoop = 1e-6;
+  SvcOpts.Sched.LpRoundingProbe = false;
+  SchedulerService Svc(M, SvcOpts);
+  SchedulerResult R = Svc.submit(G).get();
+  EXPECT_TRUE(R.Cancelled);
+  EXPECT_EQ(Svc.stats().Cancellations, 1u);
+}
+
+TEST(ServiceStats, RendersCountersAndHistogram) {
+  ServiceStats Stats;
+  Stats.Jobs = 4;
+  Stats.Submitted = 10;
+  Stats.Completed = 10;
+  Stats.CacheHits = 3;
+  Stats.CacheMisses = 7;
+  Stats.Latency.add(0.0001);
+  Stats.Latency.add(0.5);
+  std::string Table = Stats.render();
+  EXPECT_NE(Table.find("cache hits"), std::string::npos);
+  EXPECT_NE(Table.find("queue high-water"), std::string::npos);
+  EXPECT_NE(Table.find("Latency"), std::string::npos);
+  EXPECT_EQ(Stats.Latency.Count, 2u);
+  EXPECT_NEAR(Stats.Latency.MaxSeconds, 0.5, 1e-9);
+}

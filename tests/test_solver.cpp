@@ -250,6 +250,72 @@ TEST(BranchAndBound, NodeLimitReportsUnknownOrFeasible) {
   EXPECT_FALSE(R.isProven());
 }
 
+namespace {
+
+/// A MILP whose root LP is fractional, so any limit fires before a proof.
+MilpModel fractionalRootModel() {
+  MilpModel M;
+  VarId X1 = M.addBinary("x1");
+  VarId X2 = M.addBinary("x2");
+  M.addConstraint(LinExpr().add(X1, 2).add(X2, 2), CmpKind::LE, 3);
+  M.setObjective(LinExpr().add(X1, -1).add(X2, -1));
+  return M;
+}
+
+} // namespace
+
+TEST(BranchAndBound, StopReasonDistinguishesNodeLimit) {
+  MilpOptions Opts;
+  Opts.NodeLimit = 1;
+  MilpResult R = solveMilp(fractionalRootModel(), Opts);
+  EXPECT_FALSE(R.isProven());
+  EXPECT_EQ(R.StopReason, SearchStop::NodeLimit);
+}
+
+TEST(BranchAndBound, StopReasonDistinguishesTimeLimit) {
+  MilpOptions Opts;
+  Opts.TimeLimitSec = 0.0;
+  MilpResult R = solveMilp(fractionalRootModel(), Opts);
+  EXPECT_EQ(R.Status, MilpStatus::Unknown);
+  EXPECT_EQ(R.StopReason, SearchStop::TimeLimit);
+}
+
+TEST(BranchAndBound, StopReasonDistinguishesCancellation) {
+  CancellationSource Src;
+  Src.cancel();
+  MilpOptions Opts;
+  Opts.Cancel = Src.token();
+  // Cancellation must win over the also-expired limits: it is checked
+  // first, so a cancelled solve is reported as cancelled, not censored.
+  Opts.TimeLimitSec = 0.0;
+  Opts.NodeLimit = 0;
+  MilpResult R = solveMilp(fractionalRootModel(), Opts);
+  EXPECT_EQ(R.Status, MilpStatus::Unknown);
+  EXPECT_EQ(R.StopReason, SearchStop::Cancelled);
+  EXPECT_EQ(R.Nodes, 0);
+}
+
+TEST(BranchAndBound, StopReasonNoneOnCompletedProofs) {
+  MilpResult Solved = solveMilp(fractionalRootModel());
+  EXPECT_EQ(Solved.Status, MilpStatus::Optimal);
+  EXPECT_EQ(Solved.StopReason, SearchStop::None);
+
+  MilpModel Infeasible;
+  VarId X = Infeasible.addVar(0, 5, VarKind::Integer, "x");
+  Infeasible.addConstraint(LinExpr().add(X, 2), CmpKind::EQ, 1);
+  MilpResult R = solveMilp(Infeasible);
+  EXPECT_EQ(R.Status, MilpStatus::Infeasible);
+  EXPECT_EQ(R.StopReason, SearchStop::None);
+}
+
+TEST(BranchAndBound, SearchStopNames) {
+  EXPECT_STREQ(searchStopName(SearchStop::None), "none");
+  EXPECT_STREQ(searchStopName(SearchStop::TimeLimit), "time-limit");
+  EXPECT_STREQ(searchStopName(SearchStop::NodeLimit), "node-limit");
+  EXPECT_STREQ(searchStopName(SearchStop::Cancelled), "cancelled");
+  EXPECT_STREQ(searchStopName(SearchStop::LpStall), "lp-stall");
+}
+
 TEST(BranchAndBound, EmptyObjectiveFeasibility) {
   MilpModel M;
   VarId X = M.addVar(0, 3, VarKind::Integer, "x");

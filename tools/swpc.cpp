@@ -3,15 +3,26 @@
 // swpc: schedule a loop from text files on a machine description.
 //
 //   swpc --machine M.machine --loop L.loop [options]
+//   swpc --machine M.machine --batch DIR [--jobs N] [options]
 //
 // Options:
-//   --scheduler ilp|ims|slack|enum   scheduling algorithm (default ilp)
+//   --scheduler ilp|portfolio|ims|slack|enum  algorithm (default ilp)
 //   --mapping fixed|runtime          mapping discipline (default fixed)
 //   --min-buffers                    buffer-minimal schedule (ilp only)
 //   --time-limit SECONDS             per-T MILP/search limit (default 10)
+//   --deadline SECONDS               per-loop wall-clock deadline (batch)
+//   --batch DIR                      schedule every *.loop file in DIR
+//   --jobs N                         worker threads in batch mode (default
+//                                    hardware concurrency)
+//   --format text|json               summary format; json emits one object
+//                                    per loop (T, T_lb, proven, seconds,
+//                                    nodes) on stdout
 //   --iterations N                   iterations in kernel listings (4)
 //   --print WHAT[,WHAT...]           tka, kernel, usage, arcs, lifetimes,
 //                                    dot, loop, machine (default summary)
+//
+// Batch mode feeds the loops through the SchedulerService thread pool
+// (service statistics go to stderr so a json stdout stream stays clean).
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,10 +36,16 @@
 #include "swp/heuristics/Enumerative.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
+#include "swp/service/SchedulerService.h"
+#include "swp/service/ServiceStats.h"
+#include "swp/support/Format.h"
+#include "swp/support/Stopwatch.h"
 #include "swp/textio/Parser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -40,10 +57,11 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --machine FILE --loop FILE [--scheduler "
-               "ilp|ims|slack|enum]\n"
+               "usage: %s --machine FILE (--loop FILE | --batch DIR)\n"
+               "       [--scheduler ilp|portfolio|ims|slack|enum]\n"
                "       [--mapping fixed|runtime] [--min-buffers] "
                "[--time-limit S]\n"
+               "       [--deadline S] [--jobs N] [--format text|json]\n"
                "       [--iterations N] [--print tka,kernel,usage,arcs,"
                "lifetimes,dot,loop,machine]\n",
                Argv0);
@@ -75,14 +93,113 @@ bool wantArtifact(const std::string &Prints, const char *What) {
   return false;
 }
 
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += strFormat("\\u%04x", C);
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+/// One summary object per loop: the ISSUE's (T, T_lb, proven, seconds,
+/// nodes) plus the loop name and the flags a batch consumer needs to
+/// triage failures.
+std::string resultJson(const std::string &Name, const SchedulerResult &R) {
+  return strFormat("{\"loop\":\"%s\",\"T\":%d,\"T_lb\":%d,\"proven\":%s,"
+                   "\"seconds\":%.6f,\"nodes\":%lld,\"cancelled\":%s,"
+                   "\"verify_failed\":%s}",
+                   jsonEscape(Name).c_str(), R.Schedule.T, R.TLowerBound,
+                   R.ProvenRateOptimal ? "true" : "false", R.TotalSeconds,
+                   static_cast<long long>(R.TotalNodes),
+                   R.Cancelled ? "true" : "false",
+                   R.VerifyFailed ? "true" : "false");
+}
+
+std::string resultText(const std::string &Name, const SchedulerResult &R) {
+  if (!R.found())
+    return strFormat("%s: no schedule (T_lb %d)%s", Name.c_str(),
+                     R.TLowerBound, R.Cancelled ? ", cancelled" : "");
+  return strFormat("%s: II = %d (T_lb %d)%s, %.3fs, %lld nodes",
+                   Name.c_str(), R.Schedule.T, R.TLowerBound,
+                   R.ProvenRateOptimal ? ", proven rate-optimal" : "",
+                   R.TotalSeconds, static_cast<long long>(R.TotalNodes));
+}
+
+int runBatch(const std::string &BatchDir, const MachineModel &Machine,
+             const ServiceOptions &SvcOpts, const std::string &Format) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  std::vector<fs::path> Files;
+  for (fs::directory_iterator It(BatchDir, Ec), End; !Ec && It != End;
+       It.increment(Ec))
+    if (It->is_regular_file() && It->path().extension() == ".loop")
+      Files.push_back(It->path());
+  if (Ec) {
+    std::fprintf(stderr, "error: cannot scan %s: %s\n", BatchDir.c_str(),
+                 Ec.message().c_str());
+    return 1;
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no *.loop files in %s\n", BatchDir.c_str());
+    return 1;
+  }
+  std::sort(Files.begin(), Files.end());
+
+  std::vector<Ddg> Loops;
+  std::vector<std::string> Names;
+  for (const fs::path &P : Files) {
+    std::string Text, Err;
+    if (!readFile(P.string(), Text)) {
+      std::fprintf(stderr, "error: cannot read loop file %s\n",
+                   P.string().c_str());
+      return 1;
+    }
+    Ddg Loop;
+    if (!parseLoop(Text, Machine, Loop, Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", P.string().c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    Names.push_back(Loop.name().empty() ? P.stem().string() : Loop.name());
+    Loops.push_back(std::move(Loop));
+  }
+
+  SchedulerService Svc(Machine, SvcOpts);
+  Stopwatch Wall;
+  std::vector<SchedulerResult> Results = Svc.scheduleAll(Loops);
+  double WallSeconds = Wall.seconds();
+
+  bool AnyMissing = false;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const SchedulerResult &R = Results[I];
+    AnyMissing |= !R.found();
+    std::printf("%s\n", Format == "json"
+                            ? resultJson(Names[I], R).c_str()
+                            : resultText(Names[I], R).c_str());
+  }
+
+  ServiceStats Stats = Svc.stats();
+  std::fprintf(stderr, "\n%zu loops in %.3fs wall (%d worker threads)\n\n%s",
+               Results.size(), WallSeconds, Stats.Jobs,
+               Stats.render().c_str());
+  return AnyMissing ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string MachinePath, LoopPath, Scheduler = "ilp", Mapping = "fixed";
-  std::string Prints;
+  std::string MachinePath, LoopPath, BatchDir, Scheduler = "ilp";
+  std::string Mapping = "fixed", Format = "text", Prints;
   bool MinBuffers = false;
-  double TimeLimit = 10.0;
-  int Iterations = 4;
+  double TimeLimit = 10.0, Deadline = 0.0;
+  int Iterations = 4, Jobs = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -97,6 +214,10 @@ int main(int Argc, char **Argv) {
       MachinePath = Val;
     else if (Arg == "--loop" && Next(Val))
       LoopPath = Val;
+    else if (Arg == "--batch" && Next(Val))
+      BatchDir = Val;
+    else if (Arg == "--jobs" && Next(Val))
+      Jobs = std::atoi(Val.c_str());
     else if (Arg == "--scheduler" && Next(Val))
       Scheduler = Val;
     else if (Arg == "--mapping" && Next(Val))
@@ -105,6 +226,10 @@ int main(int Argc, char **Argv) {
       MinBuffers = true;
     else if (Arg == "--time-limit" && Next(Val))
       TimeLimit = std::atof(Val.c_str());
+    else if (Arg == "--deadline" && Next(Val))
+      Deadline = std::atof(Val.c_str());
+    else if (Arg == "--format" && Next(Val))
+      Format = Val;
     else if (Arg == "--iterations" && Next(Val))
       Iterations = std::atoi(Val.c_str());
     else if (Arg == "--print" && Next(Val))
@@ -112,26 +237,49 @@ int main(int Argc, char **Argv) {
     else
       return usage(Argv[0]);
   }
-  if (MachinePath.empty() || LoopPath.empty())
+  if (MachinePath.empty() || (LoopPath.empty() == BatchDir.empty()))
     return usage(Argv[0]);
   if (Mapping != "fixed" && Mapping != "runtime")
     return usage(Argv[0]);
+  if (Format != "text" && Format != "json")
+    return usage(Argv[0]);
 
-  std::string MachineText, LoopText, Err;
+  std::string MachineText, Err;
   if (!readFile(MachinePath, MachineText)) {
     std::fprintf(stderr, "error: cannot read machine file %s\n",
                  MachinePath.c_str());
     return 1;
   }
-  if (!readFile(LoopPath, LoopText)) {
-    std::fprintf(stderr, "error: cannot read loop file %s\n",
-                 LoopPath.c_str());
-    return 1;
-  }
-
   MachineModel Machine;
   if (!parseMachine(MachineText, Machine, Err)) {
     std::fprintf(stderr, "error: %s: %s\n", MachinePath.c_str(), Err.c_str());
+    return 1;
+  }
+
+  SchedulerOptions SchedOpts;
+  SchedOpts.TimeLimitPerT = TimeLimit;
+  SchedOpts.Mapping = Mapping == "fixed" ? MappingKind::Fixed
+                                         : MappingKind::RunTime;
+  SchedOpts.MinimizeBuffers = MinBuffers;
+
+  if (!BatchDir.empty()) {
+    if (Scheduler != "ilp" && Scheduler != "portfolio") {
+      std::fprintf(stderr,
+                   "error: --batch supports --scheduler ilp|portfolio\n");
+      return 2;
+    }
+    ServiceOptions SvcOpts;
+    SvcOpts.Jobs = Jobs;
+    SvcOpts.Sched = SchedOpts;
+    SvcOpts.Portfolio = Scheduler == "portfolio";
+    SvcOpts.DeadlinePerLoop = Deadline;
+    return runBatch(BatchDir, Machine, SvcOpts, Format);
+  }
+
+  std::string LoopText;
+  if (!readFile(LoopPath, LoopText)) {
+    std::fprintf(stderr, "error: cannot read loop file %s\n",
+                 LoopPath.c_str());
     return 1;
   }
   Ddg Loop;
@@ -150,15 +298,19 @@ int main(int Argc, char **Argv) {
   ModuloSchedule Schedule;
   int TLb = 0;
   bool Proven = false;
-  if (Scheduler == "ilp") {
-    SchedulerOptions Opts;
-    Opts.TimeLimitPerT = TimeLimit;
-    Opts.Mapping = Mapping == "fixed" ? MappingKind::Fixed
-                                      : MappingKind::RunTime;
-    Opts.MinimizeBuffers = MinBuffers;
-    SchedulerResult R = scheduleLoop(Loop, Machine, Opts);
+  double Seconds = 0.0;
+  std::int64_t Nodes = 0;
+  bool Cancelled = false, VerifyFailed = false;
+  if (Scheduler == "ilp" || Scheduler == "portfolio") {
+    SchedulerResult R = Scheduler == "ilp"
+                            ? scheduleLoop(Loop, Machine, SchedOpts)
+                            : portfolioSchedule(Loop, Machine, SchedOpts);
     TLb = R.TLowerBound;
     Proven = R.ProvenRateOptimal;
+    Seconds = R.TotalSeconds;
+    Nodes = R.TotalNodes;
+    Cancelled = R.Cancelled;
+    VerifyFailed = R.VerifyFailed;
     if (R.found())
       Schedule = std::move(R.Schedule);
   } else if (Scheduler == "ims") {
@@ -181,6 +333,22 @@ int main(int Argc, char **Argv) {
       Schedule = std::move(R.Schedule);
   } else {
     return usage(Argv[0]);
+  }
+
+  if (Format == "json") {
+    SchedulerResult Summary;
+    Summary.Schedule = Schedule;
+    Summary.TLowerBound = TLb;
+    Summary.ProvenRateOptimal = Proven;
+    Summary.TotalSeconds = Seconds;
+    Summary.TotalNodes = Nodes;
+    Summary.Cancelled = Cancelled;
+    Summary.VerifyFailed = VerifyFailed;
+    std::printf("%s\n", resultJson(Loop.name(), Summary).c_str());
+    if (Schedule.T == 0)
+      return 1;
+    VerifyResult V = verifySchedule(Loop, Machine, Schedule);
+    return V.Ok ? 0 : 1;
   }
 
   if (Schedule.T == 0) {
