@@ -126,6 +126,11 @@ int main() {
     ServiceOptions SvcOpts;
     SvcOpts.Jobs = Jobs;
     SvcOpts.Sched = SOpts;
+    // The serial baseline re-solves every loop, so the speedup comparison
+    // must too: with the cache on, duplicate corpus fingerprints become
+    // hits and the reported speedup would conflate memoization with
+    // thread-pool parallelism.
+    SvcOpts.UseCache = false;
     SchedulerService Svc(Machine, SvcOpts);
     Stopwatch ParWall;
     std::vector<SchedulerResult> Par = Svc.scheduleAll(Corpus);

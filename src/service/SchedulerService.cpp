@@ -163,16 +163,21 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
     } else {
       R = scheduleLoop(G, Machine, SOpts);
     }
-    // A cancelled solve is not the job's true answer; never cache it.
-    if (Opts.UseCache && !R.Cancelled)
-      Cache.insert(Key, R);
   }
 
-  bool Censored = false;
-  for (const TAttempt &A : R.Attempts)
+  bool Censored = false, WallClockCensored = R.Cancelled;
+  for (const TAttempt &A : R.Attempts) {
     Censored = Censored || A.StopReason == SearchStop::TimeLimit ||
                A.StopReason == SearchStop::NodeLimit ||
                A.StopReason == SearchStop::LpStall;
+    WallClockCensored =
+        WallClockCensored || A.StopReason == SearchStop::TimeLimit;
+  }
+  // Memoize only results that a cold re-solve would reproduce: cancelled
+  // or time-limit-censored answers depend on machine load at solve time.
+  // Node-limit and LP-stall censoring is deterministic and caches fine.
+  if (!Hit && Opts.UseCache && !WallClockCensored)
+    Cache.insert(Key, R);
 
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);

@@ -32,6 +32,11 @@ public:
         StopEarly = true;
     }
     dfs();
+    // An LP stall censors only the subtree beneath the stalled node; the
+    // DFS keeps exploring siblings.  Report it as the stop reason only
+    // when no hard limit also fired.
+    if (Stop == SearchStop::None && LpStalled)
+      Stop = SearchStop::LpStall;
     MilpResult Res;
     Res.Nodes = Nodes;
     Res.Seconds = Watch.seconds();
@@ -118,9 +123,10 @@ private:
     if (Lp.Status == LpStatus::Infeasible)
       return;
     if (Lp.Status != LpStatus::Optimal) {
-      // Iteration trouble or unboundedness: nothing is proven below here.
-      if (Stop == SearchStop::None)
-        Stop = SearchStop::LpStall;
+      // Iteration trouble or unboundedness: nothing is proven below this
+      // node, but sibling subtrees are unaffected — record the stall
+      // without stopping the search.
+      LpStalled = true;
       return;
     }
     if (!Incumbent.empty() && Lp.Objective >= IncumbentObj - 1e-9)
@@ -161,6 +167,7 @@ private:
   double IncumbentObj = 0.0;
   std::int64_t Nodes = 0;
   SearchStop Stop = SearchStop::None;
+  bool LpStalled = false;
   bool StopEarly = false;
   Stopwatch Watch;
 };

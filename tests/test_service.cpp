@@ -34,13 +34,16 @@ using namespace swp;
 
 namespace {
 
-/// Deterministic censoring: the node limit fires long before the generous
-/// time limit, so serial and parallel runs censor identically regardless
-/// of machine load (wall-clock censoring would be scheduling-dependent).
-/// Kept small — every node is an LP solve — so censored loops stay cheap.
+/// Deterministic censoring: only the node limit may fire, so serial and
+/// parallel runs censor identically regardless of machine load
+/// (wall-clock censoring would be scheduling-dependent, and time-censored
+/// results are deliberately not cached).  The time limit must stay
+/// unreachable even under TSan's slowdown with all workers sharing one
+/// core.  The node limit is kept small — every node is an LP solve — so
+/// censored loops stay cheap.
 SchedulerOptions deterministicOptions() {
   SchedulerOptions Opts;
-  Opts.TimeLimitPerT = 60.0;
+  Opts.TimeLimitPerT = 1e9;
   Opts.NodeLimitPerT = 250;
   Opts.MaxTSlack = 4;
   return Opts;

@@ -10,7 +10,7 @@
 //   --mapping fixed|runtime          mapping discipline (default fixed)
 //   --min-buffers                    buffer-minimal schedule (ilp only)
 //   --time-limit SECONDS             per-T MILP/search limit (default 10)
-//   --deadline SECONDS               per-loop wall-clock deadline (batch)
+//   --deadline SECONDS               per-loop wall-clock deadline
 //   --batch DIR                      schedule every *.loop file in DIR
 //   --jobs N                         worker threads in batch mode (default
 //                                    hardware concurrency)
@@ -286,6 +286,14 @@ int main(int Argc, char **Argv) {
   if (!parseLoop(LoopText, Machine, Loop, Err)) {
     std::fprintf(stderr, "error: %s: %s\n", LoopPath.c_str(), Err.c_str());
     return 1;
+  }
+
+  // Batch mode hands the deadline to the service per loop; here the one
+  // loop gets it directly via the scheduler's cancellation token.
+  CancellationSource DeadlineSource;
+  if (Deadline > 0) {
+    DeadlineSource.setDeadlineAfter(Deadline);
+    SchedOpts.Cancel = DeadlineSource.token();
   }
 
   if (wantArtifact(Prints, "machine"))
