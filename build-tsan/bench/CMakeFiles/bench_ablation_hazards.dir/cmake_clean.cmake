@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hazards.dir/bench_ablation_hazards.cpp.o"
+  "CMakeFiles/bench_ablation_hazards.dir/bench_ablation_hazards.cpp.o.d"
+  "bench_ablation_hazards"
+  "bench_ablation_hazards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hazards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_buffers.dir/bench_ext_buffers.cpp.o"
+  "CMakeFiles/bench_ext_buffers.dir/bench_ext_buffers.cpp.o.d"
+  "bench_ext_buffers"
+  "bench_ext_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

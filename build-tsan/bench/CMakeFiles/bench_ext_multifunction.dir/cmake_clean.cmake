@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multifunction.dir/bench_ext_multifunction.cpp.o"
+  "CMakeFiles/bench_ext_multifunction.dir/bench_ext_multifunction.cpp.o.d"
+  "bench_ext_multifunction"
+  "bench_ext_multifunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multifunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_coloring.dir/bench_fig4_coloring.cpp.o"
+  "CMakeFiles/bench_fig4_coloring.dir/bench_fig4_coloring.cpp.o.d"
+  "bench_fig4_coloring"
+  "bench_fig4_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

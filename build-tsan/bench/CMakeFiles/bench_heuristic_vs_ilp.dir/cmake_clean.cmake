@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristic_vs_ilp.dir/bench_heuristic_vs_ilp.cpp.o"
+  "CMakeFiles/bench_heuristic_vs_ilp.dir/bench_heuristic_vs_ilp.cpp.o.d"
+  "bench_heuristic_vs_ilp"
+  "bench_heuristic_vs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristic_vs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_heuristic_vs_ilp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_schedule_a.dir/bench_table1_schedule_a.cpp.o"
+  "CMakeFiles/bench_table1_schedule_a.dir/bench_table1_schedule_a.cpp.o.d"
+  "bench_table1_schedule_a"
+  "bench_table1_schedule_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_schedule_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

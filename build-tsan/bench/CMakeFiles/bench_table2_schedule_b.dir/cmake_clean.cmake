@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_schedule_b.dir/bench_table2_schedule_b.cpp.o"
+  "CMakeFiles/bench_table2_schedule_b.dir/bench_table2_schedule_b.cpp.o.d"
+  "bench_table2_schedule_b"
+  "bench_table2_schedule_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_schedule_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

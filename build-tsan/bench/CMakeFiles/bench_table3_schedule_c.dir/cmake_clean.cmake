@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_schedule_c.dir/bench_table3_schedule_c.cpp.o"
+  "CMakeFiles/bench_table3_schedule_c.dir/bench_table3_schedule_c.cpp.o.d"
+  "bench_table3_schedule_c"
+  "bench_table3_schedule_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_schedule_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

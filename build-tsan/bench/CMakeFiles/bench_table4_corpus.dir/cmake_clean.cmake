@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_corpus.dir/bench_table4_corpus.cpp.o"
+  "CMakeFiles/bench_table4_corpus.dir/bench_table4_corpus.cpp.o.d"
+  "bench_table4_corpus"
+  "bench_table4_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivating_example.dir/motivating_example.cpp.o"
+  "CMakeFiles/motivating_example.dir/motivating_example.cpp.o.d"
+  "motivating_example"
+  "motivating_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivating_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppc604_kernels.dir/ppc604_kernels.cpp.o"
+  "CMakeFiles/ppc604_kernels.dir/ppc604_kernels.cpp.o.d"
+  "ppc604_kernels"
+  "ppc604_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppc604_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("solver")
+subdirs("ddg")
+subdirs("machine")
+subdirs("core")
+subdirs("heuristics")
+subdirs("service")
+subdirs("workload")
+subdirs("textio")
+subdirs("sim")

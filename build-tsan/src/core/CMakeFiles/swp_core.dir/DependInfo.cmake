@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CircularArcs.cpp" "src/core/CMakeFiles/swp_core.dir/CircularArcs.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/CircularArcs.cpp.o.d"
+  "/root/repo/src/core/Driver.cpp" "src/core/CMakeFiles/swp_core.dir/Driver.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/Driver.cpp.o.d"
+  "/root/repo/src/core/Formulation.cpp" "src/core/CMakeFiles/swp_core.dir/Formulation.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/Formulation.cpp.o.d"
+  "/root/repo/src/core/KernelExpander.cpp" "src/core/CMakeFiles/swp_core.dir/KernelExpander.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/KernelExpander.cpp.o.d"
+  "/root/repo/src/core/Registers.cpp" "src/core/CMakeFiles/swp_core.dir/Registers.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/Registers.cpp.o.d"
+  "/root/repo/src/core/Schedule.cpp" "src/core/CMakeFiles/swp_core.dir/Schedule.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/Schedule.cpp.o.d"
+  "/root/repo/src/core/Verifier.cpp" "src/core/CMakeFiles/swp_core.dir/Verifier.cpp.o" "gcc" "src/core/CMakeFiles/swp_core.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solver/CMakeFiles/swp_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddg/CMakeFiles/swp_ddg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

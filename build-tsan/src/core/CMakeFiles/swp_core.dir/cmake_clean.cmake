@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_core.dir/CircularArcs.cpp.o"
+  "CMakeFiles/swp_core.dir/CircularArcs.cpp.o.d"
+  "CMakeFiles/swp_core.dir/Driver.cpp.o"
+  "CMakeFiles/swp_core.dir/Driver.cpp.o.d"
+  "CMakeFiles/swp_core.dir/Formulation.cpp.o"
+  "CMakeFiles/swp_core.dir/Formulation.cpp.o.d"
+  "CMakeFiles/swp_core.dir/KernelExpander.cpp.o"
+  "CMakeFiles/swp_core.dir/KernelExpander.cpp.o.d"
+  "CMakeFiles/swp_core.dir/Registers.cpp.o"
+  "CMakeFiles/swp_core.dir/Registers.cpp.o.d"
+  "CMakeFiles/swp_core.dir/Schedule.cpp.o"
+  "CMakeFiles/swp_core.dir/Schedule.cpp.o.d"
+  "CMakeFiles/swp_core.dir/Verifier.cpp.o"
+  "CMakeFiles/swp_core.dir/Verifier.cpp.o.d"
+  "libswp_core.a"
+  "libswp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddg/Analysis.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/Analysis.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/Analysis.cpp.o.d"
+  "/root/repo/src/ddg/Ddg.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/Ddg.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/Ddg.cpp.o.d"
+  "/root/repo/src/ddg/Dot.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/Dot.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/Dot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_ddg.dir/Analysis.cpp.o"
+  "CMakeFiles/swp_ddg.dir/Analysis.cpp.o.d"
+  "CMakeFiles/swp_ddg.dir/Ddg.cpp.o"
+  "CMakeFiles/swp_ddg.dir/Ddg.cpp.o.d"
+  "CMakeFiles/swp_ddg.dir/Dot.cpp.o"
+  "CMakeFiles/swp_ddg.dir/Dot.cpp.o.d"
+  "libswp_ddg.a"
+  "libswp_ddg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

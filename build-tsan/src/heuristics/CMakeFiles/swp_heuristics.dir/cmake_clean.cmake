@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_heuristics.dir/Enumerative.cpp.o"
+  "CMakeFiles/swp_heuristics.dir/Enumerative.cpp.o.d"
+  "CMakeFiles/swp_heuristics.dir/IterativeModulo.cpp.o"
+  "CMakeFiles/swp_heuristics.dir/IterativeModulo.cpp.o.d"
+  "CMakeFiles/swp_heuristics.dir/ModuloReservationTable.cpp.o"
+  "CMakeFiles/swp_heuristics.dir/ModuloReservationTable.cpp.o.d"
+  "CMakeFiles/swp_heuristics.dir/SlackModulo.cpp.o"
+  "CMakeFiles/swp_heuristics.dir/SlackModulo.cpp.o.d"
+  "libswp_heuristics.a"
+  "libswp_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

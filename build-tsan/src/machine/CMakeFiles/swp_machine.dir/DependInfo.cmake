@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/Catalog.cpp" "src/machine/CMakeFiles/swp_machine.dir/Catalog.cpp.o" "gcc" "src/machine/CMakeFiles/swp_machine.dir/Catalog.cpp.o.d"
+  "/root/repo/src/machine/MachineModel.cpp" "src/machine/CMakeFiles/swp_machine.dir/MachineModel.cpp.o" "gcc" "src/machine/CMakeFiles/swp_machine.dir/MachineModel.cpp.o.d"
+  "/root/repo/src/machine/ReservationTable.cpp" "src/machine/CMakeFiles/swp_machine.dir/ReservationTable.cpp.o" "gcc" "src/machine/CMakeFiles/swp_machine.dir/ReservationTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddg/CMakeFiles/swp_ddg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_machine.dir/Catalog.cpp.o"
+  "CMakeFiles/swp_machine.dir/Catalog.cpp.o.d"
+  "CMakeFiles/swp_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/swp_machine.dir/MachineModel.cpp.o.d"
+  "CMakeFiles/swp_machine.dir/ReservationTable.cpp.o"
+  "CMakeFiles/swp_machine.dir/ReservationTable.cpp.o.d"
+  "libswp_machine.a"
+  "libswp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

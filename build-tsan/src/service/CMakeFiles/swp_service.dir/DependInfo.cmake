@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/Fingerprint.cpp" "src/service/CMakeFiles/swp_service.dir/Fingerprint.cpp.o" "gcc" "src/service/CMakeFiles/swp_service.dir/Fingerprint.cpp.o.d"
+  "/root/repo/src/service/ResultCache.cpp" "src/service/CMakeFiles/swp_service.dir/ResultCache.cpp.o" "gcc" "src/service/CMakeFiles/swp_service.dir/ResultCache.cpp.o.d"
+  "/root/repo/src/service/SchedulerService.cpp" "src/service/CMakeFiles/swp_service.dir/SchedulerService.cpp.o" "gcc" "src/service/CMakeFiles/swp_service.dir/SchedulerService.cpp.o.d"
+  "/root/repo/src/service/ServiceStats.cpp" "src/service/CMakeFiles/swp_service.dir/ServiceStats.cpp.o" "gcc" "src/service/CMakeFiles/swp_service.dir/ServiceStats.cpp.o.d"
+  "/root/repo/src/service/ThreadPool.cpp" "src/service/CMakeFiles/swp_service.dir/ThreadPool.cpp.o" "gcc" "src/service/CMakeFiles/swp_service.dir/ThreadPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/swp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/heuristics/CMakeFiles/swp_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddg/CMakeFiles/swp_ddg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solver/CMakeFiles/swp_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_service.dir/Fingerprint.cpp.o"
+  "CMakeFiles/swp_service.dir/Fingerprint.cpp.o.d"
+  "CMakeFiles/swp_service.dir/ResultCache.cpp.o"
+  "CMakeFiles/swp_service.dir/ResultCache.cpp.o.d"
+  "CMakeFiles/swp_service.dir/SchedulerService.cpp.o"
+  "CMakeFiles/swp_service.dir/SchedulerService.cpp.o.d"
+  "CMakeFiles/swp_service.dir/ServiceStats.cpp.o"
+  "CMakeFiles/swp_service.dir/ServiceStats.cpp.o.d"
+  "CMakeFiles/swp_service.dir/ThreadPool.cpp.o"
+  "CMakeFiles/swp_service.dir/ThreadPool.cpp.o.d"
+  "libswp_service.a"
+  "libswp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/DynamicSimulator.cpp" "src/sim/CMakeFiles/swp_sim.dir/DynamicSimulator.cpp.o" "gcc" "src/sim/CMakeFiles/swp_sim.dir/DynamicSimulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddg/CMakeFiles/swp_ddg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/swp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solver/CMakeFiles/swp_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

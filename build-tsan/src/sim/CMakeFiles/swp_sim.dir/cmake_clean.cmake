@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_sim.dir/DynamicSimulator.cpp.o"
+  "CMakeFiles/swp_sim.dir/DynamicSimulator.cpp.o.d"
+  "libswp_sim.a"
+  "libswp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

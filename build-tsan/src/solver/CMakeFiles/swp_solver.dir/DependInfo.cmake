@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/BranchAndBound.cpp" "src/solver/CMakeFiles/swp_solver.dir/BranchAndBound.cpp.o" "gcc" "src/solver/CMakeFiles/swp_solver.dir/BranchAndBound.cpp.o.d"
+  "/root/repo/src/solver/Model.cpp" "src/solver/CMakeFiles/swp_solver.dir/Model.cpp.o" "gcc" "src/solver/CMakeFiles/swp_solver.dir/Model.cpp.o.d"
+  "/root/repo/src/solver/Simplex.cpp" "src/solver/CMakeFiles/swp_solver.dir/Simplex.cpp.o" "gcc" "src/solver/CMakeFiles/swp_solver.dir/Simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

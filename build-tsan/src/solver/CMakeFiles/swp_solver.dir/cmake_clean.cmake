@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_solver.dir/BranchAndBound.cpp.o"
+  "CMakeFiles/swp_solver.dir/BranchAndBound.cpp.o.d"
+  "CMakeFiles/swp_solver.dir/Model.cpp.o"
+  "CMakeFiles/swp_solver.dir/Model.cpp.o.d"
+  "CMakeFiles/swp_solver.dir/Simplex.cpp.o"
+  "CMakeFiles/swp_solver.dir/Simplex.cpp.o.d"
+  "libswp_solver.a"
+  "libswp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

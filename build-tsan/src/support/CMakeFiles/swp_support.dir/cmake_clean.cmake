@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_support.dir/Rational.cpp.o"
+  "CMakeFiles/swp_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/swp_support.dir/TextTable.cpp.o"
+  "CMakeFiles/swp_support.dir/TextTable.cpp.o.d"
+  "libswp_support.a"
+  "libswp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

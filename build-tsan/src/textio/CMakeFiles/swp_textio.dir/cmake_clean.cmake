@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_textio.dir/Parser.cpp.o"
+  "CMakeFiles/swp_textio.dir/Parser.cpp.o.d"
+  "libswp_textio.a"
+  "libswp_textio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_textio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswp_textio.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/swp_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/swp_workload.dir/Kernels.cpp.o"
+  "CMakeFiles/swp_workload.dir/Kernels.cpp.o.d"
+  "libswp_workload.a"
+  "libswp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

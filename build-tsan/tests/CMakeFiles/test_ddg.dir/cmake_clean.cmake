@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddg.dir/test_ddg.cpp.o"
+  "CMakeFiles/test_ddg.dir/test_ddg.cpp.o.d"
+  "test_ddg"
+  "test_ddg.pdb"
+  "test_ddg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

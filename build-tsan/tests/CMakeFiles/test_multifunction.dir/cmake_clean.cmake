@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multifunction.dir/test_multifunction.cpp.o"
+  "CMakeFiles/test_multifunction.dir/test_multifunction.cpp.o.d"
+  "test_multifunction"
+  "test_multifunction.pdb"
+  "test_multifunction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multifunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

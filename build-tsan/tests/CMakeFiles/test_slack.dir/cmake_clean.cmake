@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slack.dir/test_slack.cpp.o"
+  "CMakeFiles/test_slack.dir/test_slack.cpp.o.d"
+  "test_slack"
+  "test_slack.pdb"
+  "test_slack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textio.dir/test_textio.cpp.o"
+  "CMakeFiles/test_textio.dir/test_textio.cpp.o.d"
+  "test_textio"
+  "test_textio.pdb"
+  "test_textio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

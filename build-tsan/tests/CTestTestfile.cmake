@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_support[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_solver[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ddg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_machine[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_formulation[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_verifier[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_heuristics[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_registers[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_multifunction[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_slack[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_textio[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_service[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swpc.dir/swpc.cpp.o"
+  "CMakeFiles/swpc.dir/swpc.cpp.o.d"
+  "swpc"
+  "swpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

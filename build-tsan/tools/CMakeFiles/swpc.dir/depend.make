@@ -1,0 +1,2 @@
+# Empty dependencies file for swpc.
+# This may be replaced when dependencies are built.
