@@ -23,6 +23,7 @@
 #include "swp/core/Formulation.h"
 #include "swp/core/Schedule.h"
 #include "swp/solver/BranchAndBound.h"
+#include "swp/support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -73,6 +74,18 @@ struct TAttempt {
   std::int64_t Nodes = 0;
 };
 
+/// Which rung of the service's fallback ladder produced the schedule.
+/// The ladder degrades ILP -> slack-modulo -> iterative-modulo; None means
+/// the primary (ILP or portfolio) path answered.
+enum class FallbackRung {
+  None,
+  SlackModulo,
+  IterativeModulo,
+};
+
+/// Short stable name of \p R ("none", "slack-modulo", ...).
+const char *fallbackRungName(FallbackRung R);
+
 /// Result of the rate-optimal search.
 struct SchedulerResult {
   /// The schedule (T == 0 when none was found within the window/limits).
@@ -89,11 +102,28 @@ struct SchedulerResult {
   /// token (deadline or explicit cancel); the result covers only the T
   /// attempted before the cut.
   bool Cancelled = false;
+  /// Typed library error (ok() when the search ran normally).  A non-ok
+  /// status can coexist with a found schedule when a fallback rung
+  /// answered after the primary path failed.
+  Status Error;
+  /// Which fallback rung produced Schedule (None on the primary path);
+  /// set by the scheduling service's fallback ladder.
+  FallbackRung Fallback = FallbackRung::None;
+  /// True when fault-injection sites fired during this solve; such results
+  /// never claim censored-proof optimality and are never cached.
+  bool FaultsSeen = false;
+  /// Watchdog retries the service spent on this job (transient faults).
+  int Retries = 0;
   double TotalSeconds = 0.0;
   std::int64_t TotalNodes = 0;
   std::vector<TAttempt> Attempts;
 
   bool found() const { return Schedule.T > 0; }
+
+  /// Renders the per-attempt SearchStop chain ("T=3 infeasible; T=4
+  /// lp-stall; ...") — the evidence trail behind an unfound/censored
+  /// result.
+  std::string stopChain() const;
 };
 
 /// Runs the rate-optimal search for \p G on \p Machine.
@@ -108,7 +138,8 @@ MilpStatus scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
                        const SchedulerOptions &Opts, ModuloSchedule &Out,
                        double *SecondsOut = nullptr,
                        std::int64_t *NodesOut = nullptr,
-                       SearchStop *StopOut = nullptr);
+                       SearchStop *StopOut = nullptr,
+                       Status *ErrorOut = nullptr);
 
 } // namespace swp
 

@@ -16,6 +16,7 @@
 
 #include "swp/core/Schedule.h"
 #include "swp/ddg/Ddg.h"
+#include "swp/support/Cancellation.h"
 
 #include <string>
 #include <vector>
@@ -37,11 +38,17 @@ struct ExpandedSchedule {
   int KernelStart = 0;
   /// Kernel length (== T).
   int KernelLength = 0;
+  /// True when a cancellation token fired mid-expansion; Instances then
+  /// covers only the iterations emitted before the cut.
+  bool Truncated = false;
 };
 
-/// Expands \p Iterations iterations of \p S.
+/// Expands \p Iterations iterations of \p S.  \p Cancel is polled once per
+/// iteration; a fired token returns a Truncated partial expansion (a
+/// default token never fires).
 ExpandedSchedule expandSchedule(const Ddg &G, const ModuloSchedule &S,
-                                int Iterations);
+                                int Iterations,
+                                const CancellationToken &Cancel = {});
 
 /// Renders the Table 1/2 artifact: rows are cycles, one column per
 /// iteration, cells name the instruction issued at that cycle; prolog /

@@ -23,6 +23,12 @@
 /// under the service-wide source, checked in the driver's per-T loop and
 /// the branch-and-bound node loop; per-loop deadlines use the same token.
 ///
+/// The service guarantees an answer per job (DESIGN.md Section 9): a
+/// watchdog re-runs solves killed by transient faults (bounded exponential
+/// backoff), and a fallback ladder degrades ILP -> slack-modulo ->
+/// iterative-modulo before reporting an unfound result — which then
+/// carries the full per-attempt SearchStop chain and a typed Status.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWP_SERVICE_SCHEDULERSERVICE_H
@@ -77,6 +83,16 @@ struct ServiceOptions {
   /// Per-loop wall-clock deadline in seconds (0 = none); expiring cancels
   /// the solve cooperatively.
   double DeadlinePerLoop = 0.0;
+  /// Watchdog: maximum re-runs of a job whose solve died of a transient
+  /// fault (injected error, spurious cancellation).  Retries back off
+  /// exponentially from RetryBackoff.
+  int WatchdogRetries = 2;
+  /// First watchdog backoff in seconds (doubles per retry).
+  double RetryBackoff = 0.001;
+  /// Degrade to the heuristic ladder (slack-modulo, then iterative-modulo)
+  /// when the primary path produces no schedule for a reason other than a
+  /// clean infeasibility proof of the whole window.
+  bool FallbackLadder = true;
 };
 
 /// Schedules many loops concurrently on one machine model.

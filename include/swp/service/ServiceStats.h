@@ -64,6 +64,19 @@ struct ServiceStats {
   /// ... and loops that fell back to the heuristic incumbent after the ILP
   /// leg was cancelled or exhausted its window without a schedule.
   std::uint64_t PortfolioFallbacks = 0;
+  /// Failure-domain counters: loops whose solve saw at least one injected
+  /// fault fire ...
+  std::uint64_t FaultedJobs = 0;
+  /// ... loops that finished with a typed (non-ok) Status attached ...
+  std::uint64_t TypedErrors = 0;
+  /// ... watchdog re-runs after a transient fault (sum over all jobs) ...
+  std::uint64_t WatchdogRetries = 0;
+  /// ... jobs the fallback ladder rescued with slack-modulo scheduling ...
+  std::uint64_t FallbackSlackWins = 0;
+  /// ... or with iterative-modulo scheduling ...
+  std::uint64_t FallbackImsWins = 0;
+  /// ... and jobs a dispatch fault bounced back to the queue.
+  std::uint64_t DispatchFaults = 0;
   LatencyHistogram Latency;
 
   /// Renders counters and the latency histogram as aligned text tables.

@@ -11,12 +11,20 @@
 /// service's observability stats.  The destructor drains the queue: jobs
 /// already enqueued still run, then workers exit and are joined.
 ///
+/// Dispatch is fault-tolerant: the FaultSite::Dispatch injection point
+/// simulates a worker dying as it picks up a job, in which case the job is
+/// requeued for another worker.  A job is never dropped — dropping would
+/// break its future — and requeues are bounded (after MaxRequeues the job
+/// runs regardless), so even a 100% dispatch-fault rate cannot live-lock
+/// the pool.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWP_SERVICE_THREADPOOL_H
 #define SWP_SERVICE_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -59,14 +67,27 @@ public:
   /// Deepest the queue has ever been (jobs waiting, excluding running).
   int queueHighWater() const;
 
+  /// Times a dispatch fault sent a job back to the queue.
+  std::uint64_t dispatchFaults() const;
+
+  /// Requeue bound per job under dispatch faults.
+  static constexpr int MaxRequeues = 8;
+
 private:
+  /// A queued job plus how many times dispatch faults have requeued it.
+  struct QueuedJob {
+    std::function<void()> Fn;
+    int Requeues = 0;
+  };
+
   void workerLoop();
 
   mutable std::mutex Mutex;
   std::condition_variable Available;
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueuedJob> Queue;
   std::vector<std::thread> Workers;
   int HighWater = 0;
+  std::uint64_t DispatchFaults = 0;
   bool Stopping = false;
 };
 

@@ -20,6 +20,7 @@
 
 #include "swp/solver/Model.h"
 #include "swp/support/Cancellation.h"
+#include "swp/support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -37,6 +38,9 @@ enum class MilpStatus {
   Feasible,
   /// A limit was hit before any incumbent was found; nothing is proven.
   Unknown,
+  /// The solve could not run at all (malformed model, injected or real
+  /// resource failure); MilpResult::Error carries the typed Status.
+  Error,
 };
 
 /// Why a search stopped before completing its proof.  Complements
@@ -55,10 +59,17 @@ enum class SearchStop {
   /// The LP relaxation failed to converge at some node, censoring every
   /// proof beneath it.
   LpStall,
+  /// A fault (injected or real — node-expansion death, allocation failure,
+  /// spurious LP answer) censored the search; nothing beneath it is
+  /// trusted.
+  Fault,
 };
 
 /// Short lowercase name of \p S ("time-limit", "cancelled", ...).
 const char *searchStopName(SearchStop S);
+
+/// Short lowercase name of \p S ("optimal", "infeasible", ...).
+const char *milpStatusName(MilpStatus S);
 
 /// Knobs for a branch-and-bound run.
 struct MilpOptions {
@@ -84,6 +95,8 @@ struct MilpResult {
   MilpStatus Status = MilpStatus::Unknown;
   /// What cut the search short (SearchStop::None when nothing did).
   SearchStop StopReason = SearchStop::None;
+  /// Typed error detail when Status == MilpStatus::Error.
+  swp::Status Error;
   double Objective = 0.0;
   /// Incumbent assignment (empty when none was found).
   std::vector<double> X;

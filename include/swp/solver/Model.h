@@ -148,10 +148,18 @@ public:
   /// \p Tol (integrality of integer variables included).
   bool isFeasible(const std::vector<double> &X, double Tol = 1e-6) const;
 
+  /// False when construction recorded a structural error (empty variable
+  /// domain, non-finite bound or coefficient); the solver refuses invalid
+  /// models with a typed error instead of computing on garbage.
+  bool valid() const { return BuildError.empty(); }
+  /// First construction error ("" when valid()).
+  const std::string &buildError() const { return BuildError; }
+
 private:
   std::vector<ModelVar> Vars;
   std::vector<ModelConstraint> Constraints;
   LinExpr Objective;
+  std::string BuildError;
 };
 
 } // namespace swp

@@ -20,13 +20,15 @@
 #define SWP_SOLVER_SIMPLEX_H
 
 #include "swp/solver/Model.h"
+#include "swp/support/Cancellation.h"
 
 #include <vector>
 
 namespace swp {
 
-/// Outcome of an LP solve.
-enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
+/// Outcome of an LP solve.  Cancelled means the caller's token fired
+/// mid-pivot; like IterLimit it proves nothing about feasibility.
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit, Cancelled };
 
 /// LP solution: status, objective value, and a full variable assignment.
 struct LpResult {
@@ -39,11 +41,14 @@ struct LpResult {
 /// Solves the LP relaxation of \p M with variable bounds \p Lb / \p Ub
 /// (same length as M.numVars(); entries may tighten or fix the model's
 /// bounds).  Lower bounds must be finite; upper bounds may be +infinity.
+/// \p Cancel is polled inside the pivot loop; a fired token returns
+/// LpStatus::Cancelled (a default token never fires).
 LpResult solveLp(const MilpModel &M, const std::vector<double> &Lb,
-                 const std::vector<double> &Ub);
+                 const std::vector<double> &Ub,
+                 const CancellationToken &Cancel = {});
 
 /// Convenience overload using the model's own bounds.
-LpResult solveLp(const MilpModel &M);
+LpResult solveLp(const MilpModel &M, const CancellationToken &Cancel = {});
 
 } // namespace swp
 

@@ -1,0 +1,134 @@
+//===- swp/support/Status.h - Typed error propagation -----------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured, caller-visible errors for the library's failure domain.
+/// Library code does not throw; instead fallible paths return a Status (or
+/// an Expected<T> bundling a value with one) carrying a machine-readable
+/// code, a human-readable message, and solve context: which phase failed,
+/// at which candidate T, on which instance (fingerprint).  The scheduling
+/// service keys its watchdog/fallback-ladder decisions off the code —
+/// transient faults are retried, permanent ones degrade to the heuristic
+/// rungs — so codes distinguish "retry me" from "give up".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_STATUS_H
+#define SWP_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace swp {
+
+/// Machine-readable classification of a library failure.
+enum class StatusCode {
+  Ok,
+  /// Malformed caller input (bad DDG, bad bounds, bad text) — permanent.
+  InvalidInput,
+  /// A text parse failed; message carries the line number — permanent.
+  ParseError,
+  /// The LP relaxation failed to converge (iteration limit / numerical
+  /// trouble) — deterministic for a given instance, not retried.
+  SolverStall,
+  /// An allocation or resource acquisition failed — transient, retried.
+  ResourceExhausted,
+  /// A cancellation token fired mid-phase — transient iff injected or
+  /// load-induced (the watchdog checks the real deadline before retrying).
+  Cancelled,
+  /// An invariant the library promised was violated (verifier rejection,
+  /// solver disagreement) — a bug, reported loudly, never retried.
+  Internal,
+  /// A FaultInjector site fired — transient by construction.
+  FaultInjected,
+};
+
+/// Short stable name of \p C ("ok", "invalid-input", ...).
+const char *statusCodeName(StatusCode C);
+
+/// An error (or success) with context.  Cheap to move, comparable against
+/// ok() in hot paths via a single enum load.
+class Status {
+public:
+  /// Success.
+  Status() = default;
+
+  Status(StatusCode Code, std::string Message)
+      : Code_(Code), Message_(std::move(Message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool isOk() const { return Code_ == StatusCode::Ok; }
+  StatusCode code() const { return Code_; }
+  const std::string &message() const { return Message_; }
+
+  /// Solve context, filled by whoever has it on the way up.
+  Status &withPhase(std::string Phase) {
+    Phase_ = std::move(Phase);
+    return *this;
+  }
+  Status &withT(int T) {
+    T_ = T;
+    return *this;
+  }
+  Status &withInstance(std::string Fingerprint) {
+    Instance_ = std::move(Fingerprint);
+    return *this;
+  }
+
+  const std::string &phase() const { return Phase_; }
+  int t() const { return T_; }
+  const std::string &instance() const { return Instance_; }
+
+  /// Renders "code: message [phase=..., T=..., instance=...]".
+  std::string str() const;
+
+private:
+  StatusCode Code_ = StatusCode::Ok;
+  std::string Message_;
+  std::string Phase_;
+  int T_ = 0;
+  std::string Instance_;
+};
+
+/// A value or a Status — the return type of fallible constructors such as
+/// the text parsers.  Mirrors the usual expected<T, E> shape without
+/// pulling in C++23: access the value only after checking ok().
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value_(std::move(Value)) {}
+  /*implicit*/ Expected(Status Err) : Err_(std::move(Err)) {
+    assert(!Err_.isOk() && "Expected error must carry a non-ok Status");
+  }
+
+  bool ok() const { return Err_.isOk(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status &status() const { return Err_; }
+
+  T &value() {
+    assert(ok() && "value() on an errored Expected");
+    return Value_;
+  }
+  const T &value() const {
+    assert(ok() && "value() on an errored Expected");
+    return Value_;
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  T Value_{};
+  Status Err_;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_STATUS_H

@@ -34,10 +34,17 @@
 
 #include "swp/ddg/Ddg.h"
 #include "swp/machine/MachineModel.h"
+#include "swp/support/Status.h"
 
 #include <string>
 
 namespace swp {
+
+/// Largest accepted latency, distance, unit count, or reservation-table
+/// dimension.  Values beyond it parse as integers but overflow downstream
+/// T-range and buffer-bound arithmetic, so the parser rejects them with a
+/// line-numbered error instead.
+inline constexpr int MaxParsedMagnitude = 1 << 20;
 
 /// Parses the machine format; on failure \returns false and fills \p Err
 /// with "line N: message".
@@ -48,6 +55,14 @@ bool parseMachine(const std::string &Text, MachineModel &Out,
 /// \returns false and fills \p Err.
 bool parseLoop(const std::string &Text, const MachineModel &Machine,
                Ddg &Out, std::string &Err);
+
+/// Typed-error variant of parseMachine: the Status carries
+/// StatusCode::ParseError with the line-numbered message.
+Expected<MachineModel> parseMachineText(const std::string &Text);
+
+/// Typed-error variant of parseLoop.
+Expected<Ddg> parseLoopText(const std::string &Text,
+                            const MachineModel &Machine);
 
 /// Renders \p M in the machine format (parseMachine round-trips it).
 std::string printMachine(const MachineModel &M);

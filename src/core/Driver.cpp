@@ -6,6 +6,7 @@
 #include "swp/core/Verifier.h"
 #include "swp/ddg/Analysis.h"
 #include "swp/solver/Simplex.h"
+#include "swp/support/FaultInjector.h"
 #include "swp/support/Stopwatch.h"
 
 #include <algorithm>
@@ -83,8 +84,9 @@ bool completeSchedule(const Ddg &G, const MachineModel &Machine, int T,
 ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
                              MappingKind Mapping, const MilpModel &M,
                              const FormulationVars &Vars,
+                             const CancellationToken &Cancel,
                              ModuloSchedule &Out) {
-  LpResult Lp = solveLp(M);
+  LpResult Lp = solveLp(M, Cancel);
   if (Lp.Status == LpStatus::Infeasible)
     return ProbeOutcome::LpInfeasible;
   if (Lp.Status != LpStatus::Optimal)
@@ -133,8 +135,57 @@ ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
 MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
                             const SchedulerOptions &Opts, ModuloSchedule &Out,
                             double *SecondsOut, std::int64_t *NodesOut,
-                            SearchStop *StopOut) {
+                            SearchStop *StopOut, Status *ErrorOut) {
   Stopwatch Watch;
+  if (SecondsOut)
+    *SecondsOut = 0.0;
+  if (NodesOut)
+    *NodesOut = 0;
+  if (StopOut)
+    *StopOut = SearchStop::None;
+  if (ErrorOut)
+    *ErrorOut = Status();
+
+  // Malformed inputs become typed errors instead of downstream asserts or
+  // garbage models; T < 1 admits no schedule by definition of the
+  // initiation interval.
+  if (T < 1 || !G.isWellFormed(Machine.numTypes()) || !Machine.acceptsDdg(G)) {
+    if (StopOut)
+      *StopOut = SearchStop::Fault;
+    if (ErrorOut)
+      *ErrorOut = Status(StatusCode::InvalidInput,
+                         T < 1 ? "initiation interval T must be >= 1"
+                               : "DDG is malformed or uses op classes the "
+                                 "machine does not define")
+                     .withPhase("schedule-at-t")
+                     .withT(T)
+                     .withInstance(G.name());
+    return MilpStatus::Error;
+  }
+
+  FaultInjector &FI = FaultInjector::instance();
+  // Fault injection: the MILP model allocation fails.
+  if (FI.shouldFire(FaultSite::Alloc)) {
+    if (StopOut)
+      *StopOut = SearchStop::Fault;
+    if (ErrorOut)
+      *ErrorOut = Status(StatusCode::ResourceExhausted,
+                         "injected allocation failure building the MILP model")
+                     .withPhase("model-build")
+                     .withT(T)
+                     .withInstance(G.name());
+    return MilpStatus::Error;
+  }
+  // Fault soundness: an injected spurious "LP infeasible" must never turn
+  // into a fake infeasibility proof (and from there into a false
+  // rate-optimality claim), so snapshot the site's fire count and
+  // downgrade any Infeasible answer produced while it moved.  Concurrent
+  // solves can inflate the delta; that only downgrades more, never less.
+  const std::uint64_t SpuriousBefore = FI.fired(FaultSite::LpInfeasible);
+  auto Faulted = [&FI, SpuriousBefore]() {
+    return FI.fired(FaultSite::LpInfeasible) > SpuriousBefore;
+  };
+
   const bool Optimizing = Opts.ColoringObjective || Opts.MinimizeBuffers;
   FormulationOptions FOpts;
   FOpts.Mapping = Opts.Mapping;
@@ -142,13 +193,6 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
   FOpts.BufferObjective = Opts.MinimizeBuffers;
   FormulationVars Vars;
   MilpModel M = buildScheduleModel(G, Machine, T, FOpts, Vars);
-
-  if (SecondsOut)
-    *SecondsOut = 0.0;
-  if (NodesOut)
-    *NodesOut = 0;
-  if (StopOut)
-    *StopOut = SearchStop::None;
 
   MilpOptions MOpts;
   MOpts.Cancel = Opts.Cancel;
@@ -175,11 +219,16 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     // Primal probe: can settle feasibility (rounded incumbent) or
     // infeasibility (LP relaxation empty) without branching.
     ModuloSchedule Probed;
-    ProbeOutcome Probe =
-        lpRoundingProbe(G, Machine, T, Opts.Mapping, M, Vars, Probed);
+    ProbeOutcome Probe = lpRoundingProbe(G, Machine, T, Opts.Mapping, M, Vars,
+                                         Opts.Cancel, Probed);
     if (Probe == ProbeOutcome::LpInfeasible) {
       if (SecondsOut)
         *SecondsOut = Watch.seconds();
+      if (Faulted()) {
+        if (StopOut)
+          *StopOut = SearchStop::Fault;
+        return MilpStatus::Unknown;
+      }
       return MilpStatus::Infeasible;
     }
     if (Probe == ProbeOutcome::Found) {
@@ -200,6 +249,16 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     *NodesOut = Res.Nodes;
   if (StopOut)
     *StopOut = Res.StopReason;
+  if (Res.Status == MilpStatus::Error && ErrorOut)
+    *ErrorOut = Status(Res.Error)
+                    .withPhase("milp")
+                    .withT(T)
+                    .withInstance(G.name());
+  if (Res.Status == MilpStatus::Infeasible && Faulted()) {
+    if (StopOut)
+      *StopOut = SearchStop::Fault;
+    return MilpStatus::Unknown;
+  }
   if (Res.hasSolution())
     Out = extractSchedule(G, Machine, T, FOpts, Vars, Res.X);
   return Res.Status;
@@ -208,10 +267,23 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
 SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
                                   const SchedulerOptions &Opts) {
   SchedulerResult Result;
+  // Validate before any analysis: recurrenceMii asserts on zero-distance
+  // cycles, and a DDG referencing op classes the machine lacks has no
+  // reservation tables to schedule against.  Such inputs return a typed
+  // error, never an abort.
+  if (!G.isWellFormed(Machine.numTypes()) || !Machine.acceptsDdg(G)) {
+    Result.Error = Status(StatusCode::InvalidInput,
+                          "DDG is malformed or uses op classes the machine "
+                          "does not define")
+                       .withPhase("driver")
+                       .withInstance(G.name());
+    return Result;
+  }
   Result.TDep = recurrenceMii(G);
   Result.TRes = Machine.resourceMii(G);
   Result.TLowerBound = std::max({1, Result.TDep, Result.TRes});
 
+  const std::uint64_t FiredBefore = FaultInjector::instance().totalFired();
   Stopwatch Total;
   bool AllBelowProven = true;
   for (int T = Result.TLowerBound;
@@ -232,14 +304,28 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
     }
 
     ModuloSchedule Candidate;
+    Status AttemptError;
     Attempt.Status = scheduleAtT(G, Machine, T, Opts, Candidate,
                                  &Attempt.Seconds, &Attempt.Nodes,
-                                 &Attempt.StopReason);
+                                 &Attempt.StopReason, &AttemptError);
     Result.TotalNodes += Attempt.Nodes;
     Result.Attempts.push_back(Attempt);
 
     if (Attempt.StopReason == SearchStop::Cancelled)
       Result.Cancelled = true;
+
+    if (Attempt.Status == MilpStatus::Error) {
+      // Keep the first typed error for the caller.  Invalid input will
+      // fail identically at every T, so stop; transient faults (injected
+      // allocation death) leave larger T worth trying, but this T's proof
+      // is censored.
+      if (Result.Error.isOk())
+        Result.Error = AttemptError;
+      AllBelowProven = false;
+      if (AttemptError.code() == StatusCode::InvalidInput)
+        break;
+      continue;
+    }
 
     if (Attempt.Status == MilpStatus::Optimal ||
         Attempt.Status == MilpStatus::Feasible) {
@@ -259,6 +345,39 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
     if (Result.Cancelled)
       break; // A cancelled attempt proves nothing; larger T are moot too.
   }
+  Result.FaultsSeen =
+      FaultInjector::instance().totalFired() > FiredBefore;
   Result.TotalSeconds = Total.seconds();
   return Result;
+}
+
+const char *swp::fallbackRungName(FallbackRung R) {
+  switch (R) {
+  case FallbackRung::None:
+    return "none";
+  case FallbackRung::SlackModulo:
+    return "slack-modulo";
+  case FallbackRung::IterativeModulo:
+    return "iterative-modulo";
+  }
+  return "?";
+}
+
+std::string SchedulerResult::stopChain() const {
+  std::string Out;
+  for (const TAttempt &A : Attempts) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += "T=" + std::to_string(A.T) + " ";
+    if (A.ModuloSkipped) {
+      Out += "modulo-skip";
+      continue;
+    }
+    Out += milpStatusName(A.Status);
+    if (A.StopReason != SearchStop::None)
+      Out += std::string("/") + searchStopName(A.StopReason);
+  }
+  if (Out.empty())
+    Out = Cancelled ? "cancelled before any attempt" : "no attempts";
+  return Out;
 }

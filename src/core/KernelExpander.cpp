@@ -12,17 +12,23 @@
 using namespace swp;
 
 ExpandedSchedule swp::expandSchedule(const Ddg &G, const ModuloSchedule &S,
-                                     int Iterations) {
+                                     int Iterations,
+                                     const CancellationToken &Cancel) {
   ExpandedSchedule E;
   int KMax = 0;
   for (int I = 0; I < G.numNodes(); ++I)
     KMax = std::max(KMax, S.stageIndex(I));
   E.KernelStart = KMax * S.T;
   E.KernelLength = S.T;
-  for (int J = 0; J < Iterations; ++J)
+  for (int J = 0; J < Iterations; ++J) {
+    if (Cancel.cancelled()) {
+      E.Truncated = true;
+      break;
+    }
     for (int I = 0; I < G.numNodes(); ++I)
       E.Instances.push_back(
           {I, J, J * S.T + S.StartTime[static_cast<size_t>(I)]});
+  }
   std::sort(E.Instances.begin(), E.Instances.end(),
             [](const ScheduledInstance &A, const ScheduledInstance &B) {
               if (A.Start != B.Start)

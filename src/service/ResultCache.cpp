@@ -2,6 +2,8 @@
 
 #include "swp/service/ResultCache.h"
 
+#include "swp/support/FaultInjector.h"
+
 using namespace swp;
 
 ResultCache::ResultCache(std::size_t NumShards) {
@@ -23,6 +25,15 @@ bool ResultCache::lookup(const Fingerprint &Key, SchedulerResult &Out) const {
 }
 
 void ResultCache::insert(const Fingerprint &Key, const SchedulerResult &Value) {
+  // The insert is an injection point: a failed insert degrades to a cache
+  // miss on the next lookup, which is always sound.  Beyond that, results
+  // computed while any fault site is armed are never memoized — a
+  // poisoned entry would outlive the fault window.
+  FaultInjector &FI = FaultInjector::instance();
+  if (FI.shouldFire(FaultSite::CacheInsert))
+    return;
+  if (Value.FaultsSeen || FI.armed())
+    return;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   S.Map.try_emplace(Key, Value);

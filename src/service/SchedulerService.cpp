@@ -6,9 +6,12 @@
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
 #include "swp/service/Fingerprint.h"
+#include "swp/support/FaultInjector.h"
 #include "swp/support/Stopwatch.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 using namespace swp;
 
@@ -21,6 +24,36 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
     if (OutcomeOut)
       *OutcomeOut = O;
   };
+  const std::uint64_t FiredBefore = FaultInjector::instance().totalFired();
+  auto StampFaults = [FiredBefore](SchedulerResult &R) {
+    R.FaultsSeen = R.FaultsSeen ||
+                   FaultInjector::instance().totalFired() > FiredBefore;
+  };
+
+  // The heuristic legs are not cancellation-aware, so honor a
+  // pre-cancelled token before running anything.
+  if (Opts.Cancel.cancelled()) {
+    SchedulerResult R;
+    R.Cancelled = true;
+    R.TotalSeconds = Total.seconds();
+    StampFaults(R);
+    Outcome(PortfolioOutcome::NothingFound);
+    return R;
+  }
+
+  // Validate before the heuristic leg: IMS and the analyses it runs assert
+  // on malformed DDGs, and the ILP leg would reject them anyway.
+  if (!G.isWellFormed(Machine.numTypes()) || !Machine.acceptsDdg(G)) {
+    SchedulerResult R;
+    R.Error = Status(StatusCode::InvalidInput,
+                     "DDG is malformed or uses op classes the machine does "
+                     "not define")
+                  .withPhase("portfolio")
+                  .withInstance(G.name());
+    R.TotalSeconds = Total.seconds();
+    Outcome(PortfolioOutcome::NothingFound);
+    return R;
+  }
 
   // Heuristic leg.  IMS and slack scheduling finish in microseconds on
   // corpus-sized loops, so they always win the race to a first incumbent;
@@ -58,6 +91,7 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
     // construction, so the ILP leg loses the race unstarted.
     R.Schedule = std::move(Incumbent);
     R.ProvenRateOptimal = true;
+    StampFaults(R);
     R.TotalSeconds = Total.seconds();
     Outcome(PortfolioOutcome::HeuristicWon);
     return R;
@@ -72,12 +106,14 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
   SchedulerResult Ilp = scheduleLoop(G, Machine, IlpOpts);
   Ilp.VerifyFailed = Ilp.VerifyFailed || HeurVerifyFailed;
   if (Ilp.found()) {
+    StampFaults(Ilp);
     Ilp.TotalSeconds = Total.seconds();
     Outcome(PortfolioOutcome::IlpWon);
     return Ilp;
   }
 
   if (Incumbent.T == 0) {
+    StampFaults(Ilp);
     Ilp.TotalSeconds = Total.seconds();
     Outcome(PortfolioOutcome::NothingFound);
     return Ilp;
@@ -88,6 +124,7 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
   R.Attempts = std::move(Ilp.Attempts);
   R.TotalNodes = Ilp.TotalNodes;
   R.Cancelled = Ilp.Cancelled;
+  R.Error = Ilp.Error;
   bool AllBelowProven =
       !Ilp.Cancelled && static_cast<int>(R.Attempts.size()) ==
                             Incumbent.T - R.TLowerBound;
@@ -95,6 +132,7 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
     AllBelowProven = AllBelowProven && A.Status == MilpStatus::Infeasible;
   R.Schedule = std::move(Incumbent);
   R.ProvenRateOptimal = AllBelowProven;
+  StampFaults(R);
   R.TotalSeconds = Total.seconds();
   Outcome(PortfolioOutcome::FellBackToHeuristic);
   return R;
@@ -135,6 +173,7 @@ ServiceStats SchedulerService::stats() const {
   std::lock_guard<std::mutex> Lock(StatsMutex);
   ServiceStats S = Counters;
   S.QueueHighWater = Pool.queueHighWater();
+  S.DispatchFaults = Pool.dispatchFaults();
   return S;
 }
 
@@ -151,17 +190,88 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
 
   PortfolioOutcome Outcome = PortfolioOutcome::NothingFound;
   bool RanPortfolio = false;
+  // Faults seen by ANY watchdog attempt, even when a clean retry answered
+  // (the final R.FaultsSeen then stays false so the result is cacheable).
+  bool SawFaults = false;
   if (!Hit) {
-    CancellationSource JobCancel(GlobalCancel.token());
-    if (Opts.DeadlinePerLoop > 0)
-      JobCancel.setDeadlineAfter(Opts.DeadlinePerLoop);
-    SchedulerOptions SOpts = Opts.Sched;
-    SOpts.Cancel = JobCancel.token();
-    if (Opts.Portfolio) {
-      R = portfolioSchedule(G, Machine, SOpts, &Outcome);
-      RanPortfolio = true;
-    } else {
-      R = scheduleLoop(G, Machine, SOpts);
+    // Watchdog: re-run a solve killed by a transient fault.  Transient
+    // means an injected/typed error that is not invalid input, or a
+    // cancellation that neither cancelAll() nor the real per-loop deadline
+    // explains (i.e. an injected deadline-expiry fault).
+    for (int Attempt = 0;; ++Attempt) {
+      // Fault injection: the per-loop deadline expires immediately.
+      bool DeadlineFault =
+          FaultInjector::instance().shouldFire(FaultSite::Deadline);
+      Stopwatch JobWatch;
+      CancellationSource JobCancel(GlobalCancel.token());
+      if (Opts.DeadlinePerLoop > 0)
+        JobCancel.setDeadlineAfter(Opts.DeadlinePerLoop);
+      if (DeadlineFault)
+        JobCancel.cancel();
+      SchedulerOptions SOpts = Opts.Sched;
+      SOpts.Cancel = JobCancel.token();
+      if (Opts.Portfolio) {
+        R = portfolioSchedule(G, Machine, SOpts, &Outcome);
+        RanPortfolio = true;
+      } else {
+        R = scheduleLoop(G, Machine, SOpts);
+      }
+      R.Retries = Attempt;
+      SawFaults = SawFaults || R.FaultsSeen;
+      if (R.found() || Attempt >= Opts.WatchdogRetries)
+        break;
+      bool RealDeadline = Opts.DeadlinePerLoop > 0 &&
+                          JobWatch.seconds() >= Opts.DeadlinePerLoop;
+      bool TransientError =
+          !R.Error.isOk() && R.Error.code() != StatusCode::InvalidInput;
+      bool SpuriousCancel = R.Cancelled && !RealDeadline &&
+                            !GlobalCancel.token().cancelled();
+      if (!TransientError && !SpuriousCancel)
+        break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          Opts.RetryBackoff * static_cast<double>(1 << std::min(Attempt, 8))));
+    }
+
+    // Fallback ladder: the primary path produced no schedule for a reason
+    // other than a clean full-window infeasibility proof.  Degrade to the
+    // heuristics (verified, like every schedule the service hands out);
+    // when even they fail the caller gets the explicit unfound result with
+    // its SearchStop chain — never an abort, hang, or empty answer.
+    bool CleanProof = R.Error.isOk() && !R.Cancelled && !R.FaultsSeen;
+    for (const TAttempt &A : R.Attempts)
+      CleanProof = CleanProof && A.StopReason == SearchStop::None;
+    if (Opts.FallbackLadder && !R.found() && !CleanProof &&
+        R.Error.code() != StatusCode::InvalidInput &&
+        !GlobalCancel.token().cancelled()) {
+      auto AdoptRung = [&R](const ModuloSchedule &S, FallbackRung Rung,
+                            int TDep, int TRes, int TLb) {
+        R.Schedule = S;
+        R.Fallback = Rung;
+        if (R.TLowerBound == 0) {
+          R.TDep = TDep;
+          R.TRes = TRes;
+          R.TLowerBound = TLb;
+        }
+      };
+      SlackOptions SlackOpts;
+      SlackOpts.MaxTSlack = Opts.Sched.MaxTSlack;
+      SlackResult Slack = slackModuloSchedule(G, Machine, SlackOpts);
+      if (Slack.found() && verifySchedule(G, Machine, Slack.Schedule).Ok) {
+        AdoptRung(Slack.Schedule, FallbackRung::SlackModulo, Slack.TDep,
+                  Slack.TRes, Slack.TLowerBound);
+      } else {
+        ImsOptions ImsOpts;
+        ImsOpts.MaxTSlack = Opts.Sched.MaxTSlack;
+        ImsResult Ims = iterativeModuloSchedule(G, Machine, ImsOpts);
+        if (Ims.found() && verifySchedule(G, Machine, Ims.Schedule).Ok)
+          AdoptRung(Ims.Schedule, FallbackRung::IterativeModulo, Ims.TDep,
+                    Ims.TRes, Ims.TLowerBound);
+      }
+      // T_lb comes from fault-free analysis, so a rung schedule sitting on
+      // it is rate-optimal by construction even though the ILP search was
+      // not trustworthy.
+      R.ProvenRateOptimal =
+          R.found() && R.TLowerBound > 0 && R.Schedule.T == R.TLowerBound;
     }
   }
 
@@ -169,14 +279,16 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
   for (const TAttempt &A : R.Attempts) {
     Censored = Censored || A.StopReason == SearchStop::TimeLimit ||
                A.StopReason == SearchStop::NodeLimit ||
-               A.StopReason == SearchStop::LpStall;
+               A.StopReason == SearchStop::LpStall ||
+               A.StopReason == SearchStop::Fault;
     WallClockCensored =
         WallClockCensored || A.StopReason == SearchStop::TimeLimit;
   }
   // Memoize only results that a cold re-solve would reproduce: cancelled
-  // or time-limit-censored answers depend on machine load at solve time.
+  // or time-limit-censored answers depend on machine load at solve time,
+  // and fault-window results on injector state (the cache rechecks that).
   // Node-limit and LP-stall censoring is deterministic and caches fine.
-  if (!Hit && Opts.UseCache && !WallClockCensored)
+  if (!Hit && Opts.UseCache && !WallClockCensored && !R.FaultsSeen)
     Cache.insert(Key, R);
 
   {
@@ -190,6 +302,17 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
       ++Counters.Cancellations;
     if (Censored)
       ++Counters.CensoredProofs;
+    if (!Hit) {
+      if (R.FaultsSeen || SawFaults)
+        ++Counters.FaultedJobs;
+      if (!R.Error.isOk())
+        ++Counters.TypedErrors;
+      Counters.WatchdogRetries += static_cast<std::uint64_t>(R.Retries);
+      if (R.Fallback == FallbackRung::SlackModulo)
+        ++Counters.FallbackSlackWins;
+      else if (R.Fallback == FallbackRung::IterativeModulo)
+        ++Counters.FallbackImsWins;
+    }
     if (RanPortfolio) {
       switch (Outcome) {
       case PortfolioOutcome::HeuristicWon:

@@ -50,6 +50,17 @@ std::string ServiceStats::render() const {
     Counters.addRow({"portfolio fallbacks",
                      std::to_string(PortfolioFallbacks)});
   }
+  if (FaultedJobs + TypedErrors + WatchdogRetries + FallbackSlackWins +
+          FallbackImsWins + DispatchFaults >
+      0) {
+    Counters.addRow({"faulted jobs", std::to_string(FaultedJobs)});
+    Counters.addRow({"typed errors", std::to_string(TypedErrors)});
+    Counters.addRow({"watchdog retries", std::to_string(WatchdogRetries)});
+    Counters.addRow({"fallback slack wins",
+                     std::to_string(FallbackSlackWins)});
+    Counters.addRow({"fallback ims wins", std::to_string(FallbackImsWins)});
+    Counters.addRow({"dispatch faults", std::to_string(DispatchFaults)});
+  }
   Counters.addRow({"mean latency",
                    strFormat("%.3fms", Latency.meanSeconds() * 1e3)});
   Counters.addRow({"max latency",

@@ -2,6 +2,8 @@
 
 #include "swp/service/ThreadPool.h"
 
+#include "swp/support/FaultInjector.h"
+
 #include <algorithm>
 
 using namespace swp;
@@ -27,7 +29,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(std::function<void()> Job) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Queue.push_back(std::move(Job));
+    Queue.push_back({std::move(Job), 0});
     HighWater = std::max(HighWater, static_cast<int>(Queue.size()));
   }
   Available.notify_one();
@@ -38,9 +40,14 @@ int ThreadPool::queueHighWater() const {
   return HighWater;
 }
 
+std::uint64_t ThreadPool::dispatchFaults() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DispatchFaults;
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> Job;
+    QueuedJob Job;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       Available.wait(Lock, [this] { return Stopping || !Queue.empty(); });
@@ -48,7 +55,18 @@ void ThreadPool::workerLoop() {
         return; // Stopping with a drained queue.
       Job = std::move(Queue.front());
       Queue.pop_front();
+      // Fault injection: this worker dies while dispatching.  The job goes
+      // back to the queue for another worker (its future must resolve), up
+      // to MaxRequeues times so a 100% fault rate still makes progress.
+      if (Job.Requeues < MaxRequeues &&
+          FaultInjector::instance().shouldFire(FaultSite::Dispatch)) {
+        ++Job.Requeues;
+        ++DispatchFaults;
+        Queue.push_back(std::move(Job));
+        Available.notify_one();
+        continue;
+      }
     }
-    Job();
+    Job.Fn();
   }
 }

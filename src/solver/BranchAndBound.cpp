@@ -3,6 +3,7 @@
 #include "swp/solver/BranchAndBound.h"
 
 #include "swp/solver/Simplex.h"
+#include "swp/support/FaultInjector.h"
 #include "swp/support/Stopwatch.h"
 
 #include <cmath>
@@ -43,10 +44,15 @@ public:
     Res.X = std::move(Incumbent);
     Res.Objective = IncumbentObj;
     Res.StopReason = Stop;
+    if (Stop == SearchStop::Fault)
+      Res.Error = Status(StatusCode::FaultInjected,
+                         "node expansion fault killed the search");
     bool LimitHit = Stop != SearchStop::None;
     if (!Res.X.empty())
       Res.Status = (LimitHit && !StopEarly) ? MilpStatus::Feasible
                                             : MilpStatus::Optimal;
+    else if (Stop == SearchStop::Fault)
+      Res.Status = MilpStatus::Error; // Killed with nothing usable.
     else
       Res.Status = LimitHit ? MilpStatus::Unknown : MilpStatus::Infeasible;
     return Res;
@@ -119,9 +125,21 @@ private:
       return;
     ++Nodes;
 
-    LpResult Lp = solveLp(M, Lb, Ub);
+    // Fault injection: node expansion dies.  A fault is a hard stop (the
+    // whole search is untrusted), unlike an LP stall which censors only
+    // its subtree.
+    if (FaultInjector::instance().shouldFire(FaultSite::BnbNode)) {
+      Stop = SearchStop::Fault;
+      return;
+    }
+
+    LpResult Lp = solveLp(M, Lb, Ub, Opts.Cancel);
     if (Lp.Status == LpStatus::Infeasible)
       return;
+    if (Lp.Status == LpStatus::Cancelled) {
+      Stop = SearchStop::Cancelled;
+      return;
+    }
     if (Lp.Status != LpStatus::Optimal) {
       // Iteration trouble or unboundedness: nothing is proven below this
       // node, but sibling subtrees are unaffected — record the stall
@@ -174,6 +192,22 @@ private:
 
 } // namespace
 
+const char *swp::milpStatusName(MilpStatus S) {
+  switch (S) {
+  case MilpStatus::Optimal:
+    return "optimal";
+  case MilpStatus::Infeasible:
+    return "infeasible";
+  case MilpStatus::Feasible:
+    return "feasible";
+  case MilpStatus::Unknown:
+    return "unknown";
+  case MilpStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
 const char *swp::searchStopName(SearchStop S) {
   switch (S) {
   case SearchStop::None:
@@ -186,11 +220,21 @@ const char *swp::searchStopName(SearchStop S) {
     return "cancelled";
   case SearchStop::LpStall:
     return "lp-stall";
+  case SearchStop::Fault:
+    return "fault";
   }
   return "?";
 }
 
 MilpResult swp::solveMilp(const MilpModel &M, const MilpOptions &Opts) {
+  if (!M.valid()) {
+    MilpResult Res;
+    Res.Status = MilpStatus::Error;
+    Res.StopReason = SearchStop::Fault;
+    Res.Error = Status(StatusCode::InvalidInput,
+                       "malformed MILP model: " + M.buildError());
+    return Res;
+  }
   Search S(M, Opts);
   return S.run();
 }

@@ -33,7 +33,14 @@ void LinExpr::normalize() {
 }
 
 VarId MilpModel::addVar(double Lb, double Ub, VarKind Kind, std::string Name) {
-  assert(Lb <= Ub && "variable with empty domain");
+  // Record structural errors instead of aborting: the solver checks
+  // valid() and reports a typed error, keeping malformed inputs inside
+  // the failure domain.
+  if (!(Lb <= Ub) && BuildError.empty())
+    BuildError = "variable '" + Name + "' has empty domain";
+  else if ((std::isnan(Lb) || std::isnan(Ub) || std::isinf(Lb)) &&
+           BuildError.empty())
+    BuildError = "variable '" + Name + "' has a non-finite bound";
   Vars.push_back({Lb, Ub, Kind, std::move(Name), false, 0});
   return static_cast<VarId>(Vars.size()) - 1;
 }

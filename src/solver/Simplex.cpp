@@ -2,6 +2,8 @@
 
 #include "swp/solver/Simplex.h"
 
+#include "swp/support/FaultInjector.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -22,7 +24,8 @@ public:
   /// True when some bound pair was contradictory (Lb > Ub).
   bool boundsInfeasible() const { return BoundsInfeasible; }
 
-  LpResult run(const MilpModel &M, const std::vector<double> &Lb);
+  LpResult run(const MilpModel &M, const std::vector<double> &Lb,
+               const CancellationToken &Cancel);
 
 private:
   int numCols() const { return static_cast<int>(Obj1.size()); }
@@ -42,6 +45,7 @@ private:
   std::vector<bool> ColAllowed; // Artificials disallowed after phase 1.
   std::vector<int> VarCol;      // Model var -> column (-1 when fixed).
   std::vector<double> FixedVal; // Value of fixed vars.
+  CancellationToken Cancel;
   int FirstArtificial = 0;
   int Iterations = 0;
   int MaxIterations = 0;
@@ -295,6 +299,18 @@ bool Tableau::optimize(std::vector<double> &ObjRow, LpStatus &Status) {
       Status = LpStatus::IterLimit;
       return false;
     }
+    // Cancellation poll every 16 pivots: each poll may read the steady
+    // clock (deadline tokens), so keep it off the per-pivot path.
+    if ((Iterations & 15) == 0 && Cancel.cancelled()) {
+      Status = LpStatus::Cancelled;
+      return false;
+    }
+    // Fault injection: a forced stall reports IterLimit exactly as a real
+    // degenerate-cycling tableau would.
+    if (FaultInjector::instance().shouldFire(FaultSite::LpStall)) {
+      Status = LpStatus::IterLimit;
+      return false;
+    }
     bool Bland = Stalled > BlandThreshold;
     int Col = chooseEntering(ObjRow, Bland);
     if (Col < 0)
@@ -315,7 +331,9 @@ bool Tableau::optimize(std::vector<double> &ObjRow, LpStatus &Status) {
   }
 }
 
-LpResult Tableau::run(const MilpModel &M, const std::vector<double> &Lb) {
+LpResult Tableau::run(const MilpModel &M, const std::vector<double> &Lb,
+                      const CancellationToken &CancelTok) {
+  Cancel = CancelTok;
   LpResult Res;
   const int TotalCols = numCols() - 1;
   const int RhsIx = TotalCols;
@@ -389,20 +407,41 @@ LpResult Tableau::run(const MilpModel &M, const std::vector<double> &Lb) {
 } // namespace
 
 LpResult swp::solveLp(const MilpModel &M, const std::vector<double> &Lb,
-                      const std::vector<double> &Ub) {
-  assert(static_cast<int>(Lb.size()) == M.numVars() &&
-         static_cast<int>(Ub.size()) == M.numVars() &&
-         "bound arrays must match the model");
+                      const std::vector<double> &Ub,
+                      const CancellationToken &Cancel) {
+  // Mismatched bound arrays are a caller bug; degrade to IterLimit (which
+  // proves nothing) instead of aborting the process in release builds.
+  if (static_cast<int>(Lb.size()) != M.numVars() ||
+      static_cast<int>(Ub.size()) != M.numVars()) {
+    assert(false && "bound arrays must match the model");
+    LpResult Res;
+    Res.Status = LpStatus::IterLimit;
+    return Res;
+  }
+  // Entry poll: the pivot loop only checks every few iterations, which a
+  // small LP never reaches — a pre-cancelled token must still stop it.
+  if (Cancel.cancelled()) {
+    LpResult Res;
+    Res.Status = LpStatus::Cancelled;
+    return Res;
+  }
+  // Fault injection: spurious infeasibility, the most dangerous LP lie —
+  // downstream layers must never turn it into a false optimality proof.
+  if (FaultInjector::instance().shouldFire(FaultSite::LpInfeasible)) {
+    LpResult Res;
+    Res.Status = LpStatus::Infeasible;
+    return Res;
+  }
   Tableau T(M, Lb, Ub);
   if (T.boundsInfeasible()) {
     LpResult Res;
     Res.Status = LpStatus::Infeasible;
     return Res;
   }
-  return T.run(M, Lb);
+  return T.run(M, Lb, Cancel);
 }
 
-LpResult swp::solveLp(const MilpModel &M) {
+LpResult swp::solveLp(const MilpModel &M, const CancellationToken &Cancel) {
   std::vector<double> Lb, Ub;
   Lb.reserve(static_cast<size_t>(M.numVars()));
   Ub.reserve(static_cast<size_t>(M.numVars()));
@@ -410,5 +449,5 @@ LpResult swp::solveLp(const MilpModel &M) {
     Lb.push_back(V.Lb);
     Ub.push_back(V.Ub);
   }
-  return solveLp(M, Lb, Ub);
+  return solveLp(M, Lb, Ub, Cancel);
 }

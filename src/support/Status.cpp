@@ -1,0 +1,53 @@
+//===- Status.cpp - Typed error propagation -------------------------------===//
+
+#include "swp/support/Status.h"
+
+#include "swp/support/Format.h"
+
+using namespace swp;
+
+const char *swp::statusCodeName(StatusCode C) {
+  switch (C) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::InvalidInput:
+    return "invalid-input";
+  case StatusCode::ParseError:
+    return "parse-error";
+  case StatusCode::SolverStall:
+    return "solver-stall";
+  case StatusCode::ResourceExhausted:
+    return "resource-exhausted";
+  case StatusCode::Cancelled:
+    return "cancelled";
+  case StatusCode::Internal:
+    return "internal";
+  case StatusCode::FaultInjected:
+    return "fault-injected";
+  }
+  return "?";
+}
+
+std::string Status::str() const {
+  if (isOk())
+    return "ok";
+  std::string Out = statusCodeName(Code_);
+  Out += ": ";
+  Out += Message_;
+  std::string Ctx;
+  if (!Phase_.empty())
+    Ctx += strFormat("phase=%s", Phase_.c_str());
+  if (T_ != 0) {
+    if (!Ctx.empty())
+      Ctx += ", ";
+    Ctx += strFormat("T=%d", T_);
+  }
+  if (!Instance_.empty()) {
+    if (!Ctx.empty())
+      Ctx += ", ";
+    Ctx += strFormat("instance=%s", Instance_.c_str());
+  }
+  if (!Ctx.empty())
+    Out += " [" + Ctx + "]";
+  return Out;
+}

@@ -50,6 +50,13 @@ bool parseInt(const std::string &Tok, int &Out) {
   return true;
 }
 
+/// parseInt plus the MaxParsedMagnitude cap: values that fit an int but
+/// overflow downstream T-range / buffer arithmetic are rejected here.
+bool parseBounded(const std::string &Tok, int &Out) {
+  return parseInt(Tok, Out) && Out <= MaxParsedMagnitude &&
+         Out >= -MaxParsedMagnitude;
+}
+
 /// Parses 0/1 strings (one per stage) into a reservation table.
 bool parseTable(const std::vector<std::string> &Rows, ReservationTable &Out,
                 std::string &Err) {
@@ -122,8 +129,15 @@ bool swp::parseMachine(const std::string &Text, MachineModel &Out,
       }
       PendingType P;
       P.Name = Tok[1];
-      if (!parseInt(Tok[3], P.Count) || P.Count < 1) {
-        Err = lineError(LineNo, "bad unit count '" + Tok[3] + "'");
+      for (const PendingType &Existing : Types) {
+        if (Existing.Name == P.Name) {
+          Err = lineError(LineNo, "duplicate futype '" + P.Name + "'");
+          return false;
+        }
+      }
+      if (!parseBounded(Tok[3], P.Count) || P.Count < 1) {
+        Err = lineError(LineNo,
+                        "bad or out-of-range unit count '" + Tok[3] + "'");
         return false;
       }
       Types.push_back(std::move(P));
@@ -163,13 +177,13 @@ bool swp::parseMachine(const std::string &Text, MachineModel &Out,
   }
 
   if (Types.empty()) {
-    Err = "no futype declared";
+    Err = lineError(LineNo, "no futype declared");
     return false;
   }
   MachineModel M(MachineName);
   for (PendingType &P : Types) {
     if (!P.HasTable) {
-      Err = "futype " + P.Name + " has no table";
+      Err = lineError(LineNo, "futype " + P.Name + " has no table");
       return false;
     }
     int R = M.addFuType(P.Name, P.Count, std::move(P.Table));
@@ -228,8 +242,9 @@ bool swp::parseLoop(const std::string &Text, const MachineModel &Machine,
         return false;
       }
       int Latency = 0;
-      if (!parseInt(Tok[5], Latency) || Latency < 0) {
-        Err = lineError(LineNo, "bad latency '" + Tok[5] + "'");
+      if (!parseBounded(Tok[5], Latency) || Latency < 0) {
+        Err = lineError(LineNo,
+                        "bad or out-of-range latency '" + Tok[5] + "'");
         return false;
       }
       int Variant = 0;
@@ -258,14 +273,16 @@ bool swp::parseLoop(const std::string &Text, const MachineModel &Machine,
         return false;
       }
       int Distance = 0;
-      if (!parseInt(Tok[5], Distance) || Distance < 0) {
-        Err = lineError(LineNo, "bad distance '" + Tok[5] + "'");
+      if (!parseBounded(Tok[5], Distance) || Distance < 0) {
+        Err = lineError(LineNo,
+                        "bad or out-of-range distance '" + Tok[5] + "'");
         return false;
       }
       if (Tok.size() == 8) {
         int Latency = 0;
-        if (!parseInt(Tok[7], Latency) || Latency < 0) {
-          Err = lineError(LineNo, "bad latency '" + Tok[7] + "'");
+        if (!parseBounded(Tok[7], Latency) || Latency < 0) {
+          Err = lineError(LineNo,
+                          "bad or out-of-range latency '" + Tok[7] + "'");
           return false;
         }
         G.addEdgeWithLatency(SrcIt->second, DstIt->second, Distance, Latency);
@@ -279,15 +296,34 @@ bool swp::parseLoop(const std::string &Text, const MachineModel &Machine,
   }
 
   if (G.numNodes() == 0) {
-    Err = "loop has no nodes";
+    Err = lineError(LineNo, "loop has no nodes");
     return false;
   }
   if (!G.isWellFormed(Machine.numTypes()) || !Machine.acceptsDdg(G)) {
-    Err = "loop is malformed for this machine (zero-distance cycle?)";
+    Err = lineError(LineNo,
+                    "loop is malformed for this machine (zero-distance "
+                    "cycle?)");
     return false;
   }
   Out = std::move(G);
   return true;
+}
+
+Expected<MachineModel> swp::parseMachineText(const std::string &Text) {
+  MachineModel M("machine");
+  std::string Err;
+  if (!parseMachine(Text, M, Err))
+    return Status(StatusCode::ParseError, Err).withPhase("parse-machine");
+  return M;
+}
+
+Expected<Ddg> swp::parseLoopText(const std::string &Text,
+                                 const MachineModel &Machine) {
+  Ddg G;
+  std::string Err;
+  if (!parseLoop(Text, Machine, G, Err))
+    return Status(StatusCode::ParseError, Err).withPhase("parse-loop");
+  return G;
 }
 
 namespace {

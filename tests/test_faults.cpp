@@ -1,0 +1,469 @@
+//===- test_faults.cpp - Failure-domain tests -----------------------------===//
+//
+// The fault injector itself (spec parsing, deterministic firing, counters),
+// typed Status propagation out of the solver stack, and the service-level
+// guarantees under injected faults: the watchdog retries transient
+// failures, the fallback ladder degrades to a verified heuristic schedule,
+// faulted results are never cached and never claim censored-proof
+// optimality, and every job gets an explicit answer — found-and-verified
+// or unfound-with-evidence — no matter which sites fire.
+//
+// Every test disarms the injector on both ends: the singleton is process
+// wide and these tests share one binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Analysis.h"
+#include "swp/machine/Catalog.h"
+#include "swp/service/SchedulerService.h"
+#include "swp/service/ThreadPool.h"
+#include "swp/support/FaultInjector.h"
+#include "swp/support/Status.h"
+#include "swp/workload/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+using namespace swp;
+
+namespace {
+
+/// RAII disarm so a failing test cannot leak an armed injector into its
+/// neighbors.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().reset(); }
+};
+
+SchedulerOptions fastOptions() {
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 1e9; // Only deterministic limits.
+  Opts.NodeLimitPerT = 250; // Every node is an LP solve: keep it cheap.
+  Opts.MaxTSlack = 4;
+  return Opts;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Status
+//===----------------------------------------------------------------------===//
+
+TEST(Status, DefaultIsOkAndRendersContext) {
+  Status Ok;
+  EXPECT_TRUE(Ok.isOk());
+  EXPECT_EQ(Ok.str(), "ok");
+
+  Status E = Status(StatusCode::SolverStall, "pivot limit")
+                 .withPhase("milp")
+                 .withT(7)
+                 .withInstance("daxpy");
+  EXPECT_FALSE(E.isOk());
+  EXPECT_EQ(E.code(), StatusCode::SolverStall);
+  std::string S = E.str();
+  EXPECT_NE(S.find("solver-stall"), std::string::npos);
+  EXPECT_NE(S.find("pivot limit"), std::string::npos);
+  EXPECT_NE(S.find("phase=milp"), std::string::npos);
+  EXPECT_NE(S.find("T=7"), std::string::npos);
+  EXPECT_NE(S.find("instance=daxpy"), std::string::npos);
+}
+
+TEST(Status, ExpectedHoldsValueOrError) {
+  Expected<int> V(42);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 42);
+  Expected<int> E(Status(StatusCode::Internal, "boom"));
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.status().code(), StatusCode::Internal);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjector, SpecParsingAndDisarm) {
+  InjectorGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  std::string Err;
+  EXPECT_TRUE(FI.configure("lp-stall:2,bnb-node:p0.5", 1, &Err)) << Err;
+  EXPECT_TRUE(FI.armed());
+  EXPECT_TRUE(FI.configure("", 0, &Err)) << "empty spec disarms";
+  EXPECT_FALSE(FI.armed());
+  EXPECT_FALSE(FI.configure("no-such-site:1", 0, &Err));
+  EXPECT_FALSE(FI.armed()) << "bad spec leaves the injector disarmed";
+  EXPECT_FALSE(FI.configure("lp-stall", 0, &Err)) << "missing count";
+  EXPECT_FALSE(FI.configure("lp-stall:pzz", 0, &Err)) << "bad probability";
+}
+
+TEST(FaultInjector, CountedBudgetFiresExactly) {
+  InjectorGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("cache-insert:2", 0, nullptr));
+  EXPECT_TRUE(FI.shouldFire(FaultSite::CacheInsert));
+  EXPECT_TRUE(FI.shouldFire(FaultSite::CacheInsert));
+  EXPECT_FALSE(FI.shouldFire(FaultSite::CacheInsert));
+  EXPECT_FALSE(FI.shouldFire(FaultSite::LpStall)) << "other sites disarmed";
+  EXPECT_EQ(FI.fired(FaultSite::CacheInsert), 2u);
+  EXPECT_EQ(FI.totalFired(), 2u);
+  FI.reset();
+  EXPECT_FALSE(FI.armed());
+  EXPECT_EQ(FI.totalFired(), 0u);
+  EXPECT_FALSE(FI.shouldFire(FaultSite::CacheInsert));
+}
+
+TEST(FaultInjector, ProbabilisticFiringIsSeedDeterministic) {
+  InjectorGuard Guard;
+  FaultInjector &FI = FaultInjector::instance();
+  auto Sample = [&FI](std::uint64_t Seed) {
+    EXPECT_TRUE(FI.configure("bnb-node:p0.5", Seed, nullptr));
+    std::vector<bool> Fires;
+    for (int I = 0; I < 200; ++I)
+      Fires.push_back(FI.shouldFire(FaultSite::BnbNode));
+    return Fires;
+  };
+  std::vector<bool> A = Sample(42);
+  std::vector<bool> B = Sample(42);
+  EXPECT_EQ(A, B) << "same seed, same per-poll decisions";
+  std::vector<bool> C = Sample(43);
+  EXPECT_NE(A, C) << "different seed, different stream";
+  int Fired = static_cast<int>(std::count(A.begin(), A.end(), true));
+  EXPECT_GT(Fired, 50) << "p=0.5 over 200 polls";
+  EXPECT_LT(Fired, 150);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver and driver under injected faults
+//===----------------------------------------------------------------------===//
+
+TEST(DriverFaults, LpStallCensorsEveryAttempt) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 11, {});
+  ASSERT_TRUE(FaultInjector::instance().configure("lp-stall:p1.0", 5,
+                                                  nullptr));
+  SchedulerResult R = scheduleLoop(G, M, fastOptions());
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(R.found()) << "every LP stalls, nothing can be extracted";
+  EXPECT_FALSE(R.ProvenRateOptimal);
+  EXPECT_TRUE(R.FaultsSeen);
+  ASSERT_FALSE(R.Attempts.empty());
+  for (const TAttempt &A : R.Attempts)
+    if (!A.ModuloSkipped) {
+      EXPECT_EQ(A.Status, MilpStatus::Unknown);
+      EXPECT_EQ(A.StopReason, SearchStop::LpStall);
+    }
+  EXPECT_NE(R.stopChain().find("lp-stall"), std::string::npos);
+}
+
+TEST(DriverFaults, SpuriousInfeasibilityNeverProvesOptimality) {
+  // The fault-soundness core: an injected "infeasible" must never enter a
+  // rate-optimality proof, with or without the LP-rounding probe.
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 11, {});
+  for (bool Probe : {true, false}) {
+    ASSERT_TRUE(FaultInjector::instance().configure("lp-infeasible:p1.0", 5,
+                                                    nullptr));
+    SchedulerOptions Opts = fastOptions();
+    Opts.LpRoundingProbe = Probe;
+    SchedulerResult R = scheduleLoop(G, M, Opts);
+    FaultInjector::instance().reset();
+    EXPECT_FALSE(R.ProvenRateOptimal) << "probe=" << Probe;
+    EXPECT_TRUE(R.FaultsSeen) << "probe=" << Probe;
+    for (const TAttempt &A : R.Attempts)
+      if (!A.ModuloSkipped) {
+        EXPECT_NE(A.Status, MilpStatus::Infeasible)
+            << "probe=" << Probe
+            << ": a faulted infeasibility survived as proof at T=" << A.T;
+        EXPECT_EQ(A.StopReason, SearchStop::Fault) << "probe=" << Probe;
+      }
+  }
+}
+
+TEST(DriverFaults, BnbNodeFaultSurfacesTypedError) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 11, {});
+  int T = std::max({1, recurrenceMii(G), M.resourceMii(G)});
+  while (!M.moduloFeasible(G, T))
+    ++T;
+  ASSERT_TRUE(FaultInjector::instance().configure("bnb-node:1", 0, nullptr));
+  SchedulerOptions Opts = fastOptions();
+  Opts.LpRoundingProbe = false;
+  ModuloSchedule Out;
+  SearchStop Stop = SearchStop::None;
+  Status Error;
+  MilpStatus St =
+      scheduleAtT(G, M, T, Opts, Out, nullptr, nullptr, &Stop, &Error);
+  FaultInjector::instance().reset();
+  EXPECT_EQ(St, MilpStatus::Error);
+  EXPECT_EQ(Stop, SearchStop::Fault);
+  EXPECT_EQ(Error.code(), StatusCode::FaultInjected);
+  EXPECT_EQ(Error.phase(), "milp");
+  EXPECT_EQ(Error.t(), T);
+}
+
+TEST(DriverFaults, AllocFaultReportsResourceExhausted) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 11, {});
+  ASSERT_TRUE(FaultInjector::instance().configure("alloc:1", 0, nullptr));
+  ModuloSchedule Out;
+  SearchStop Stop = SearchStop::None;
+  Status Error;
+  MilpStatus St = scheduleAtT(G, M, 64, fastOptions(), Out, nullptr, nullptr,
+                              &Stop, &Error);
+  FaultInjector::instance().reset();
+  EXPECT_EQ(St, MilpStatus::Error);
+  EXPECT_EQ(Stop, SearchStop::Fault);
+  EXPECT_EQ(Error.code(), StatusCode::ResourceExhausted);
+  EXPECT_EQ(Error.phase(), "model-build");
+}
+
+TEST(DriverFaults, InvalidInputIsTypedWithoutInjection) {
+  MachineModel M = ppc604Like();
+  Ddg Cyclic;
+  Cyclic.addNode("a", 0, 1);
+  Cyclic.addNode("b", 0, 1);
+  Cyclic.addEdge(0, 1, 0);
+  Cyclic.addEdge(1, 0, 0); // Zero-distance cycle: malformed.
+  SchedulerResult R = scheduleLoop(Cyclic, M, fastOptions());
+  EXPECT_FALSE(R.found());
+  EXPECT_EQ(R.Error.code(), StatusCode::InvalidInput);
+  EXPECT_FALSE(R.FaultsSeen) << "a bad input is not a fault";
+  EXPECT_TRUE(R.Attempts.empty());
+
+  ModuloSchedule Out;
+  Status Error;
+  Ddg G = generateRandomLoop(M, 11, {});
+  EXPECT_EQ(scheduleAtT(G, M, 0, fastOptions(), Out, nullptr, nullptr,
+                        nullptr, &Error),
+            MilpStatus::Error)
+      << "T below 1 is invalid";
+  EXPECT_EQ(Error.code(), StatusCode::InvalidInput);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pool and cache under injected faults
+//===----------------------------------------------------------------------===//
+
+TEST(PoolFaults, DispatchFaultRequeuesEveryJob) {
+  InjectorGuard Guard;
+  ASSERT_TRUE(FaultInjector::instance().configure("dispatch:3", 0, nullptr));
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.enqueue([&Count] { Count.fetch_add(1); });
+  }
+  EXPECT_EQ(Count.load(), 50) << "requeued jobs still run exactly once";
+  EXPECT_EQ(FaultInjector::instance().fired(FaultSite::Dispatch), 3u);
+}
+
+TEST(PoolFaults, PermanentDispatchFaultIsBounded) {
+  // p=1.0 would live-lock an unbounded requeue; MaxRequeues caps it and
+  // the job still runs.
+  InjectorGuard Guard;
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("dispatch:p1.0", 0, nullptr));
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(1);
+    std::uint64_t Before = Pool.dispatchFaults();
+    for (int I = 0; I < 4; ++I)
+      Pool.enqueue([&Count] { Count.fetch_add(1); });
+    (void)Before;
+  }
+  FaultInjector::instance().reset();
+  EXPECT_EQ(Count.load(), 4);
+}
+
+TEST(CacheFaults, FaultedResultsAreNeverCached) {
+  InjectorGuard Guard;
+  ResultCache Cache;
+  Fingerprint Key{9, 9};
+
+  // A result stamped FaultsSeen is refused even with the injector off.
+  SchedulerResult Tainted;
+  Tainted.TLowerBound = 3;
+  Tainted.FaultsSeen = true;
+  Cache.insert(Key, Tainted);
+  SchedulerResult Out;
+  EXPECT_FALSE(Cache.lookup(Key, Out));
+
+  // While any site is armed, every insert is skipped (the solve cannot be
+  // trusted), and the cache-insert site itself drops writes and counts.
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("cache-insert:1", 0, nullptr));
+  SchedulerResult Clean;
+  Clean.TLowerBound = 4;
+  Cache.insert(Key, Clean);
+  EXPECT_FALSE(Cache.lookup(Key, Out));
+  EXPECT_EQ(FaultInjector::instance().fired(FaultSite::CacheInsert), 1u);
+  Cache.insert(Key, Clean);
+  EXPECT_FALSE(Cache.lookup(Key, Out)) << "armed injector blocks caching";
+  FaultInjector::instance().reset();
+
+  Cache.insert(Key, Clean);
+  ASSERT_TRUE(Cache.lookup(Key, Out)) << "disarmed: caching resumes";
+  EXPECT_EQ(Out.TLowerBound, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Service guarantees
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceFaults, WatchdogRetriesTransientAllocFailure) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 21, {});
+  // Budget 5 = one full solve window (MaxTSlack 4): the first watchdog
+  // attempt fails every T with ResourceExhausted, the retry runs clean.
+  ASSERT_TRUE(FaultInjector::instance().configure("alloc:5", 0, nullptr));
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 1;
+  SvcOpts.Sched = fastOptions();
+  SvcOpts.WatchdogRetries = 2;
+  SvcOpts.RetryBackoff = 1e-4;
+  SchedulerService Svc(M, SvcOpts);
+  SchedulerResult R = Svc.submit(G).get();
+  FaultInjector::instance().reset();
+  ASSERT_TRUE(R.found()) << R.Error.str() << "; " << R.stopChain();
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+  EXPECT_GE(R.Retries, 1);
+  EXPECT_EQ(R.Fallback, FallbackRung::None)
+      << "the retry answered; no ladder needed";
+  ServiceStats Stats = Svc.stats();
+  EXPECT_GE(Stats.WatchdogRetries, 1u);
+  EXPECT_GE(Stats.FaultedJobs, 1u);
+}
+
+TEST(ServiceFaults, SpuriousDeadlineIsRetriedNotReported) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 22, {});
+  ASSERT_TRUE(FaultInjector::instance().configure("deadline:1", 0, nullptr));
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 1;
+  SvcOpts.Sched = fastOptions();
+  SvcOpts.RetryBackoff = 1e-4;
+  SchedulerService Svc(M, SvcOpts);
+  SchedulerResult R = Svc.submit(G).get();
+  FaultInjector::instance().reset();
+  ASSERT_TRUE(R.found()) << R.Error.str() << "; " << R.stopChain();
+  EXPECT_FALSE(R.Cancelled) << "the injected expiry must not leak out";
+  EXPECT_GE(R.Retries, 1);
+}
+
+TEST(ServiceFaults, FallbackLadderAnswersWhenIlpIsDead) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 23, {});
+  // Every LP stalls forever: the ILP can neither find nor prove anything,
+  // retries included.  The ladder must still produce a verified schedule.
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("lp-stall:p1.0", 7, nullptr));
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 1;
+  SvcOpts.Sched = fastOptions();
+  SvcOpts.WatchdogRetries = 0;
+  SchedulerService Svc(M, SvcOpts);
+  SchedulerResult R = Svc.submit(G).get();
+  FaultInjector::instance().reset();
+  ASSERT_TRUE(R.found()) << "ladder must answer: " << R.stopChain();
+  EXPECT_NE(R.Fallback, FallbackRung::None);
+  EXPECT_TRUE(verifySchedule(G, M, R.Schedule).Ok);
+  // A rung schedule may still be proven rate-optimal, but only by sitting
+  // on the fault-free combinatorial lower bound — never via the (dead)
+  // ILP's infeasibility chain.
+  EXPECT_TRUE(!R.ProvenRateOptimal || R.Schedule.T == R.TLowerBound)
+      << "optimality claimed without evidence";
+  ServiceStats Stats = Svc.stats();
+  EXPECT_GE(Stats.FallbackSlackWins + Stats.FallbackImsWins, 1u);
+  EXPECT_GE(Stats.FaultedJobs, 1u);
+}
+
+TEST(ServiceFaults, EveryJobGetsAnExplicitAnswerUnderHeavyFaults) {
+  // The umbrella guarantee: with every site firing probabilistically, each
+  // job still resolves to a verified schedule or an unfound result whose
+  // stop chain / typed error explains why.  Never a hang, never a silent
+  // empty result.
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  CorpusOptions CO;
+  CO.NumLoops = 12;
+  std::vector<Ddg> Corpus = generateCorpus(M, CO);
+  ASSERT_TRUE(FaultInjector::instance().configure(
+      "lp-stall:p0.05,lp-infeasible:p0.05,bnb-node:p0.02,alloc:p0.02,"
+      "dispatch:p0.05,cache-insert:p0.5,deadline:2",
+      13, nullptr));
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 4;
+  SvcOpts.Sched = fastOptions();
+  SvcOpts.RetryBackoff = 1e-4;
+  SchedulerService Svc(M, SvcOpts);
+  std::vector<SchedulerResult> Results = Svc.scheduleAll(Corpus);
+  FaultInjector::instance().reset();
+  ASSERT_EQ(Results.size(), Corpus.size());
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const SchedulerResult &R = Results[I];
+    if (R.found()) {
+      EXPECT_TRUE(verifySchedule(Corpus[I], M, R.Schedule).Ok)
+          << Corpus[I].name();
+    } else {
+      EXPECT_TRUE(R.Cancelled || !R.Error.isOk() || !R.Attempts.empty())
+          << Corpus[I].name() << ": unexplained empty result";
+      EXPECT_FALSE(R.stopChain().empty()) << Corpus[I].name();
+    }
+    if (R.ProvenRateOptimal) {
+      // A proof under faults is only sound when backed by evidence: the
+      // schedule sits on the fault-free lower bound, or every smaller T
+      // carries an uncensored infeasibility proof.
+      bool OnBound = R.Schedule.T == R.TLowerBound && R.TLowerBound > 0;
+      bool ChainClean = true;
+      for (const TAttempt &A : R.Attempts)
+        if (A.T < R.Schedule.T && !A.ModuloSkipped)
+          ChainClean = ChainClean && A.Status == MilpStatus::Infeasible &&
+                       A.StopReason == SearchStop::None;
+      EXPECT_TRUE(OnBound || ChainClean)
+          << Corpus[I].name() << ": unsupported proof claim";
+    }
+  }
+  EXPECT_EQ(Svc.stats().Completed, Corpus.size());
+}
+
+TEST(ServiceFaults, FaultedSolvesAreNotServedFromCache) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 24, {});
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 1;
+  SvcOpts.Sched = fastOptions();
+  SvcOpts.WatchdogRetries = 0;
+  SchedulerService Svc(M, SvcOpts);
+
+  // First submission solves under injected stalls -> ladder answer, not
+  // cacheable.
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("lp-stall:p1.0", 7, nullptr));
+  SchedulerResult Faulted = Svc.submit(G).get();
+  FaultInjector::instance().reset();
+  EXPECT_TRUE(Faulted.FaultsSeen);
+
+  // Second submission must re-solve cleanly (no cache hit) and improve on
+  // the degraded answer's provenance.
+  SchedulerResult Clean = Svc.submit(G).get();
+  EXPECT_EQ(Svc.stats().CacheHits, 0u)
+      << "a faulted result must not satisfy later lookups";
+  EXPECT_EQ(Clean.Fallback, FallbackRung::None);
+  EXPECT_FALSE(Clean.FaultsSeen);
+  if (Clean.found() && Faulted.found()) {
+    EXPECT_LE(Clean.Schedule.T, Faulted.Schedule.T)
+        << "the clean ILP answer can only be better";
+  }
+}

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "swp/core/Driver.h"
+#include "swp/core/KernelExpander.h"
 #include "swp/core/Verifier.h"
 #include "swp/ddg/Analysis.h"
 #include "swp/heuristics/IterativeModulo.h"
@@ -19,6 +20,7 @@
 #include "swp/service/SchedulerService.h"
 #include "swp/service/ServiceStats.h"
 #include "swp/service/ThreadPool.h"
+#include "swp/solver/Simplex.h"
 #include "swp/support/Cancellation.h"
 #include "swp/workload/Corpus.h"
 
@@ -276,9 +278,71 @@ TEST(DriverCancellation, ScheduleAtTReportsCancelledStop) {
   EXPECT_EQ(Nodes, 0);
 }
 
+TEST(DriverCancellation, SimplexPivotLoopHonorsToken) {
+  // The deepest boundary: the token is polled inside the simplex pivot
+  // loop itself, so even a single long LP solve unwinds.
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 99, {});
+  int T = std::max({1, recurrenceMii(G), M.resourceMii(G)});
+  while (!M.moduloFeasible(G, T))
+    ++T;
+  FormulationVars Vars;
+  MilpModel Model = buildScheduleModel(G, M, T, {}, Vars);
+  ASSERT_TRUE(Model.valid());
+  CancellationSource Src;
+  Src.cancel();
+  LpResult Lp = solveLp(Model, Src.token());
+  EXPECT_EQ(Lp.Status, LpStatus::Cancelled);
+}
+
+TEST(DriverCancellation, KernelExpansionHonorsToken) {
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 99, {});
+  SchedulerResult R = scheduleLoop(G, M, deterministicOptions());
+  ASSERT_TRUE(R.found());
+  CancellationSource Src;
+  Src.cancel();
+  ExpandedSchedule E = expandSchedule(G, R.Schedule, 16, Src.token());
+  EXPECT_TRUE(E.Truncated);
+  ExpandedSchedule Full = expandSchedule(G, R.Schedule, 16);
+  EXPECT_FALSE(Full.Truncated);
+}
+
+TEST(DriverCancellation, PortfolioPreCancelledReportsNothingFound) {
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 99, {});
+  CancellationSource Src;
+  Src.cancel();
+  SchedulerOptions Opts = deterministicOptions();
+  Opts.Cancel = Src.token();
+  PortfolioOutcome Outcome = PortfolioOutcome::IlpWon;
+  SchedulerResult R = portfolioSchedule(G, M, Opts, &Outcome);
+  EXPECT_FALSE(R.found());
+  EXPECT_TRUE(R.Cancelled);
+  EXPECT_EQ(Outcome, PortfolioOutcome::NothingFound);
+  EXPECT_FALSE(R.stopChain().empty());
+}
+
 //===----------------------------------------------------------------------===//
 // Scheduler service
 //===----------------------------------------------------------------------===//
+
+TEST(SchedulerService, SubmitAfterCancelAllResolvesCancelled) {
+  // Queue-boundary cancellation: jobs submitted into an already-cancelled
+  // service must resolve promptly as Cancelled, not solve and not hang.
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, 7, {});
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 1;
+  SvcOpts.UseCache = false;
+  SchedulerService Svc(M, SvcOpts);
+  Svc.cancelAll();
+  SchedulerResult R = Svc.submit(G).get();
+  EXPECT_FALSE(R.found());
+  EXPECT_TRUE(R.Cancelled);
+  EXPECT_EQ(R.Fallback, FallbackRung::None)
+      << "a user cancel must not trigger the fallback ladder";
+}
 
 TEST(SchedulerService, ParallelBatchMatchesSerialBitForBit) {
   // The tentpole determinism contract: a --jobs 8 batch over a 128-loop
@@ -296,6 +360,9 @@ TEST(SchedulerService, ParallelBatchMatchesSerialBitForBit) {
   ServiceOptions SvcOpts;
   SvcOpts.Jobs = 8;
   SvcOpts.Sched = SOpts;
+  // The fallback ladder deliberately improves on the serial driver for
+  // censored-unfound loops; switch it off to compare the primary path.
+  SvcOpts.FallbackLadder = false;
   SchedulerService Svc(M, SvcOpts);
   std::vector<SchedulerResult> Parallel = Svc.scheduleAll(Corpus);
 

@@ -165,6 +165,74 @@ TEST(LoopParser, RoundTripsKernels) {
   }
 }
 
+TEST(MachineParser, RejectsOutOfRangeAndDuplicates) {
+  MachineModel M;
+  std::string Err;
+  // Duplicate futype names would make loop-format class references
+  // ambiguous.
+  EXPECT_FALSE(parseMachine(
+      "machine m\nfutype X count 1\ntable 1\nfutype X count 2\ntable 1\n", M,
+      Err));
+  EXPECT_NE(Err.find("duplicate futype"), std::string::npos);
+  EXPECT_NE(Err.find("line 4"), std::string::npos);
+  // Counts beyond MaxParsedMagnitude overflow downstream arithmetic even
+  // though they fit an int; counts beyond long just fail to parse.
+  EXPECT_FALSE(parseMachine("machine m\nfutype X count 2000000\ntable 1\n",
+                            M, Err));
+  EXPECT_NE(Err.find("out-of-range"), std::string::npos);
+  EXPECT_FALSE(parseMachine(
+      "machine m\nfutype X count 99999999999999999999\ntable 1\n", M, Err));
+  // A bare "table" directive has zero stage rows.
+  EXPECT_FALSE(parseMachine("machine m\nfutype X count 1\ntable\n", M, Err));
+  EXPECT_NE(Err.find("at least one stage row"), std::string::npos);
+  // EOF-detected problems still carry a line number.
+  EXPECT_FALSE(parseMachine("# only a comment\n", M, Err));
+  EXPECT_NE(Err.find("line"), std::string::npos);
+}
+
+TEST(LoopParser, RejectsOverflowingValues) {
+  MachineModel M;
+  std::string Err;
+  ASSERT_TRUE(parseMachine(MachineText, M, Err)) << Err;
+  Ddg G;
+  EXPECT_FALSE(parseLoop("node a class FP latency 2000000\n", M, G, Err));
+  EXPECT_NE(Err.find("out-of-range latency"), std::string::npos);
+  EXPECT_FALSE(parseLoop("node a class FP latency 99999999999999999999\n", M,
+                         G, Err));
+  EXPECT_FALSE(parseLoop(
+      "node a class FP latency 1\nedge a -> a distance 2000000\n", M, G,
+      Err));
+  EXPECT_NE(Err.find("out-of-range distance"), std::string::npos);
+  EXPECT_FALSE(parseLoop(
+      "node a class FP latency 1\nedge a -> a distance 1 latency -3\n", M, G,
+      Err));
+  EXPECT_FALSE(parseLoop("node a class 99 latency 1\n", M, G, Err))
+      << "numeric class out of range";
+  EXPECT_NE(Err.find("line 1"), std::string::npos);
+}
+
+TEST(TextIo, ExpectedWrappersCarryTypedErrors) {
+  Expected<MachineModel> M = parseMachineText(MachineText);
+  ASSERT_TRUE(M.ok()) << M.status().str();
+  EXPECT_EQ(M->numTypes(), 2);
+
+  Expected<MachineModel> BadM = parseMachineText("bogus\n");
+  ASSERT_FALSE(BadM.ok());
+  EXPECT_EQ(BadM.status().code(), StatusCode::ParseError);
+  EXPECT_EQ(BadM.status().phase(), "parse-machine");
+  EXPECT_NE(BadM.status().message().find("line 1"), std::string::npos);
+
+  Expected<Ddg> G = parseLoopText(LoopText, *M);
+  ASSERT_TRUE(G.ok()) << G.status().str();
+  EXPECT_EQ(G->numNodes(), 3);
+
+  Expected<Ddg> BadG = parseLoopText("node a class NOPE latency 1\n", *M);
+  ASSERT_FALSE(BadG.ok());
+  EXPECT_EQ(BadG.status().code(), StatusCode::ParseError);
+  EXPECT_EQ(BadG.status().phase(), "parse-loop");
+  EXPECT_NE(BadG.status().str().find("parse-error"), std::string::npos);
+}
+
 TEST(TextIo, ParsedInputsScheduleEndToEnd) {
   MachineModel M;
   std::string Err;

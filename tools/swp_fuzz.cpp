@@ -1,0 +1,411 @@
+//===- swp_fuzz.cpp - Differential fuzzer for the scheduling stack --------===//
+//
+// Generates random DDGs on random reservation-table machines and runs every
+// scheduler path over each instance:
+//
+//   - rate-optimal ILP (scheduleLoop), with and without the LP-rounding
+//     probe (two independent routes to the same proofs),
+//   - iterative-modulo and slack-modulo heuristics,
+//   - the portfolio race.
+//
+// Every schedule any path produces is checked by the static verifier AND
+// replayed on the cycle-accurate dynamic simulator; the paths are then
+// cross-checked against each other (a heuristic can never beat a proven
+// rate-optimal T, two proven ILP runs must agree, a clean full-window
+// infeasibility proof means the heuristics find nothing either).  Machine
+// and loop text formats are round-tripped through the parser as a bonus
+// differential.
+//
+// With --faults SPEC the fault injector is armed per instance (seeded
+// deterministically from the instance seed) and the harness additionally
+// proves the failure-domain guarantee: a faulted run either returns a
+// verified schedule or an explicit unfound result with a populated
+// SearchStop chain, and any rate-optimality claim it makes survives a
+// fault-free re-solve.
+//
+//   swp_fuzz --instances 10000 --seed 1            # acceptance run
+//   swp_fuzz --instances 200 --faults "lp-infeasible:p0.1,bnb-node:p0.05"
+//
+// Exit status: 0 = no findings, 1 = findings (each printed with a full
+// machine/loop dump for replay), 2 = bad usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Verifier.h"
+#include "swp/ddg/Ddg.h"
+#include "swp/heuristics/IterativeModulo.h"
+#include "swp/heuristics/SlackModulo.h"
+#include "swp/machine/MachineModel.h"
+#include "swp/service/SchedulerService.h"
+#include "swp/sim/DynamicSimulator.h"
+#include "swp/support/FaultInjector.h"
+#include "swp/support/Rng.h"
+#include "swp/support/Stopwatch.h"
+#include "swp/textio/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace swp;
+
+namespace {
+
+struct FuzzOptions {
+  int Instances = 1000;
+  std::uint64_t Seed = 1;
+  int MaxNodes = 10;
+  std::string FaultSpec;
+  double TimeLimitPerT = 0.05;
+  std::int64_t NodeLimitPerT = 1500;
+  int MaxTSlack = 4;
+  /// Exercise the SchedulerService path every this many instances (0 off).
+  int ServiceEvery = 64;
+  bool Verbose = false;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--instances N] [--seed S] [--max-nodes N]\n"
+               "       [--faults SPEC] [--time-limit S] [--node-limit N]\n"
+               "       [--max-t-slack N] [--service-every N] [--verbose]\n",
+               Argv0);
+  return 2;
+}
+
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// A random machine: 1-4 FU types, each 1-3 units, reservation tables with
+/// 1-3 stages over 1-5 cycles and ~45% busy cells, occasionally with extra
+/// multi-function variants.  Every table keeps at least one busy cell so
+/// the instance is not degenerate.
+MachineModel randomMachine(Rng &R) {
+  MachineModel M("fuzz");
+  int NumTypes = R.intIn(1, 4);
+  for (int T = 0; T < NumTypes; ++T) {
+    auto RandomTable = [&R]() {
+      int Stages = R.intIn(1, 3);
+      int Cols = R.intIn(1, 5);
+      std::vector<std::vector<std::uint8_t>> Rows(
+          static_cast<size_t>(Stages),
+          std::vector<std::uint8_t>(static_cast<size_t>(Cols), 0));
+      bool AnyBusy = false;
+      for (auto &Row : Rows)
+        for (auto &Cell : Row) {
+          Cell = R.chance(0.45) ? 1 : 0;
+          AnyBusy = AnyBusy || Cell;
+        }
+      if (!AnyBusy)
+        Rows[0][0] = 1;
+      return ReservationTable(std::move(Rows));
+    };
+    int Type = M.addFuType("fu" + std::to_string(T), R.intIn(1, 3),
+                           RandomTable());
+    while (R.chance(0.25))
+      M.addVariant(Type, RandomTable());
+  }
+  return M;
+}
+
+/// A random well-formed DDG for \p Machine: forward edges carry distance 0,
+/// back/self edges distance >= 1, so no zero-distance cycle can form.
+Ddg randomLoop(Rng &R, const MachineModel &Machine, int MaxNodes,
+               std::uint64_t InstanceSeed) {
+  Ddg G;
+  G.setName("fuzz" + std::to_string(InstanceSeed));
+  int N = R.intIn(2, MaxNodes);
+  for (int I = 0; I < N; ++I) {
+    int Class = R.intIn(0, Machine.numTypes() - 1);
+    int Variant = R.intIn(0, Machine.type(Class).numVariants() - 1);
+    G.addNodeVariant("n" + std::to_string(I), Class, Variant, R.intIn(0, 5));
+  }
+  for (int J = 1; J < N; ++J) {
+    int Degree = R.intIn(0, 2);
+    for (int E = 0; E < Degree; ++E)
+      G.addEdge(R.intIn(0, J - 1), J, 0);
+  }
+  if (R.chance(0.4)) {
+    int Dst = R.intIn(0, N - 1);
+    int Src = R.intIn(Dst, N - 1);
+    G.addEdge(Src, Dst, R.intIn(1, 2));
+  }
+  return G;
+}
+
+/// One reportable finding; carries everything needed to replay.
+struct Findings {
+  int Count = 0;
+
+  void report(std::uint64_t InstanceSeed, const MachineModel &Machine,
+              const Ddg &G, const std::string &What) {
+    ++Count;
+    std::fprintf(stderr, "FINDING (instance seed %llu): %s\n",
+                 static_cast<unsigned long long>(InstanceSeed), What.c_str());
+    std::fprintf(stderr, "--- machine\n%s--- loop\n%s---\n",
+                 printMachine(Machine).c_str(),
+                 printLoop(G, Machine).c_str());
+  }
+};
+
+/// Verifier + simulator check of one found schedule.
+void checkSchedule(Findings &F, std::uint64_t Seed, const MachineModel &M,
+                   const Ddg &G, const ModuloSchedule &S,
+                   const char *Path) {
+  VerifyResult V = verifySchedule(G, M, S);
+  if (!V.Ok) {
+    F.report(Seed, M, G,
+             std::string(Path) + ": verifier rejected schedule at T=" +
+                 std::to_string(S.T) + ": " + V.Error);
+    return;
+  }
+  std::string SimErr;
+  if (!replaySchedule(G, M, S, 6, &SimErr))
+    F.report(Seed, M, G,
+             std::string(Path) + ": dynamic replay rejected schedule at T=" +
+                 std::to_string(S.T) + ": " + SimErr);
+}
+
+/// True when \p R is a clean full-window infeasibility proof: every T in
+/// [T_lb, T_lb + MaxTSlack] proven infeasible with nothing censored.
+bool cleanFullProof(const SchedulerResult &R, int MaxTSlack) {
+  if (R.found() || R.Cancelled || !R.Error.isOk() || R.FaultsSeen)
+    return false;
+  if (static_cast<int>(R.Attempts.size()) != MaxTSlack + 1)
+    return false;
+  for (const TAttempt &A : R.Attempts)
+    if (A.Status != MilpStatus::Infeasible || A.StopReason != SearchStop::None)
+      return false;
+  return true;
+}
+
+void fuzzOne(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
+             Findings &F) {
+  Rng R(InstanceSeed);
+  MachineModel Machine = randomMachine(R);
+  Ddg G = randomLoop(R, Machine, Opts.MaxNodes, InstanceSeed);
+
+  // Parser round-trip differential: print -> parse -> print must be a
+  // fixed point for both formats.
+  {
+    std::string MText = printMachine(Machine);
+    Expected<MachineModel> M2 = parseMachineText(MText);
+    if (!M2.ok())
+      F.report(InstanceSeed, Machine, G,
+               "machine round-trip failed: " + M2.status().str());
+    else if (printMachine(*M2) != MText)
+      F.report(InstanceSeed, Machine, G,
+               "machine round-trip is not a fixed point");
+    std::string LText = printLoop(G, Machine);
+    Expected<Ddg> G2 = parseLoopText(LText, Machine);
+    if (!G2.ok())
+      F.report(InstanceSeed, Machine, G,
+               "loop round-trip failed: " + G2.status().str());
+    else if (printLoop(*G2, Machine) != LText)
+      F.report(InstanceSeed, Machine, G,
+               "loop round-trip is not a fixed point");
+  }
+
+  const bool WithFaults = !Opts.FaultSpec.empty();
+  if (WithFaults) {
+    std::string Err;
+    if (!FaultInjector::instance().configure(Opts.FaultSpec,
+                                             mix64(InstanceSeed), &Err)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", Err.c_str());
+      std::exit(2);
+    }
+  }
+
+  SchedulerOptions Ilp;
+  Ilp.TimeLimitPerT = Opts.TimeLimitPerT;
+  Ilp.NodeLimitPerT = Opts.NodeLimitPerT;
+  Ilp.MaxTSlack = Opts.MaxTSlack;
+
+  SchedulerResult WithProbe = scheduleLoop(G, Machine, Ilp);
+  SchedulerOptions NoProbeOpts = Ilp;
+  NoProbeOpts.LpRoundingProbe = false;
+  SchedulerResult NoProbe = scheduleLoop(G, Machine, NoProbeOpts);
+
+  ImsOptions ImsOpts;
+  ImsOpts.MaxTSlack = Opts.MaxTSlack;
+  ImsResult Ims = iterativeModuloSchedule(G, Machine, ImsOpts);
+  SlackOptions SlackOpts;
+  SlackOpts.MaxTSlack = Opts.MaxTSlack;
+  SlackResult Slack = slackModuloSchedule(G, Machine, SlackOpts);
+  SchedulerResult Portfolio = portfolioSchedule(G, Machine, Ilp);
+
+  // Faulted runs must end in a typed state, never a silent empty result:
+  // found schedule, explicit error, or an unfound result whose stop chain
+  // names what censored each attempt.
+  if (WithFaults) {
+    if (!WithProbe.found() && WithProbe.Error.isOk() &&
+        WithProbe.Attempts.empty() && !WithProbe.Cancelled)
+      F.report(InstanceSeed, Machine, G,
+               "faulted ILP run returned an unexplained empty result");
+    FaultInjector::instance().reset();
+  }
+
+  if (WithProbe.found())
+    checkSchedule(F, InstanceSeed, Machine, G, WithProbe.Schedule,
+                  "ilp+probe");
+  if (NoProbe.found())
+    checkSchedule(F, InstanceSeed, Machine, G, NoProbe.Schedule, "ilp");
+  if (Ims.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Ims.Schedule, "ims");
+  if (Slack.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Slack.Schedule, "slack");
+  if (Portfolio.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Portfolio.Schedule,
+                  "portfolio");
+
+  // Cross-path consistency.  Proofs from faulted runs were already
+  // downgraded by the driver, so every claim below must hold even when
+  // --faults was active (that is the fault-soundness guarantee).
+  if (WithFaults) {
+    // Re-derive the ground truth fault-free for the proof checks.
+    WithProbe = scheduleLoop(G, Machine, Ilp);
+    NoProbe = scheduleLoop(G, Machine, NoProbeOpts);
+  }
+  if (WithProbe.ProvenRateOptimal && NoProbe.ProvenRateOptimal &&
+      WithProbe.Schedule.T != NoProbe.Schedule.T)
+    F.report(InstanceSeed, Machine, G,
+             "probe/no-probe proven-optimal T disagree: " +
+                 std::to_string(WithProbe.Schedule.T) + " vs " +
+                 std::to_string(NoProbe.Schedule.T));
+  if (WithProbe.ProvenRateOptimal) {
+    int TStar = WithProbe.Schedule.T;
+    auto CheckNotBetter = [&](int T, const char *Path) {
+      if (T > 0 && T < TStar)
+        F.report(InstanceSeed, Machine, G,
+                 std::string(Path) + " beat a proven rate-optimal T: " +
+                     std::to_string(T) + " < " + std::to_string(TStar));
+    };
+    CheckNotBetter(NoProbe.Schedule.T, "ilp");
+    CheckNotBetter(Ims.Schedule.T, "ims");
+    CheckNotBetter(Slack.Schedule.T, "slack");
+    CheckNotBetter(Portfolio.Schedule.T, "portfolio");
+  }
+  if (Portfolio.found() && Ims.found() &&
+      Portfolio.Schedule.T > Ims.Schedule.T)
+    F.report(InstanceSeed, Machine, G,
+             "portfolio worse than its own IMS leg");
+  if (Portfolio.found() && Slack.found() &&
+      Portfolio.Schedule.T > Slack.Schedule.T)
+    F.report(InstanceSeed, Machine, G,
+             "portfolio worse than its own slack leg");
+  if (cleanFullProof(WithProbe, Opts.MaxTSlack)) {
+    int WindowEnd = WithProbe.TLowerBound + Opts.MaxTSlack;
+    auto CheckUnfound = [&](int T, const char *Path) {
+      if (T > 0 && T <= WindowEnd)
+        F.report(InstanceSeed, Machine, G,
+                 std::string(Path) + " found T=" + std::to_string(T) +
+                     " inside a window proven fully infeasible");
+    };
+    CheckUnfound(Ims.Schedule.T, "ims");
+    CheckUnfound(Slack.Schedule.T, "slack");
+    CheckUnfound(Portfolio.Schedule.T, "portfolio");
+  }
+
+  // Service path (pool + cache + watchdog + ladder): resubmitting the same
+  // loop must give T-identical results, cold or cached.
+  if (Opts.ServiceEvery > 0 &&
+      InstanceSeed % static_cast<std::uint64_t>(Opts.ServiceEvery) == 0) {
+    ServiceOptions SvcOpts;
+    SvcOpts.Jobs = 2;
+    SvcOpts.Sched = Ilp;
+    SvcOpts.Portfolio = true;
+    SchedulerService Service(Machine, SvcOpts);
+    std::vector<Ddg> Batch{G, G, G};
+    std::vector<SchedulerResult> Results = Service.scheduleAll(Batch);
+    for (const SchedulerResult &SR : Results) {
+      if (SR.found())
+        checkSchedule(F, InstanceSeed, Machine, G, SR.Schedule, "service");
+      if (SR.Schedule.T != Results.front().Schedule.T)
+        F.report(InstanceSeed, Machine, G,
+                 "service resubmission changed the answer");
+    }
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--instances") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.Instances = std::atoi(V);
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.Seed = static_cast<std::uint64_t>(std::strtoull(V, nullptr, 10));
+    } else if (Arg == "--max-nodes") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.MaxNodes = std::atoi(V);
+    } else if (Arg == "--faults") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.FaultSpec = V;
+    } else if (Arg == "--time-limit") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.TimeLimitPerT = std::atof(V);
+    } else if (Arg == "--node-limit") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.NodeLimitPerT = std::atoll(V);
+    } else if (Arg == "--max-t-slack") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.MaxTSlack = std::atoi(V);
+    } else if (Arg == "--service-every") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.ServiceEvery = std::atoi(V);
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (Opts.Instances < 1 || Opts.MaxNodes < 2)
+    return usage(Argv[0]);
+
+  Stopwatch Total;
+  Findings F;
+  for (int I = 0; I < Opts.Instances; ++I) {
+    std::uint64_t InstanceSeed = mix64(Opts.Seed) ^ static_cast<std::uint64_t>(I);
+    fuzzOne(Opts, InstanceSeed, F);
+    if (Opts.Verbose && (I + 1) % 100 == 0)
+      std::fprintf(stderr, "... %d/%d instances, %d findings, %.1fs\n",
+                   I + 1, Opts.Instances, F.Count, Total.seconds());
+  }
+
+  std::printf("swp_fuzz: %d instances, seed %llu%s, %d findings, %.1fs\n",
+              Opts.Instances, static_cast<unsigned long long>(Opts.Seed),
+              Opts.FaultSpec.empty()
+                  ? ""
+                  : (" (faults: " + Opts.FaultSpec + ")").c_str(),
+              F.Count, Total.seconds());
+  return F.Count == 0 ? 0 : 1;
+}
