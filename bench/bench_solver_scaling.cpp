@@ -13,6 +13,7 @@
 #include "swp/heuristics/Enumerative.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/machine/Catalog.h"
+#include "swp/sat/SatScheduler.h"
 #include "swp/service/SchedulerService.h"
 #include "swp/solver/BranchAndBound.h"
 #include "swp/solver/Simplex.h"
@@ -64,6 +65,50 @@ void BM_MilpAtTlb(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_MilpAtTlb)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+/// The CDCL SAT backend answering the same first feasibility question as
+/// BM_MilpAtTlb (same loops, same window) — the two curves are directly
+/// comparable.
+void BM_SatAtTlb(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 43);
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 5.0;
+  Opts.MaxTSlack = 0;
+  for (auto _ : State) {
+    SchedulerResult R = satScheduleLoop(G, M, Opts);
+    benchmark::DoNotOptimize(R.TotalNodes);
+  }
+}
+BENCHMARK(BM_SatAtTlb)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+/// Full rate-optimal search, both engines, as loop size grows: what the
+/// portfolio's exact rung costs per engine.
+void BM_IlpFullSearch(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 48);
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 5.0;
+  Opts.MaxTSlack = 8;
+  for (auto _ : State) {
+    SchedulerResult R = scheduleLoop(G, M, Opts);
+    benchmark::DoNotOptimize(R.TotalNodes);
+  }
+}
+BENCHMARK(BM_IlpFullSearch)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SatFullSearch(benchmark::State &State) {
+  MachineModel M = ppc604Like();
+  Ddg G = loopOfSize(static_cast<int>(State.range(0)), 48);
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 5.0;
+  Opts.MaxTSlack = 8;
+  for (auto _ : State) {
+    SchedulerResult R = satScheduleLoop(G, M, Opts);
+    benchmark::DoNotOptimize(R.TotalNodes);
+  }
+}
+BENCHMARK(BM_SatFullSearch)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_IterativeModulo(benchmark::State &State) {
   MachineModel M = ppc604Like();

@@ -1,31 +1,94 @@
 //===- bench_table5_solver_times.cpp - Paper Table 5 ----------------------===//
 //
-// Table 5-style artifact: the distribution of ILP solution times over the
-// corpus.  The paper ran a commercial solver under a time limit (its
-// "10/30" note) on 1995 hardware; absolute numbers differ, the *shape*
-// must hold: heavy-tailed, the bulk of loops solving quickly, a small
-// censored tail, and solve time growing with DDG size.
+// Table 5-style artifact: the distribution of exact-solver solution times
+// over the corpus.  The paper ran a commercial solver under a time limit
+// (its "10/30" note) on 1995 hardware; absolute numbers differ, the
+// *shape* must hold: heavy-tailed, the bulk of loops solving quickly, a
+// small censored tail, and solve time growing with DDG size.
 //
-// Env: SWP_CORPUS_SIZE (default 400), SWP_TIME_LIMIT (default 2).
+// Both exact engines run over the same corpus — the branch-and-bound ILP
+// and the CDCL SAT backend — and the per-family comparison (families are
+// the Table-5 size classes) is written to BENCH_solver.json: per engine
+// the total/median solve time, search effort (B&B nodes / CDCL
+// conflicts), mean optimal II, and how many loops were proven
+// rate-optimal.
+//
+// Env: SWP_CORPUS_SIZE (default 400), SWP_TIME_LIMIT (default 2),
+//      SWP_BENCH_JSON (output path, default BENCH_solver.json).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "swp/core/Driver.h"
 #include "swp/machine/Catalog.h"
+#include "swp/sat/SatScheduler.h"
 #include "swp/support/Format.h"
 #include "swp/support/Statistics.h"
 #include "swp/support/TextTable.h"
 #include "swp/workload/Corpus.h"
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 using namespace swp;
 
+namespace {
+
+/// Per-engine accumulator over one size family.
+struct EngineStats {
+  std::vector<double> Times;
+  std::int64_t Effort = 0; // B&B nodes or CDCL conflicts.
+  std::int64_t IiSum = 0;
+  int Found = 0;
+  int Proven = 0;
+
+  void add(const SchedulerResult &R) {
+    Times.push_back(R.TotalSeconds);
+    Effort += R.TotalNodes;
+    if (R.found()) {
+      ++Found;
+      IiSum += R.Schedule.T;
+    }
+    if (R.ProvenRateOptimal)
+      ++Proven;
+  }
+
+  double total() const {
+    double S = 0;
+    for (double T : Times)
+      S += T;
+    return S;
+  }
+  double meanIi() const {
+    return Found == 0 ? 0.0
+                      : static_cast<double>(IiSum) / static_cast<double>(Found);
+  }
+};
+
+/// One Table-5 size class ("family"): loops bucketed by DDG node count.
+struct Family {
+  const char *Name;
+  int MaxNodes; // Inclusive upper bound; INT_MAX-ish for the last.
+  int Loops = 0;
+  EngineStats Ilp, Sat;
+};
+
+std::string engineJson(const EngineStats &E) {
+  return strFormat("{\"total_seconds\":%.6f,\"median_seconds\":%.6f,"
+                   "\"effort\":%lld,\"found\":%d,\"proven_optimal\":%d,"
+                   "\"mean_optimal_ii\":%.3f}",
+                   E.total(), E.Times.empty() ? 0.0 : percentile(E.Times, 50),
+                   static_cast<long long>(E.Effort), E.Found, E.Proven,
+                   E.meanIi());
+}
+
+} // namespace
+
 int main() {
-  benchutil::banner("Table 5 (distribution of ILP solution times)",
-                    "Per-loop wall-clock of the rate-optimal search");
+  benchutil::banner("Table 5 (distribution of exact-solver solution times)",
+                    "Per-loop wall-clock of the rate-optimal search, "
+                    "ILP vs CDCL SAT");
   MachineModel Machine = ppc604Like();
   CorpusOptions COpts;
   COpts.NumLoops = benchutil::envInt("SWP_CORPUS_SIZE", 400);
@@ -47,11 +110,19 @@ int main() {
   Buckets.push_back({1.0, "0.1-1 s", 0, {}});
   Buckets.push_back({10.0, "1-10 s", 0, {}});
   Buckets.push_back({1e18, ">= 10 s", 0, {}});
+
+  std::vector<Family> Families;
+  Families.push_back({"tiny (<=4 nodes)", 4});
+  Families.push_back({"small (5-8 nodes)", 8});
+  Families.push_back({"medium (9-14 nodes)", 14});
+  Families.push_back({"large (15+ nodes)", 1 << 20});
+
   std::vector<double> Times;
   std::vector<double> SmallTimes, BigTimes;
   int Censored = 0;
   for (const Ddg &G : Corpus) {
     SchedulerResult R = scheduleLoop(G, Machine, SOpts);
+    SchedulerResult S = satScheduleLoop(G, Machine, SOpts);
     Times.push_back(R.TotalSeconds);
     (G.numNodes() <= 8 ? SmallTimes : BigTimes).push_back(R.TotalSeconds);
     if (!R.ProvenRateOptimal)
@@ -60,6 +131,13 @@ int main() {
       if (R.TotalSeconds < B.Limit) {
         ++B.Count;
         B.Sizes.push_back(G.numNodes());
+        break;
+      }
+    for (Family &Fam : Families)
+      if (G.numNodes() <= Fam.MaxNodes) {
+        ++Fam.Loops;
+        Fam.Ilp.add(R);
+        Fam.Sat.add(S);
         break;
       }
   }
@@ -87,5 +165,48 @@ int main() {
               MedianSmall, MedianBig,
               (BigTimes.empty() || MedianSmall <= MedianBig) ? "REPRODUCED"
                                                              : "MISMATCH");
+
+  // Engine comparison per size family, and the JSON artifact.
+  TextTable Cmp;
+  Cmp.setHeader({"Family", "Loops", "ILP total", "SAT total", "ILP nodes",
+                 "SAT conflicts", "Faster"});
+  std::string Json = "{\n  \"bench\": \"table5_solver_times\",\n"
+                     "  \"machine\": \"" + Machine.name() + "\",\n"
+                     "  \"corpus_size\": " + std::to_string(Corpus.size()) +
+                     ",\n  \"time_limit_per_t\": " +
+                     strFormat("%.3f", SOpts.TimeLimitPerT) +
+                     ",\n  \"families\": [\n";
+  std::vector<std::string> Entries;
+  for (const Family &Fam : Families) {
+    if (Fam.Loops == 0)
+      continue;
+    const char *Faster = Fam.Sat.total() < Fam.Ilp.total() ? "sat" : "ilp";
+    Cmp.addRow({Fam.Name, std::to_string(Fam.Loops),
+                strFormat("%.3fs", Fam.Ilp.total()),
+                strFormat("%.3fs", Fam.Sat.total()),
+                std::to_string(Fam.Ilp.Effort),
+                std::to_string(Fam.Sat.Effort), Faster});
+    Entries.push_back(
+        strFormat("    {\"family\":\"%s\",\"loops\":%d,\"ilp\":%s,"
+                  "\"sat\":%s,\"faster\":\"%s\"}",
+                  Fam.Name, Fam.Loops, engineJson(Fam.Ilp).c_str(),
+                  engineJson(Fam.Sat).c_str(), Faster));
+  }
+  for (size_t I = 0; I < Entries.size(); ++I)
+    Json += Entries[I] + (I + 1 < Entries.size() ? ",\n" : "\n");
+  Json += "  ]\n}\n";
+  std::printf("\nexact-engine comparison (same corpus, same limits):\n%s\n",
+              Cmp.render().c_str());
+
+  const char *JsonPathEnv = std::getenv("SWP_BENCH_JSON");
+  std::string JsonPath = JsonPathEnv ? JsonPathEnv : "BENCH_solver.json";
+  if (std::FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    std::fputs(Json.c_str(), Out);
+    std::fclose(Out);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -73,9 +73,12 @@ Fingerprint fingerprintOptions(const SchedulerOptions &Opts);
 
 /// The full cache key of one service job: DDG x machine x options, plus
 /// the service-level mode bits that change what is computed.
+/// \p EngineTag is the numeric ExactEngine value (an int here to keep this
+/// header independent of SchedulerService.h): results from different exact
+/// engines never alias in the cache.
 Fingerprint fingerprintJob(const Ddg &G, const MachineModel &M,
                            const SchedulerOptions &Opts, bool Portfolio,
-                           double DeadlineSeconds);
+                           double DeadlineSeconds, int EngineTag = 0);
 
 } // namespace swp
 

@@ -48,6 +48,51 @@
 
 namespace swp {
 
+/// The exact (proof-capable) scheduling engine a job runs.
+enum class ExactEngine {
+  /// The branch-and-bound ILP over the paper's formulation.
+  Ilp,
+  /// The CDCL SAT backend with incremental per-T re-solving.
+  Sat,
+  /// Both, raced with cross-cancellation; the adopted result is decided by
+  /// what each engine *returned* (found schedules, proven windows), never
+  /// by thread timing, so racing stays deterministic.
+  Race,
+};
+
+/// Short stable name of \p E ("ilp", "sat", "race").
+const char *exactEngineName(ExactEngine E);
+
+/// Telemetry of one exactSchedule call (race accounting and cross-engine
+/// proof merging; meaningful fields depend on the engine).
+struct ExactRaceInfo {
+  /// The exact engine actually ran (false when the portfolio's heuristic
+  /// incumbent settled the loop before the exact leg started).
+  bool Ran = false;
+  /// Engine whose result was adopted.
+  ExactEngine Winner = ExactEngine::Ilp;
+  /// The losing engine's clean per-T infeasibility proofs upgraded the
+  /// adopted result to ProvenRateOptimal (satellite accounting: a rung
+  /// that loses the race but proved the matching lower bound still
+  /// contributes its proof).
+  bool ProofUpgraded = false;
+  /// CDCL conflicts the SAT leg spent (0 when SAT never ran).
+  std::int64_t SatConflicts = 0;
+  /// The SAT leg produced the decisive answer first in wall time.  Stats
+  /// only — never consulted when picking the winner.
+  bool SatDecidedFirst = false;
+};
+
+/// Runs \p Engine on one loop: Ilp and Sat dispatch to the corresponding
+/// rate-optimal loop; Race runs both concurrently, cancels the loser once
+/// a decisive result exists, adopts by results (smaller T wins, a found
+/// schedule beats none, tie prefers the ILP), and merges the loser's
+/// infeasibility proofs into the winner's optimality claim.
+SchedulerResult exactSchedule(const Ddg &G, const MachineModel &Machine,
+                              const SchedulerOptions &Opts = {},
+                              ExactEngine Engine = ExactEngine::Ilp,
+                              ExactRaceInfo *Info = nullptr);
+
 /// How one portfolio race was settled (for stats and tests).
 enum class PortfolioOutcome {
   /// The heuristic incumbent hit T_lb; the ILP leg was cancelled unstarted.
@@ -63,20 +108,25 @@ enum class PortfolioOutcome {
   NothingFound,
 };
 
-/// Runs the portfolio race for one loop.  \p Opts configures the ILP leg;
-/// its Cancel token is honored by both legs.  Exposed standalone so swpc
-/// and tests can run it without a pool.
+/// Runs the portfolio race for one loop.  \p Opts configures the exact leg
+/// (ILP, SAT, or both raced, per \p Engine); its Cancel token is honored by
+/// every leg.  Exposed standalone so swpc and tests can run it without a
+/// pool.  \p RaceOut receives the exact leg's race telemetry when it ran.
 SchedulerResult portfolioSchedule(const Ddg &G, const MachineModel &Machine,
                                   const SchedulerOptions &Opts = {},
-                                  PortfolioOutcome *OutcomeOut = nullptr);
+                                  PortfolioOutcome *OutcomeOut = nullptr,
+                                  ExactEngine Engine = ExactEngine::Ilp,
+                                  ExactRaceInfo *RaceOut = nullptr);
 
 /// Service configuration.
 struct ServiceOptions {
   /// Worker threads; 0 means one per hardware thread.
   int Jobs = 0;
-  /// Per-loop scheduler knobs (the ILP leg in portfolio mode).
+  /// Per-loop scheduler knobs (the exact leg in portfolio mode).
   SchedulerOptions Sched;
-  /// Race the heuristics against the ILP per loop.
+  /// Which exact engine answers jobs (and anchors the portfolio).
+  ExactEngine Engine = ExactEngine::Ilp;
+  /// Race the heuristics against the exact engine per loop.
   bool Portfolio = false;
   /// Memoize results by canonical fingerprint.
   bool UseCache = true;

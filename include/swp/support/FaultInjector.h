@@ -58,9 +58,12 @@ enum class FaultSite {
   CacheInsert,
   /// Service per-job watchdog: the job's deadline expires immediately.
   Deadline,
+  /// CDCL conflict handling: the SAT search dies mid-proof; the solve
+  /// reports Unknown (never a fake Unsat).
+  SatConflict,
 };
 
-inline constexpr int NumFaultSites = 7;
+inline constexpr int NumFaultSites = 8;
 
 /// Short stable name of \p S ("lp-stall", "bnb-node", ...).
 const char *faultSiteName(FaultSite S);

@@ -1,0 +1,464 @@
+//===- CdclSolver.cpp - Incremental CDCL SAT solver -----------------------===//
+
+#include "swp/sat/CdclSolver.h"
+
+#include "swp/support/FaultInjector.h"
+#include "swp/support/Stopwatch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+using namespace swp;
+
+namespace {
+
+/// Finite Luby sequence value: the i-th term of the 1,1,2,1,1,2,4,... series
+/// scaled by powers of \p Y (the classic restart schedule).
+double luby(double Y, int X) {
+  int Size = 1, Seq = 0;
+  while (Size < X + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != X) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    X = X % Size;
+  }
+  return std::pow(Y, Seq);
+}
+
+} // namespace
+
+struct CdclSolver::Impl {
+  struct Clause {
+    bool Learnt = false;
+    std::vector<SatLit> Lits;
+  };
+
+  /// 1 = true, -1 = false, 0 = unassigned (per variable).
+  std::vector<std::int8_t> Assign;
+  /// Decision level of each assigned variable.
+  std::vector<int> Level;
+  /// Antecedent clause of each propagated variable (null for decisions).
+  std::vector<Clause *> Reason;
+  /// Saved phase per variable (phase saving; seeded by setPolarity).
+  std::vector<std::int8_t> Phase;
+  /// VSIDS activity per variable.
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  static constexpr double VarDecay = 0.95;
+
+  /// Watch[L] = clauses to inspect when literal L becomes true (they watch
+  /// the negation of L).
+  std::vector<std::vector<Clause *>> Watches;
+
+  std::vector<Clause *> Clauses;
+
+  /// Assignment trail and per-level boundaries.
+  std::vector<SatLit> Trail;
+  std::vector<int> TrailLim;
+  std::size_t QHead = 0;
+
+  /// Activity-ordered max-heap of decision candidates.
+  std::vector<int> Heap;
+  std::vector<int> HeapPos;
+
+  /// Scratch for conflict analysis.
+  std::vector<std::int8_t> Seen;
+
+  ~Impl() {
+    for (Clause *C : Clauses)
+      delete C;
+  }
+
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  int val(SatLit L) const {
+    std::int8_t A = Assign[static_cast<std::size_t>(litVar(L))];
+    return litNeg(L) ? -A : A;
+  }
+
+  // -- Decision heap ------------------------------------------------------
+
+  bool heapLess(int A, int B) const { return Activity[static_cast<std::size_t>(A)] < Activity[static_cast<std::size_t>(B)]; }
+
+  void heapSwap(std::size_t I, std::size_t J) {
+    std::swap(Heap[I], Heap[J]);
+    HeapPos[static_cast<std::size_t>(Heap[I])] = static_cast<int>(I);
+    HeapPos[static_cast<std::size_t>(Heap[J])] = static_cast<int>(J);
+  }
+
+  void percolateUp(std::size_t I) {
+    while (I > 0) {
+      std::size_t Parent = (I - 1) / 2;
+      if (!heapLess(Heap[Parent], Heap[I]))
+        break;
+      heapSwap(Parent, I);
+      I = Parent;
+    }
+  }
+
+  void percolateDown(std::size_t I) {
+    for (;;) {
+      std::size_t L = 2 * I + 1, R = 2 * I + 2, Best = I;
+      if (L < Heap.size() && heapLess(Heap[Best], Heap[L]))
+        Best = L;
+      if (R < Heap.size() && heapLess(Heap[Best], Heap[R]))
+        Best = R;
+      if (Best == I)
+        break;
+      heapSwap(I, Best);
+      I = Best;
+    }
+  }
+
+  void heapInsert(int Var) {
+    if (HeapPos[static_cast<std::size_t>(Var)] >= 0)
+      return;
+    HeapPos[static_cast<std::size_t>(Var)] = static_cast<int>(Heap.size());
+    Heap.push_back(Var);
+    percolateUp(Heap.size() - 1);
+  }
+
+  int heapPop() {
+    int Top = Heap.front();
+    heapSwap(0, Heap.size() - 1);
+    Heap.pop_back();
+    HeapPos[static_cast<std::size_t>(Top)] = -1;
+    if (!Heap.empty())
+      percolateDown(0);
+    return Top;
+  }
+
+  void bumpActivity(int Var) {
+    double &A = Activity[static_cast<std::size_t>(Var)];
+    A += VarInc;
+    if (A > 1e100) {
+      for (double &X : Activity)
+        X *= 1e-100;
+      VarInc *= 1e-100;
+    }
+    int Pos = HeapPos[static_cast<std::size_t>(Var)];
+    if (Pos >= 0)
+      percolateUp(static_cast<std::size_t>(Pos));
+  }
+
+  // -- Trail --------------------------------------------------------------
+
+  void uncheckedEnqueue(SatLit L, Clause *From) {
+    std::size_t V = static_cast<std::size_t>(litVar(L));
+    Assign[V] = litNeg(L) ? -1 : 1;
+    Level[V] = decisionLevel();
+    Reason[V] = From;
+    Trail.push_back(L);
+  }
+
+  void cancelUntil(int LevelTo) {
+    if (decisionLevel() <= LevelTo)
+      return;
+    std::size_t Bound =
+        static_cast<std::size_t>(TrailLim[static_cast<std::size_t>(LevelTo)]);
+    for (std::size_t I = Trail.size(); I > Bound; --I) {
+      SatLit L = Trail[I - 1];
+      std::size_t V = static_cast<std::size_t>(litVar(L));
+      Phase[V] = Assign[V];
+      Assign[V] = 0;
+      Reason[V] = nullptr;
+      heapInsert(static_cast<int>(V));
+    }
+    Trail.resize(Bound);
+    TrailLim.resize(static_cast<std::size_t>(LevelTo));
+    QHead = Trail.size();
+  }
+
+  // -- Propagation --------------------------------------------------------
+
+  void attach(Clause *C) {
+    Watches[static_cast<std::size_t>(litNot(C->Lits[0]))].push_back(C);
+    Watches[static_cast<std::size_t>(litNot(C->Lits[1]))].push_back(C);
+  }
+
+  Clause *propagate(std::int64_t &Propagations) {
+    while (QHead < Trail.size()) {
+      SatLit P = Trail[QHead++];
+      ++Propagations;
+      std::vector<Clause *> &WL = Watches[static_cast<std::size_t>(P)];
+      std::size_t I = 0, J = 0;
+      while (I < WL.size()) {
+        Clause *C = WL[I++];
+        std::vector<SatLit> &Ls = C->Lits;
+        // Normalize: the literal falsified by P sits at position 1.
+        if (Ls[0] == litNot(P))
+          std::swap(Ls[0], Ls[1]);
+        if (val(Ls[0]) == 1) { // Clause already satisfied.
+          WL[J++] = C;
+          continue;
+        }
+        bool Rewatched = false;
+        for (std::size_t K = 2; K < Ls.size(); ++K) {
+          if (val(Ls[K]) != -1) {
+            std::swap(Ls[1], Ls[K]);
+            Watches[static_cast<std::size_t>(litNot(Ls[1]))].push_back(C);
+            Rewatched = true;
+            break;
+          }
+        }
+        if (Rewatched)
+          continue;
+        WL[J++] = C;
+        if (val(Ls[0]) == -1) { // All literals false: conflict.
+          while (I < WL.size())
+            WL[J++] = WL[I++];
+          WL.resize(J);
+          QHead = Trail.size();
+          return C;
+        }
+        uncheckedEnqueue(Ls[0], C);
+      }
+      WL.resize(J);
+    }
+    return nullptr;
+  }
+
+  // -- Conflict analysis (first UIP) --------------------------------------
+
+  void analyze(Clause *Confl, std::vector<SatLit> &Learnt, int &BtLevel) {
+    Learnt.clear();
+    Learnt.push_back(0); // Placeholder for the asserting literal.
+    int Counter = 0;
+    SatLit P = -1;
+    std::size_t Idx = Trail.size();
+    do {
+      for (std::size_t K = (P == -1 ? 0 : 1); K < Confl->Lits.size(); ++K) {
+        SatLit Q = Confl->Lits[K];
+        std::size_t V = static_cast<std::size_t>(litVar(Q));
+        if (Seen[V] || Level[V] == 0)
+          continue;
+        Seen[V] = 1;
+        bumpActivity(static_cast<int>(V));
+        if (Level[V] >= decisionLevel())
+          ++Counter;
+        else
+          Learnt.push_back(Q);
+      }
+      while (!Seen[static_cast<std::size_t>(litVar(Trail[Idx - 1]))])
+        --Idx;
+      P = Trail[Idx - 1];
+      --Idx;
+      Seen[static_cast<std::size_t>(litVar(P))] = 0;
+      --Counter;
+      if (Counter > 0)
+        Confl = Reason[static_cast<std::size_t>(litVar(P))];
+    } while (Counter > 0);
+    Learnt[0] = litNot(P);
+
+    // Backjump to the second-highest level in the clause; put a literal of
+    // that level at position 1 (the second watch).  Clear every Seen flag
+    // before reordering — swapping first would strand the max-level
+    // literal's flag set, silently dropping it from the next analysis.
+    BtLevel = 0;
+    std::size_t MaxPos = 1;
+    for (std::size_t K = 1; K < Learnt.size(); ++K) {
+      Seen[static_cast<std::size_t>(litVar(Learnt[K]))] = 0;
+      int L = Level[static_cast<std::size_t>(litVar(Learnt[K]))];
+      if (L > BtLevel) {
+        BtLevel = L;
+        MaxPos = K;
+      }
+    }
+    if (Learnt.size() > 1)
+      std::swap(Learnt[1], Learnt[MaxPos]);
+  }
+};
+
+const char *swp::satStatusName(SatStatus S) {
+  switch (S) {
+  case SatStatus::Sat:
+    return "sat";
+  case SatStatus::Unsat:
+    return "unsat";
+  case SatStatus::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+CdclSolver::CdclSolver() : P(new Impl) {}
+
+CdclSolver::~CdclSolver() { delete P; }
+
+int CdclSolver::newVar() {
+  int V = NumVars++;
+  P->Assign.push_back(0);
+  P->Level.push_back(0);
+  P->Reason.push_back(nullptr);
+  P->Phase.push_back(-1); // Decide false first (sparse placements).
+  P->Activity.push_back(0.0);
+  P->Watches.emplace_back();
+  P->Watches.emplace_back();
+  P->HeapPos.push_back(-1);
+  P->Seen.push_back(0);
+  P->heapInsert(V);
+  Model.push_back(-1);
+  return V;
+}
+
+void CdclSolver::setPolarity(int Var, bool Value) {
+  P->Phase[static_cast<std::size_t>(Var)] = Value ? 1 : -1;
+}
+
+bool CdclSolver::addClause(const std::vector<SatLit> &Lits) {
+  if (!Ok)
+    return false;
+  // Clauses are only added at decision level 0 (between solves).
+  std::vector<SatLit> Ls(Lits);
+  std::sort(Ls.begin(), Ls.end());
+  Ls.erase(std::unique(Ls.begin(), Ls.end()), Ls.end());
+  std::vector<SatLit> Out;
+  for (std::size_t I = 0; I < Ls.size(); ++I) {
+    if (I + 1 < Ls.size() && Ls[I + 1] == litNot(Ls[I]) &&
+        litVar(Ls[I]) == litVar(Ls[I + 1]))
+      return true; // Tautology.
+    int V = P->val(Ls[I]);
+    if (V == 1)
+      return true; // Satisfied at level 0.
+    if (V == 0)
+      Out.push_back(Ls[I]);
+  }
+  if (Out.empty()) {
+    Ok = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    P->uncheckedEnqueue(Out[0], nullptr);
+    if (P->propagate(Stats.Propagations) != nullptr)
+      Ok = false;
+    return Ok;
+  }
+  Impl::Clause *C = new Impl::Clause;
+  C->Lits = std::move(Out);
+  P->Clauses.push_back(C);
+  P->attach(C);
+  ++NumProblemClauses;
+  return true;
+}
+
+SatStatus CdclSolver::solve(const std::vector<SatLit> &Assumptions,
+                            const SatLimits &Limits) {
+  LastStop = SatStop::None;
+  if (!Ok)
+    return SatStatus::Unsat;
+
+  Stopwatch Watch;
+  FaultInjector &FI = FaultInjector::instance();
+  const std::int64_t ConflictsStart = Stats.Conflicts;
+  int RestartNum = 0;
+  std::int64_t RestartBudget =
+      static_cast<std::int64_t>(luby(2.0, RestartNum) * 64.0);
+  std::int64_t ConflictsSinceRestart = 0;
+  std::vector<SatLit> Learnt;
+
+  auto stop = [&](SatStop Why) {
+    LastStop = Why;
+    P->cancelUntil(0);
+    return SatStatus::Unknown;
+  };
+
+  for (;;) {
+    Impl::Clause *Confl = P->propagate(Stats.Propagations);
+    if (Confl != nullptr) {
+      ++Stats.Conflicts;
+      ++ConflictsSinceRestart;
+      if (FI.armed() && FI.shouldFire(FaultSite::SatConflict)) {
+        // Injected search death: report nothing proven, never Unsat.
+        ++Stats.InjectedFaults;
+        return stop(SatStop::Fault);
+      }
+      if (P->decisionLevel() == 0) {
+        Ok = false;
+        P->cancelUntil(0);
+        return SatStatus::Unsat;
+      }
+      int BtLevel = 0;
+      P->analyze(Confl, Learnt, BtLevel);
+      P->cancelUntil(BtLevel);
+      if (Learnt.size() == 1) {
+        P->uncheckedEnqueue(Learnt[0], nullptr);
+      } else {
+        Impl::Clause *C = new Impl::Clause;
+        C->Learnt = true;
+        C->Lits = Learnt;
+        P->Clauses.push_back(C);
+        P->attach(C);
+        ++Stats.LearnedClauses;
+        Stats.LearnedLiterals += static_cast<std::int64_t>(Learnt.size());
+        P->uncheckedEnqueue(Learnt[0], C);
+      }
+      P->VarInc /= Impl::VarDecay;
+
+      if (Stats.Conflicts - ConflictsStart >= Limits.ConflictLimit)
+        return stop(SatStop::ConflictLimit);
+      if ((ConflictsSinceRestart & 63) == 0) {
+        if (Watch.seconds() >= Limits.TimeLimitSec)
+          return stop(SatStop::TimeLimit);
+        if (Limits.Cancel.cancelled())
+          return stop(SatStop::Cancelled);
+      }
+    } else {
+      if (ConflictsSinceRestart >= RestartBudget) {
+        ++Stats.Restarts;
+        ++RestartNum;
+        RestartBudget =
+            static_cast<std::int64_t>(luby(2.0, RestartNum) * 64.0);
+        ConflictsSinceRestart = 0;
+        P->cancelUntil(0);
+        if (Watch.seconds() >= Limits.TimeLimitSec)
+          return stop(SatStop::TimeLimit);
+        if (Limits.Cancel.cancelled())
+          return stop(SatStop::Cancelled);
+        continue;
+      }
+
+      SatLit Next = -1;
+      while (P->decisionLevel() < static_cast<int>(Assumptions.size())) {
+        SatLit A =
+            Assumptions[static_cast<std::size_t>(P->decisionLevel())];
+        int V = P->val(A);
+        if (V == 1) {
+          // Already implied; open a dummy level to keep indices aligned.
+          P->TrailLim.push_back(static_cast<int>(P->Trail.size()));
+        } else if (V == -1) {
+          // Assumption contradicted by learned/problem clauses: unsat
+          // under these assumptions (the instance itself may stay sat).
+          P->cancelUntil(0);
+          return SatStatus::Unsat;
+        } else {
+          Next = A;
+          break;
+        }
+      }
+      if (Next == -1) {
+        int Var = -1;
+        while (!P->Heap.empty()) {
+          int Cand = P->heapPop();
+          if (P->Assign[static_cast<std::size_t>(Cand)] == 0) {
+            Var = Cand;
+            break;
+          }
+        }
+        if (Var == -1) {
+          // Every variable assigned: a model.
+          Model = P->Assign;
+          P->cancelUntil(0);
+          return SatStatus::Sat;
+        }
+        ++Stats.Decisions;
+        Next = mkLit(Var, P->Phase[static_cast<std::size_t>(Var)] < 0);
+      }
+      P->TrailLim.push_back(static_cast<int>(P->Trail.size()));
+      P->uncheckedEnqueue(Next, nullptr);
+    }
+  }
+}

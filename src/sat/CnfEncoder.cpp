@@ -1,0 +1,423 @@
+//===- CnfEncoder.cpp - Scheduling-to-CNF encoder -------------------------===//
+
+#include "swp/sat/CnfEncoder.h"
+
+#include "swp/ddg/Analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace swp;
+
+namespace {
+
+int ceilDiv(int A, int B) {
+  return A >= 0 ? (A + B - 1) / B : -((-A) / B);
+}
+
+/// Guarded Sinz sequential-counter encoding of sum(X) <= K.  Aux variables
+/// R[i][j] read "at least j+1 of X[0..i] are true"; every clause carries
+/// \p Guard so the whole row retracts with its period selector.
+void sinzAtMost(CdclSolver &S, const std::vector<SatLit> &X, int K,
+                SatLit Guard) {
+  const int N = static_cast<int>(X.size());
+  assert(N > K && K >= 1 && "caller skips vacuous rows");
+  std::vector<std::vector<int>> R(static_cast<std::size_t>(N - 1));
+  for (auto &Row : R) {
+    Row.resize(static_cast<std::size_t>(K));
+    for (int J = 0; J < K; ++J)
+      Row[static_cast<std::size_t>(J)] = S.newVar();
+  }
+  auto at = [&R](int I, int J) {
+    return R[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)];
+  };
+  S.addClause({Guard, litNot(X[0]), mkLit(at(0, 0))});
+  for (int J = 1; J < K; ++J)
+    S.addClause({Guard, mkLit(at(0, J), true)});
+  for (int I = 1; I < N - 1; ++I) {
+    S.addClause({Guard, litNot(X[static_cast<std::size_t>(I)]),
+                 mkLit(at(I, 0))});
+    S.addClause({Guard, mkLit(at(I - 1, 0), true), mkLit(at(I, 0))});
+    for (int J = 1; J < K; ++J) {
+      S.addClause({Guard, litNot(X[static_cast<std::size_t>(I)]),
+                   mkLit(at(I - 1, J - 1), true), mkLit(at(I, J))});
+      S.addClause({Guard, mkLit(at(I - 1, J), true), mkLit(at(I, J))});
+    }
+    S.addClause({Guard, litNot(X[static_cast<std::size_t>(I)]),
+                 mkLit(at(I - 1, K - 1), true)});
+  }
+  S.addClause({Guard, litNot(X[static_cast<std::size_t>(N - 1)]),
+               mkLit(at(N - 2, K - 1), true)});
+}
+
+} // namespace
+
+CnfEncoder::CnfEncoder(const Ddg &Graph, const MachineModel &M,
+                       MappingKind Kind, CdclSolver &Solver)
+    : G(Graph), Machine(M), Mapping(Kind), S(Solver) {
+  TDep = recurrenceMii(G);
+  const int N = G.numNodes();
+  ColorVar.resize(static_cast<std::size_t>(N));
+  OverlapByPair.assign(static_cast<std::size_t>(N) *
+                           static_cast<std::size_t>(N),
+                       -1);
+  OpsOfType.resize(static_cast<std::size_t>(Machine.numTypes()));
+  for (int R = 0; R < Machine.numTypes(); ++R)
+    OpsOfType[static_cast<std::size_t>(R)] = G.nodesOfClass(R);
+  buildColoringSkeleton();
+}
+
+bool CnfEncoder::triviallyInfeasible(int T) const {
+  if (T < 1 || T < TDep)
+    return true;
+  for (const DdgEdge &E : G.edges())
+    if (E.Src == E.Dst && E.Latency - T * E.Distance > 0)
+      return true;
+  return !Machine.moduloFeasible(G, T);
+}
+
+void CnfEncoder::buildColoringSkeleton() {
+  // T-independent coloring block: one-hot colors with lexicographic
+  // symmetry breaking (op Ix of its type uses colors 0..min(Ix, R-1)),
+  // only for fixed mapping on types with more ops than units — other
+  // types always admit a greedy completion (see decode()).
+  if (Mapping != MappingKind::Fixed)
+    return;
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const std::vector<int> &Ops = OpsOfType[static_cast<std::size_t>(R)];
+    const int Count = Machine.type(R).Count;
+    if (Count < 2 || static_cast<int>(Ops.size()) <= Count)
+      continue;
+    for (std::size_t Ix = 0; Ix < Ops.size(); ++Ix) {
+      const int Ub = std::min(static_cast<int>(Ix) + 1, Count);
+      std::vector<int> &Cv = ColorVar[static_cast<std::size_t>(Ops[Ix])];
+      Cv.resize(static_cast<std::size_t>(Ub));
+      std::vector<SatLit> Alo;
+      for (int U = 0; U < Ub; ++U) {
+        Cv[static_cast<std::size_t>(U)] = S.newVar();
+        Alo.push_back(mkLit(Cv[static_cast<std::size_t>(U)]));
+      }
+      S.addClause(Alo);
+      for (int U = 0; U < Ub; ++U)
+        for (int V = U + 1; V < Ub; ++V)
+          S.addClause({mkLit(Cv[static_cast<std::size_t>(U)], true),
+                       mkLit(Cv[static_cast<std::size_t>(V)], true)});
+    }
+  }
+}
+
+int CnfEncoder::overlapVar(int, int, int NodeI, int NodeJ) {
+  const std::size_t Key = static_cast<std::size_t>(NodeI) *
+                              static_cast<std::size_t>(G.numNodes()) +
+                          static_cast<std::size_t>(NodeJ);
+  int &O = OverlapByPair[Key];
+  if (O >= 0)
+    return O;
+  O = S.newVar();
+  // Overlapping same-type ops must map to different units: forbid every
+  // shared color once the overlap indicator is raised.  Unguarded — the
+  // implication is period-independent (o_ij is only *forced* per period).
+  const std::vector<int> &Ci = ColorVar[static_cast<std::size_t>(NodeI)];
+  const std::vector<int> &Cj = ColorVar[static_cast<std::size_t>(NodeJ)];
+  const std::size_t Shared = std::min(Ci.size(), Cj.size());
+  for (std::size_t U = 0; U < Shared; ++U)
+    S.addClause({mkLit(O, true), mkLit(Ci[U], true), mkLit(Cj[U], true)});
+  return O;
+}
+
+void CnfEncoder::ensureRows(int T) {
+  const int N = G.numNodes();
+  while (static_cast<int>(AVar.size()) < T) {
+    std::vector<int> Row(static_cast<std::size_t>(N));
+    const std::size_t Prev = AVar.size();
+    for (int I = 0; I < N; ++I) {
+      Row[static_cast<std::size_t>(I)] = S.newVar();
+      // Unguarded at-most-one per column: a[t][i] rows beyond the assumed
+      // period are then forced off by the guarded at-least-one below it.
+      for (std::size_t Pt = 0; Pt < Prev; ++Pt)
+        S.addClause({mkLit(Row[static_cast<std::size_t>(I)], true),
+                     mkLit(AVar[Pt][static_cast<std::size_t>(I)], true)});
+    }
+    AVar.push_back(std::move(Row));
+  }
+}
+
+SatLit CnfEncoder::selector(int T) {
+  assert(!triviallyInfeasible(T) && "encode only searchable periods");
+  if (static_cast<int>(SelVar.size()) <= T)
+    SelVar.resize(static_cast<std::size_t>(T) + 1, -1);
+  int &Sel = SelVar[static_cast<std::size_t>(T)];
+  if (Sel < 0) {
+    ensureRows(T);
+    Sel = S.newVar();
+    encodePeriod(T, Sel);
+  }
+  return mkLit(Sel);
+}
+
+void CnfEncoder::encodePeriod(int T, int Sel) {
+  const SatLit NS = mkLit(Sel, true);
+  const int N = G.numNodes();
+
+  // At-least-one offset in [0,T) per instruction (Eq. 9/23 at this T).
+  for (int I = 0; I < N; ++I) {
+    std::vector<SatLit> Alo;
+    Alo.push_back(NS);
+    for (int Row = 0; Row < T; ++Row)
+      Alo.push_back(mkLit(AVar[static_cast<std::size_t>(Row)]
+                              [static_cast<std::size_t>(I)]));
+    S.addClause(Alo);
+  }
+
+  // Eager dependence windows for 2-cycles (Eq. 4/8 around a cycle): the K
+  // differences of a cycle i <-> j must cancel, which holds iff the
+  // ceil-weights of both edges sum to <= 0 — enumerable over offset pairs.
+  // Longer cycles go through the lazy blockCycle() refinement instead.
+  const std::vector<DdgEdge> &Edges = G.edges();
+  for (std::size_t A = 0; A < Edges.size(); ++A) {
+    const DdgEdge &E1 = Edges[A];
+    if (E1.Src >= E1.Dst)
+      continue;
+    for (std::size_t B = 0; B < Edges.size(); ++B) {
+      const DdgEdge &E2 = Edges[B];
+      if (E2.Src != E1.Dst || E2.Dst != E1.Src)
+        continue;
+      for (int P = 0; P < T; ++P) {
+        for (int Q = 0; Q < T; ++Q) {
+          const int W1 = ceilDiv(E1.Latency - T * E1.Distance + P - Q, T);
+          const int W2 = ceilDiv(E2.Latency - T * E2.Distance + Q - P, T);
+          if (W1 + W2 > 0)
+            S.addClause({NS,
+                         mkLit(AVar[static_cast<std::size_t>(P)]
+                                   [static_cast<std::size_t>(E1.Src)],
+                               true),
+                         mkLit(AVar[static_cast<std::size_t>(Q)]
+                                   [static_cast<std::size_t>(E1.Dst)],
+                               true)});
+        }
+      }
+    }
+  }
+
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const std::vector<int> &Ops = OpsOfType[static_cast<std::size_t>(R)];
+    if (Ops.empty())
+      continue;
+    const int Count = Machine.type(R).Count;
+
+    // Usage rows (Eq. 5/24-25): per stage and pattern step, at most R_r
+    // ops of the type occupy the stage.  Implied by the coloring block for
+    // fixed mapping but kept as redundant pruning; load-bearing for
+    // run-time mapping.
+    int MaxStages = 0;
+    for (int Op : Ops)
+      MaxStages = std::max(MaxStages,
+                           Machine.tableFor(G.node(Op)).numStages());
+    for (int Stage = 0; Stage < MaxStages; ++Stage) {
+      for (int Slot = 0; Slot < T; ++Slot) {
+        std::vector<SatLit> Lits;
+        int ContributingOps = 0;
+        for (int Op : Ops) {
+          const ReservationTable &Tab = Machine.tableFor(G.node(Op));
+          if (Stage >= Tab.numStages())
+            continue;
+          bool Contributes = false;
+          for (int L : Tab.busyColumns(Stage)) {
+            const int Row = ((Slot - L) % T + T) % T;
+            Lits.push_back(mkLit(AVar[static_cast<std::size_t>(Row)]
+                                     [static_cast<std::size_t>(Op)]));
+            Contributes = true;
+          }
+          if (Contributes)
+            ++ContributingOps;
+        }
+        if (ContributingOps <= Count ||
+            static_cast<int>(Lits.size()) <= Count)
+          continue; // Each op contributes at most 1: the row is vacuous.
+        sinzAtMost(S, Lits, Count, NS);
+      }
+    }
+
+    // Unit collisions (the paper's circular-arc coloring condition): two
+    // same-type ops whose reservation tables collide at their offset
+    // delta cannot share a unit.
+    if (Mapping != MappingKind::Fixed ||
+        static_cast<int>(Ops.size()) <= Count)
+      continue;
+    for (std::size_t IxI = 0; IxI < Ops.size(); ++IxI) {
+      for (std::size_t IxJ = IxI + 1; IxJ < Ops.size(); ++IxJ) {
+        const int NodeI = Ops[IxI], NodeJ = Ops[IxJ];
+        const ReservationTable &Ti = Machine.tableFor(G.node(NodeI));
+        const ReservationTable &Tj = Machine.tableFor(G.node(NodeJ));
+        std::vector<char> ConflictAt(static_cast<std::size_t>(T));
+        bool Any = false;
+        for (int D = 0; D < T; ++D) {
+          ConflictAt[static_cast<std::size_t>(D)] =
+              tablesConflictAtOffset(Ti, Tj, D, T) ? 1 : 0;
+          Any = Any || ConflictAt[static_cast<std::size_t>(D)];
+        }
+        if (!Any)
+          continue;
+        const int Ov = Count == 1 ? -1
+                                  : overlapVar(static_cast<int>(IxI),
+                                               static_cast<int>(IxJ),
+                                               NodeI, NodeJ);
+        for (int P = 0; P < T; ++P) {
+          for (int Q = 0; Q < T; ++Q) {
+            if (!ConflictAt[static_cast<std::size_t>(((Q - P) % T + T) % T)])
+              continue;
+            std::vector<SatLit> C{
+                NS,
+                mkLit(AVar[static_cast<std::size_t>(P)]
+                          [static_cast<std::size_t>(NodeI)],
+                      true),
+                mkLit(AVar[static_cast<std::size_t>(Q)]
+                          [static_cast<std::size_t>(NodeJ)],
+                      true)};
+            if (Ov >= 0)
+              C.push_back(mkLit(Ov));
+            S.addClause(C);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> CnfEncoder::modelOffsets(int T) const {
+  const int N = G.numNodes();
+  std::vector<int> Offsets(static_cast<std::size_t>(N), 0);
+  for (int I = 0; I < N; ++I)
+    for (int Row = 0; Row < T; ++Row)
+      if (S.modelValue(AVar[static_cast<std::size_t>(Row)]
+                           [static_cast<std::size_t>(I)])) {
+        Offsets[static_cast<std::size_t>(I)] = Row;
+        break;
+      }
+  return Offsets;
+}
+
+bool CnfEncoder::decode(int T, ModuloSchedule &Out,
+                        std::vector<int> &CycleNodes) const {
+  CycleNodes.clear();
+  const int N = G.numNodes();
+  const std::vector<int> Offsets = modelOffsets(T);
+
+  // K vector by Bellman-Ford over k_j - k_i >= ceil((lat - T*m + off_i -
+  // off_j) / T), with predecessor tracking for the positive-cycle witness.
+  const std::vector<DdgEdge> &Edges = G.edges();
+  std::vector<int> K(static_cast<std::size_t>(N), 0);
+  std::vector<int> PredEdge(static_cast<std::size_t>(N), -1);
+  for (int Pass = 0; Pass <= N; ++Pass) {
+    bool Changed = false;
+    for (std::size_t EI = 0; EI < Edges.size(); ++EI) {
+      const DdgEdge &E = Edges[EI];
+      const int W = ceilDiv(E.Latency - T * E.Distance +
+                                Offsets[static_cast<std::size_t>(E.Src)] -
+                                Offsets[static_cast<std::size_t>(E.Dst)],
+                            T);
+      const int Cand = K[static_cast<std::size_t>(E.Src)] + W;
+      if (Cand > K[static_cast<std::size_t>(E.Dst)]) {
+        if (Pass == N) {
+          // Walk predecessors until a node repeats: that suffix is a
+          // positive cycle under these offsets.
+          std::vector<char> Seen(static_cast<std::size_t>(N), 0);
+          int X = E.Dst;
+          while (PredEdge[static_cast<std::size_t>(X)] >= 0 &&
+                 !Seen[static_cast<std::size_t>(X)]) {
+            Seen[static_cast<std::size_t>(X)] = 1;
+            X = Edges[static_cast<std::size_t>(
+                          PredEdge[static_cast<std::size_t>(X)])]
+                    .Src;
+          }
+          if (PredEdge[static_cast<std::size_t>(X)] >= 0) {
+            CycleNodes.push_back(X);
+            for (int Y = Edges[static_cast<std::size_t>(
+                                   PredEdge[static_cast<std::size_t>(X)])]
+                             .Src;
+                 Y != X;
+                 Y = Edges[static_cast<std::size_t>(
+                               PredEdge[static_cast<std::size_t>(Y)])]
+                         .Src)
+              CycleNodes.push_back(Y);
+          }
+          // Soundness check: blocking a cycle's offsets is only legal when
+          // that cycle really is positive under them.  If the witness does
+          // not check out (or the walk hit a dead end), fall back to
+          // blocking the complete offset vector — weaker but always sound,
+          // since Bellman-Ford just proved it has no K completion.
+          int CycleWeight = 0;
+          for (int Z : CycleNodes) {
+            const DdgEdge &PE =
+                Edges[static_cast<std::size_t>(
+                    PredEdge[static_cast<std::size_t>(Z)])];
+            CycleWeight +=
+                ceilDiv(PE.Latency - T * PE.Distance +
+                            Offsets[static_cast<std::size_t>(PE.Src)] -
+                            Offsets[static_cast<std::size_t>(PE.Dst)],
+                        T);
+          }
+          if (CycleNodes.empty() || CycleWeight <= 0) {
+            CycleNodes.clear();
+            for (int I = 0; I < N; ++I)
+              CycleNodes.push_back(I);
+          }
+          return false;
+        }
+        K[static_cast<std::size_t>(E.Dst)] = Cand;
+        PredEdge[static_cast<std::size_t>(E.Dst)] = static_cast<int>(EI);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  Out.T = T;
+  Out.StartTime.assign(static_cast<std::size_t>(N), 0);
+  for (int I = 0; I < N; ++I)
+    Out.StartTime[static_cast<std::size_t>(I)] =
+        K[static_cast<std::size_t>(I)] * T +
+        Offsets[static_cast<std::size_t>(I)];
+  Out.Mapping.clear();
+  if (Mapping != MappingKind::Fixed)
+    return true;
+
+  Out.Mapping.assign(static_cast<std::size_t>(N), 0);
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const std::vector<int> &Ops = OpsOfType[static_cast<std::size_t>(R)];
+    const int Count = Machine.type(R).Count;
+    if (static_cast<int>(Ops.size()) <= Count) {
+      // Fewer ops than units: give each its own unit.
+      for (std::size_t Ix = 0; Ix < Ops.size(); ++Ix)
+        Out.Mapping[static_cast<std::size_t>(Ops[Ix])] =
+            static_cast<int>(Ix);
+      continue;
+    }
+    if (Count == 1)
+      continue; // All on unit 0; collision clauses made that legal.
+    for (int Op : Ops) {
+      const std::vector<int> &Cv = ColorVar[static_cast<std::size_t>(Op)];
+      for (std::size_t U = 0; U < Cv.size(); ++U)
+        if (S.modelValue(Cv[U])) {
+          Out.Mapping[static_cast<std::size_t>(Op)] = static_cast<int>(U);
+          break;
+        }
+    }
+  }
+  return true;
+}
+
+void CnfEncoder::blockCycle(int T, const std::vector<int> &CycleNodes,
+                            const std::vector<int> &Offsets) {
+  std::vector<SatLit> C;
+  C.push_back(mkLit(SelVar[static_cast<std::size_t>(T)], true));
+  for (int Node : CycleNodes)
+    C.push_back(mkLit(
+        AVar[static_cast<std::size_t>(
+                 Offsets[static_cast<std::size_t>(Node)])]
+            [static_cast<std::size_t>(Node)],
+        true));
+  S.addClause(C);
+  ++NumCycleBlocks;
+}

@@ -74,7 +74,7 @@ Fingerprint swp::fingerprintOptions(const SchedulerOptions &Opts) {
 
 Fingerprint swp::fingerprintJob(const Ddg &G, const MachineModel &M,
                                 const SchedulerOptions &Opts, bool Portfolio,
-                                double DeadlineSeconds) {
+                                double DeadlineSeconds, int EngineTag) {
   Fingerprint FG = fingerprintDdg(G);
   Fingerprint FM = fingerprintMachine(M);
   Fingerprint FO = fingerprintOptions(Opts);
@@ -84,5 +84,6 @@ Fingerprint swp::fingerprintJob(const Ddg &G, const MachineModel &M,
   B.add(FO.Hi).add(FO.Lo);
   B.add(Portfolio ? 1 : 0);
   B.addDouble(DeadlineSeconds);
+  B.add(EngineTag);
   return B.finish();
 }

@@ -5,20 +5,179 @@
 #include "swp/core/Verifier.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
+#include "swp/sat/SatScheduler.h"
 #include "swp/service/Fingerprint.h"
 #include "swp/support/FaultInjector.h"
 #include "swp/support/Stopwatch.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 using namespace swp;
 
+const char *swp::exactEngineName(ExactEngine E) {
+  switch (E) {
+  case ExactEngine::Ilp:
+    return "ilp";
+  case ExactEngine::Sat:
+    return "sat";
+  case ExactEngine::Race:
+    return "race";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A result that should end the race: a schedule in hand, or a clean
+/// full-window infeasibility proof (nothing left for the other engine to
+/// find either).
+bool decisive(const SchedulerResult &R) {
+  if (R.found())
+    return true;
+  if (!R.Error.isOk() || R.Cancelled || R.FaultsSeen || R.Attempts.empty())
+    return false;
+  for (const TAttempt &A : R.Attempts)
+    if (A.Status != MilpStatus::Infeasible || A.StopReason != SearchStop::None)
+      return false;
+  return true;
+}
+
+/// Cross-engine proof merge: the losing engine's clean per-T infeasibility
+/// proofs below the winner's T upgrade the winner to ProvenRateOptimal.
+/// Requires a fault-free loser run — a proof produced while the injector
+/// was firing is not trusted (mirrors the driver's own downgrade).
+bool mergeCrossEngineProof(SchedulerResult &Winner,
+                           const SchedulerResult &Loser) {
+  if (!Winner.found() || Winner.ProvenRateOptimal || Loser.FaultsSeen ||
+      Winner.TLowerBound <= 0)
+    return false;
+  const int NeedFrom = Winner.TLowerBound, NeedTo = Winner.Schedule.T;
+  if (NeedTo <= NeedFrom) {
+    Winner.ProvenRateOptimal = true; // Sitting on the lower bound.
+    return true;
+  }
+  std::vector<char> Proven(static_cast<std::size_t>(NeedTo - NeedFrom), 0);
+  auto Mark = [&](const TAttempt &A) {
+    if (A.T < NeedFrom || A.T >= NeedTo)
+      return;
+    // ModuloSkipped is a sound analytic proof; otherwise require a clean
+    // (uncensored) Infeasible verdict.
+    if (A.Status == MilpStatus::Infeasible &&
+        (A.ModuloSkipped || A.StopReason == SearchStop::None))
+      Proven[static_cast<std::size_t>(A.T - NeedFrom)] = 1;
+  };
+  for (const TAttempt &A : Winner.Attempts)
+    Mark(A);
+  for (const TAttempt &A : Loser.Attempts)
+    Mark(A);
+  for (char P : Proven)
+    if (!P)
+      return false;
+  Winner.ProvenRateOptimal = true;
+  return true;
+}
+
+SchedulerResult raceExact(const Ddg &G, const MachineModel &Machine,
+                          const SchedulerOptions &Opts, ExactRaceInfo *Info) {
+  // Each leg gets its own source nested under the caller's token, so the
+  // caller can still cancel both while each leg can cancel only its rival.
+  CancellationSource IlpCancel(Opts.Cancel);
+  CancellationSource SatCancel(Opts.Cancel);
+  SchedulerOptions IlpOpts = Opts;
+  IlpOpts.Cancel = IlpCancel.token();
+  SchedulerOptions SatOpts = Opts;
+  SatOpts.Cancel = SatCancel.token();
+
+  // 0 = undecided, 1 = ILP first, 2 = SAT first (wall-clock, stats only).
+  std::atomic<int> FirstDecisive{0};
+  SchedulerResult SatR;
+  std::thread SatLeg([&] {
+    SatR = satScheduleLoop(G, Machine, SatOpts);
+    if (decisive(SatR)) {
+      int Expected = 0;
+      FirstDecisive.compare_exchange_strong(Expected, 2);
+      IlpCancel.cancel();
+    }
+  });
+  SchedulerResult IlpR = scheduleLoop(G, Machine, IlpOpts);
+  if (decisive(IlpR)) {
+    int Expected = 0;
+    FirstDecisive.compare_exchange_strong(Expected, 1);
+    SatCancel.cancel();
+  }
+  SatLeg.join();
+
+  if (Info) {
+    Info->SatConflicts = SatR.TotalNodes;
+    Info->SatDecidedFirst = FirstDecisive.load() == 2;
+  }
+
+  // Adoption is decided by results alone.  A found schedule beats none;
+  // between two schedules the smaller T wins; with no schedule anywhere a
+  // clean full-window proof beats a censored or cancelled run.  Ties
+  // prefer the ILP (both engines are exact, so a tie carries the same
+  // schedule quality and the choice only names the winner).
+  bool SatWins;
+  if (SatR.found() || IlpR.found())
+    SatWins =
+        SatR.found() && (!IlpR.found() || SatR.Schedule.T < IlpR.Schedule.T);
+  else
+    SatWins = decisive(SatR) && !decisive(IlpR);
+
+  SchedulerResult &Winner = SatWins ? SatR : IlpR;
+  const SchedulerResult &Loser = SatWins ? IlpR : SatR;
+  const bool Upgraded = mergeCrossEngineProof(Winner, Loser);
+  // A fault in either leg taints the job; the loser's Cancelled flag does
+  // not (cross-cancellation is how every race ends).
+  Winner.FaultsSeen = Winner.FaultsSeen || Loser.FaultsSeen;
+  if (Info) {
+    Info->Winner = SatWins ? ExactEngine::Sat : ExactEngine::Ilp;
+    Info->ProofUpgraded = Upgraded;
+  }
+  return std::move(Winner);
+}
+
+} // namespace
+
+SchedulerResult swp::exactSchedule(const Ddg &G, const MachineModel &Machine,
+                                   const SchedulerOptions &Opts,
+                                   ExactEngine Engine, ExactRaceInfo *Info) {
+  if (Info) {
+    *Info = ExactRaceInfo();
+    Info->Ran = true;
+  }
+  switch (Engine) {
+  case ExactEngine::Ilp:
+    break;
+  case ExactEngine::Sat: {
+    SchedulerResult R = satScheduleLoop(G, Machine, Opts);
+    if (Info) {
+      Info->Winner = ExactEngine::Sat;
+      Info->SatConflicts = R.TotalNodes;
+      Info->SatDecidedFirst = decisive(R);
+    }
+    return R;
+  }
+  case ExactEngine::Race:
+    return raceExact(G, Machine, Opts, Info);
+  }
+  SchedulerResult R = scheduleLoop(G, Machine, Opts);
+  if (Info)
+    Info->Winner = ExactEngine::Ilp;
+  return R;
+}
+
 SchedulerResult swp::portfolioSchedule(const Ddg &G,
                                        const MachineModel &Machine,
                                        const SchedulerOptions &Opts,
-                                       PortfolioOutcome *OutcomeOut) {
+                                       PortfolioOutcome *OutcomeOut,
+                                       ExactEngine Engine,
+                                       ExactRaceInfo *RaceOut) {
+  if (RaceOut)
+    *RaceOut = ExactRaceInfo();
   Stopwatch Total;
   auto Outcome = [&](PortfolioOutcome O) {
     if (OutcomeOut)
@@ -97,13 +256,14 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
     return R;
   }
 
-  // ILP leg, restricted to strictly better T than the incumbent (the
-  // race's only way to win is to beat it, so T >= Incumbent.T is pruned).
+  // Exact leg (ILP, SAT, or both raced), restricted to strictly better T
+  // than the incumbent (the race's only way to win is to beat it, so
+  // T >= Incumbent.T is pruned).
   SchedulerOptions IlpOpts = Opts;
   if (Incumbent.T > 0)
     IlpOpts.MaxTSlack =
         std::min(Opts.MaxTSlack, Incumbent.T - 1 - R.TLowerBound);
-  SchedulerResult Ilp = scheduleLoop(G, Machine, IlpOpts);
+  SchedulerResult Ilp = exactSchedule(G, Machine, IlpOpts, Engine, RaceOut);
   Ilp.VerifyFailed = Ilp.VerifyFailed || HeurVerifyFailed;
   if (Ilp.found()) {
     StampFaults(Ilp);
@@ -184,11 +344,14 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
   bool Hit = false;
   if (Opts.UseCache) {
     Key = fingerprintJob(G, Machine, Opts.Sched, Opts.Portfolio,
-                         Opts.DeadlinePerLoop);
+                         Opts.DeadlinePerLoop,
+                         static_cast<int>(Opts.Engine));
     Hit = Cache.lookup(Key, R);
   }
 
   PortfolioOutcome Outcome = PortfolioOutcome::NothingFound;
+  ExactRaceInfo Race;
+  bool RanExact = false;
   bool RanPortfolio = false;
   // Faults seen by ANY watchdog attempt, even when a clean retry answered
   // (the final R.FaultsSeen then stays false so the result is cacheable).
@@ -211,10 +374,13 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
       SchedulerOptions SOpts = Opts.Sched;
       SOpts.Cancel = JobCancel.token();
       if (Opts.Portfolio) {
-        R = portfolioSchedule(G, Machine, SOpts, &Outcome);
+        R = portfolioSchedule(G, Machine, SOpts, &Outcome, Opts.Engine,
+                              &Race);
         RanPortfolio = true;
+        RanExact = true;
       } else {
-        R = scheduleLoop(G, Machine, SOpts);
+        R = exactSchedule(G, Machine, SOpts, Opts.Engine, &Race);
+        RanExact = true;
       }
       R.Retries = Attempt;
       SawFaults = SawFaults || R.FaultsSeen;
@@ -312,6 +478,18 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
         ++Counters.FallbackSlackWins;
       else if (R.Fallback == FallbackRung::IterativeModulo)
         ++Counters.FallbackImsWins;
+    }
+    if (RanExact && Race.Ran) {
+      Counters.SatConflicts += static_cast<std::uint64_t>(
+          std::max<std::int64_t>(Race.SatConflicts, 0));
+      if (Race.ProofUpgraded)
+        ++Counters.CrossEngineProofUpgrades;
+      if (Opts.Engine == ExactEngine::Race) {
+        if (Race.Winner == ExactEngine::Sat)
+          ++Counters.RaceSatWins;
+        else
+          ++Counters.RaceIlpWins;
+      }
     }
     if (RanPortfolio) {
       switch (Outcome) {

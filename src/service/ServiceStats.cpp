@@ -50,6 +50,14 @@ std::string ServiceStats::render() const {
     Counters.addRow({"portfolio fallbacks",
                      std::to_string(PortfolioFallbacks)});
   }
+  if (RaceIlpWins + RaceSatWins + CrossEngineProofUpgrades + SatConflicts >
+      0) {
+    Counters.addRow({"race ilp wins", std::to_string(RaceIlpWins)});
+    Counters.addRow({"race sat wins", std::to_string(RaceSatWins)});
+    Counters.addRow({"cross-engine proof upgrades",
+                     std::to_string(CrossEngineProofUpgrades)});
+    Counters.addRow({"sat conflicts", std::to_string(SatConflicts)});
+  }
   if (FaultedJobs + TypedErrors + WatchdogRetries + FallbackSlackWins +
           FallbackImsWins + DispatchFaults >
       0) {

@@ -38,6 +38,8 @@ const char *swp::faultSiteName(FaultSite S) {
     return "cache-insert";
   case FaultSite::Deadline:
     return "deadline";
+  case FaultSite::SatConflict:
+    return "sat-conflict";
   }
   return "?";
 }

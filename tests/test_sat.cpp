@@ -1,0 +1,604 @@
+//===- test_sat.cpp - CDCL SAT engine tests -------------------------------===//
+//
+// The SAT backend end to end: the CDCL core (propagation, learning,
+// assumptions, budgets), agreement of the SAT rate-optimal loop with the
+// ILP on kernels and random loops (both mapping disciplines), the
+// incremental per-T payoffs (learned-clause reuse strictly cheaper than
+// from-scratch; assumption retraction never leaks a stale period
+// constraint), and fault-domain behaviour (an injected SAT death is never
+// reported as an infeasibility proof).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/core/Driver.h"
+#include "swp/core/Verifier.h"
+#include "swp/machine/Catalog.h"
+#include "swp/sat/CdclSolver.h"
+#include "swp/sat/SatScheduler.h"
+#include "swp/service/Fingerprint.h"
+#include "swp/service/SchedulerService.h"
+#include "swp/support/FaultInjector.h"
+#include "swp/workload/Corpus.h"
+#include "swp/workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace swp;
+
+namespace {
+
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().reset(); }
+};
+
+std::uint64_t sliceSeed(int I) {
+  return static_cast<std::uint64_t>(I) * 2654435761ULL + 99;
+}
+
+/// Remaps a ppc604-class corpus loop onto a machine that defines only op
+/// classes 0..K-1 (the Section 2-5 example machines).
+Ddg remapClasses(const Ddg &Gen, int K) {
+  Ddg G(Gen.name());
+  for (const DdgNode &Nd : Gen.nodes())
+    G.addNode(Nd.Name, Nd.OpClass % K, Nd.Latency);
+  for (const DdgEdge &E : Gen.edges())
+    G.addEdgeWithLatency(E.Src, E.Dst, E.Distance, E.Latency);
+  return G;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CdclSolver core
+//===----------------------------------------------------------------------===//
+
+TEST(Cdcl, UnitPropagationAndModel) {
+  CdclSolver S;
+  int A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A)}));
+  ASSERT_TRUE(S.addClause({mkLit(A, true), mkLit(B)}));
+  ASSERT_TRUE(S.addClause({mkLit(B, true), mkLit(C)}));
+  ASSERT_EQ(S.solve({}), SatStatus::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(C));
+}
+
+TEST(Cdcl, GlobalUnsatIsSticky) {
+  CdclSolver S;
+  int A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A), mkLit(B)}));
+  ASSERT_TRUE(S.addClause({mkLit(A), mkLit(B, true)}));
+  ASSERT_TRUE(S.addClause({mkLit(A, true), mkLit(B)}));
+  EXPECT_EQ(S.solve({}), SatStatus::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  // Close the last corner: now globally unsat, and stays so.
+  S.addClause({mkLit(A, true), mkLit(B, true)});
+  EXPECT_EQ(S.solve({}), SatStatus::Unsat);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.solve({}), SatStatus::Unsat);
+}
+
+TEST(Cdcl, AssumptionsRetractCleanly) {
+  CdclSolver S;
+  int A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A, true), mkLit(B)}));
+  ASSERT_TRUE(S.addClause({mkLit(A, true), mkLit(B, true)}));
+  // Unsat only while A is assumed; the instance itself stays sat.
+  EXPECT_EQ(S.solve({mkLit(A)}), SatStatus::Unsat);
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.solve({}), SatStatus::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_EQ(S.solve({mkLit(A, true)}), SatStatus::Sat);
+}
+
+TEST(Cdcl, PigeonholePrinciple) {
+  // 5 pigeons, 4 holes: unsat, and deep enough to exercise 1-UIP learning
+  // and restarts.  P[i][j] = pigeon i sits in hole j.
+  const int Pigeons = 5, Holes = 4;
+  CdclSolver S;
+  int P[5][4];
+  for (int I = 0; I < Pigeons; ++I)
+    for (int J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<SatLit> Alo;
+    for (int J = 0; J < Holes; ++J)
+      Alo.push_back(mkLit(P[I][J]));
+    ASSERT_TRUE(S.addClause(Alo));
+  }
+  for (int J = 0; J < Holes; ++J)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int K = I + 1; K < Pigeons; ++K)
+        ASSERT_TRUE(S.addClause({mkLit(P[I][J], true), mkLit(P[K][J], true)}));
+  EXPECT_EQ(S.solve({}), SatStatus::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0);
+  EXPECT_GT(S.stats().LearnedClauses, 0);
+}
+
+TEST(Cdcl, ConflictLimitCensorsWithStopReason) {
+  // Same pigeonhole instance, but a 1-conflict budget: no proof, and the
+  // stop reason says why.
+  const int Pigeons = 5, Holes = 4;
+  CdclSolver S;
+  std::vector<std::vector<int>> P(Pigeons, std::vector<int>(Holes));
+  for (auto &Row : P)
+    for (int &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<SatLit> Alo;
+    for (int J = 0; J < Holes; ++J)
+      Alo.push_back(mkLit(P[I][J]));
+    S.addClause(Alo);
+  }
+  for (int J = 0; J < Holes; ++J)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int K = I + 1; K < Pigeons; ++K)
+        S.addClause({mkLit(P[I][J], true), mkLit(P[K][J], true)});
+  SatLimits Limits;
+  Limits.ConflictLimit = 1;
+  EXPECT_EQ(S.solve({}, Limits), SatStatus::Unknown);
+  EXPECT_EQ(S.lastStop(), SatStop::ConflictLimit);
+  // And with the budget lifted the proof completes on the same instance.
+  EXPECT_EQ(S.solve({}), SatStatus::Unsat);
+}
+
+TEST(Cdcl, CancellationStopsSearch) {
+  CdclSolver S;
+  int A = S.newVar();
+  S.addClause({mkLit(A)});
+  CancellationSource Src;
+  Src.cancel();
+  SatLimits Limits;
+  Limits.Cancel = Src.token();
+  // A pre-cancelled token is honoured even on a trivial instance... once
+  // there is at least one conflict to poll at; a conflict-free solve may
+  // legitimately finish.  Use an instance with guaranteed conflicts.
+  const int N = 6;
+  std::vector<int> V;
+  for (int I = 0; I < N; ++I)
+    V.push_back(S.newVar());
+  for (int I = 0; I + 1 < N; ++I)
+    S.addClause({mkLit(V[static_cast<std::size_t>(I)], true),
+                 mkLit(V[static_cast<std::size_t>(I) + 1])});
+  SatStatus St = S.solve({}, Limits);
+  EXPECT_TRUE(St == SatStatus::Unknown || St == SatStatus::Sat);
+  if (St == SatStatus::Unknown) {
+    EXPECT_EQ(S.lastStop(), SatStop::Cancelled);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SAT engine vs ILP agreement
+//===----------------------------------------------------------------------===//
+
+TEST(SatScheduler, MatchesIlpOnClassicKernels) {
+  MachineModel M = ppc604Like();
+  // No wall-clock limit: these instances solve in milliseconds, and a
+  // time-based censor would make the parity assertions load-sensitive.
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 1e9;
+  for (const Ddg &G : classicKernels()) {
+    SchedulerResult Ilp = scheduleLoop(G, M, Opts);
+    SchedulerResult Sat = satScheduleLoop(G, M, Opts);
+    ASSERT_TRUE(Ilp.found()) << G.name();
+    ASSERT_TRUE(Sat.found()) << G.name();
+    EXPECT_EQ(Sat.Schedule.T, Ilp.Schedule.T) << G.name();
+    EXPECT_EQ(Sat.TLowerBound, Ilp.TLowerBound) << G.name();
+    EXPECT_EQ(Sat.ProvenRateOptimal, Ilp.ProvenRateOptimal) << G.name();
+    VerifyResult V = verifySchedule(G, M, Sat.Schedule);
+    EXPECT_TRUE(V.Ok) << G.name() << ": " << V.Error;
+    EXPECT_FALSE(Sat.VerifyFailed) << G.name();
+  }
+}
+
+TEST(SatScheduler, MatchesIlpOnHazardExamples) {
+  // The Section 2-5 example machines: unclean pipelines, non-pipelined
+  // units, and the Schedule A instance whose run-time-mapping optimum
+  // admits no fixed assignment.
+  std::vector<MachineModel> Machines = {
+      exampleCleanMachine(), exampleNonPipelinedMachine(),
+      exampleTwoFpMachine(), exampleHazardMachine()};
+  CorpusOptions COpts;
+  COpts.MaxNodes = 7;
+  for (std::size_t MI = 0; MI < Machines.size(); ++MI) {
+    // The example machines define classes {0, 1}; reuse the corpus
+    // generator aimed at ppc604Like and remap classes into range.
+    for (int I = 0; I < 6; ++I) {
+      Ddg G = remapClasses(
+          generateRandomLoop(ppc604Like(), sliceSeed(I + 10), COpts), 2);
+      SchedulerOptions Opts;
+      Opts.TimeLimitPerT = 1e9; // Load-independent parity (see above).
+      SchedulerResult Ilp = scheduleLoop(G, Machines[MI], Opts);
+      SchedulerResult Sat = satScheduleLoop(G, Machines[MI], Opts);
+      ASSERT_EQ(Sat.found(), Ilp.found())
+          << "machine " << MI << " loop " << I;
+      if (!Ilp.found())
+        continue;
+      EXPECT_EQ(Sat.Schedule.T, Ilp.Schedule.T)
+          << "machine " << MI << " loop " << I;
+      VerifyResult V = verifySchedule(G, Machines[MI], Sat.Schedule);
+      EXPECT_TRUE(V.Ok) << V.Error;
+    }
+  }
+}
+
+TEST(SatScheduler, MatchesIlpOnRandomLoops) {
+  MachineModel M = ppc604Like();
+  CorpusOptions COpts;
+  COpts.MaxNodes = 9;
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 1e9; // Load-independent parity (see above).
+  for (int I = 0; I < 25; ++I) {
+    Ddg G = generateRandomLoop(M, sliceSeed(I), COpts);
+    SchedulerResult Ilp = scheduleLoop(G, M, Opts);
+    SchedulerResult Sat = satScheduleLoop(G, M, Opts);
+    ASSERT_EQ(Sat.found(), Ilp.found()) << G.name();
+    if (!Ilp.found())
+      continue;
+    EXPECT_EQ(Sat.Schedule.T, Ilp.Schedule.T) << G.name();
+    EXPECT_EQ(Sat.ProvenRateOptimal, Ilp.ProvenRateOptimal) << G.name();
+    VerifyResult V = verifySchedule(G, M, Sat.Schedule);
+    EXPECT_TRUE(V.Ok) << G.name() << ": " << V.Error;
+  }
+}
+
+TEST(SatScheduler, RunTimeMappingMatchesIlp) {
+  MachineModel M = ppc604Like();
+  CorpusOptions COpts;
+  COpts.MaxNodes = 8;
+  SchedulerOptions Opts;
+  Opts.Mapping = MappingKind::RunTime;
+  Opts.TimeLimitPerT = 1e9; // Load-independent parity (see above).
+  for (int I = 0; I < 10; ++I) {
+    Ddg G = generateRandomLoop(M, sliceSeed(I + 1000), COpts);
+    SchedulerResult Ilp = scheduleLoop(G, M, Opts);
+    SchedulerResult Sat = satScheduleLoop(G, M, Opts);
+    ASSERT_EQ(Sat.found(), Ilp.found()) << G.name();
+    if (!Ilp.found())
+      continue;
+    EXPECT_EQ(Sat.Schedule.T, Ilp.Schedule.T) << G.name();
+    EXPECT_FALSE(Sat.Schedule.hasMapping()) << G.name();
+    VerifyResult V = verifySchedule(G, M, Sat.Schedule);
+    EXPECT_TRUE(V.Ok) << G.name() << ": " << V.Error;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental per-T re-solve
+//===----------------------------------------------------------------------===//
+
+TEST(SatScheduler, IncrementalReuseBeatsFromScratch) {
+  // Walk T upward with one engine (learned clauses, activities, and phases
+  // carried across periods) and compare the conflicts spent at the final T
+  // against a cold engine solving that T directly.  Aggregated over a
+  // seeded corpus slice and filtered to loops whose cold solve actually
+  // conflicts, the incremental path must be strictly cheaper.  The
+  // non-pipelined example machine forces optima above the lower bound;
+  // the ILP proof (ProvenRateOptimal) pins the per-T ground truth.
+  MachineModel M = exampleNonPipelinedMachine();
+  CorpusOptions COpts;
+  COpts.MaxNodes = 11;
+  // Budget the ILP by node count only: it just pins ground truth, and
+  // instances it cannot prove inside the cap are filtered out by the
+  // ProvenRateOptimal check.  A node cap censors identically under any
+  // machine load; a wall-clock cap would make the filter flaky.  Keep
+  // the cap small: censored instances pay it in full before filtering.
+  SchedulerOptions IlpOpts;
+  IlpOpts.TimeLimitPerT = 1e9;
+  IlpOpts.NodeLimitPerT = 1500;
+  std::int64_t Incremental = 0, Scratch = 0;
+  int Counted = 0;
+  for (int I = 0; I < 40 && Counted < 6; ++I) {
+    Ddg G = remapClasses(
+        generateRandomLoop(ppc604Like(), sliceSeed(I + 2000), COpts), 2);
+    SchedulerResult Ilp = scheduleLoop(G, M, IlpOpts);
+    if (!Ilp.found() || !Ilp.ProvenRateOptimal ||
+        Ilp.Schedule.T == Ilp.TLowerBound)
+      continue; // Interesting only when at least one T gets refuted.
+    const int FoundT = Ilp.Schedule.T;
+
+    SatScheduler Warm(G, M);
+    std::int64_t AtFoundT = 0;
+    for (int T = Ilp.TLowerBound; T <= FoundT; ++T) {
+      if (!M.moduloFeasible(G, T))
+        continue;
+      SatAttempt A = Warm.solveAtT(T);
+      ASSERT_NE(A.Status, MilpStatus::Error) << G.name();
+      if (T == FoundT) {
+        ASSERT_EQ(A.Status, MilpStatus::Optimal) << G.name();
+        AtFoundT = A.Conflicts;
+      } else {
+        ASSERT_EQ(A.Status, MilpStatus::Infeasible) << G.name();
+      }
+    }
+
+    SatScheduler Cold(G, M);
+    SatAttempt ColdA = Cold.solveAtT(FoundT);
+    ASSERT_EQ(ColdA.Status, MilpStatus::Optimal) << G.name();
+    if (ColdA.Conflicts == 0)
+      continue; // Nothing to save on a propagation-only solve.
+    Incremental += AtFoundT;
+    Scratch += ColdA.Conflicts;
+    ++Counted;
+  }
+  ASSERT_GT(Counted, 0) << "slice produced no conflicting instances";
+  EXPECT_LT(Incremental, Scratch)
+      << "learned-clause reuse should beat from-scratch re-solves ("
+      << Counted << " loops)";
+}
+
+TEST(SatScheduler, AssumptionRetractionNeverLeaksAcrossT) {
+  // Probe periods out of order on one engine: infeasible T stay
+  // infeasible, feasible T stay feasible with verifier-clean schedules,
+  // and the optimal II matches the ILP — a stale leaked period constraint
+  // would break one of these.
+  MachineModel M = exampleNonPipelinedMachine();
+  CorpusOptions COpts;
+  COpts.MaxNodes = 8;
+  // Node-limit-only budget: deterministic under any machine load.
+  SchedulerOptions IlpOpts;
+  IlpOpts.TimeLimitPerT = 1e9;
+  IlpOpts.NodeLimitPerT = 3000;
+  int Exercised = 0;
+  for (int I = 0; I < 30; ++I) {
+    Ddg G = remapClasses(
+        generateRandomLoop(ppc604Like(), sliceSeed(I + 3000), COpts), 2);
+    SchedulerResult Ilp = scheduleLoop(G, M, IlpOpts);
+    if (!Ilp.found() || !Ilp.ProvenRateOptimal)
+      continue;
+    const int FoundT = Ilp.Schedule.T;
+    SatScheduler Engine(G, M);
+    for (int T = Ilp.TLowerBound; T <= FoundT; ++T) {
+      if (!M.moduloFeasible(G, T))
+        continue;
+      SatAttempt A = Engine.solveAtT(T);
+      if (T < FoundT)
+        ASSERT_EQ(A.Status, MilpStatus::Infeasible) << G.name() << " T=" << T;
+      else
+        ASSERT_EQ(A.Status, MilpStatus::Optimal) << G.name();
+    }
+    // Revisit: the feasible period again (its guarded slice must still be
+    // active and decodable), then every refuted one, then feasible again.
+    SatAttempt Again = Engine.solveAtT(FoundT);
+    ASSERT_EQ(Again.Status, MilpStatus::Optimal) << G.name();
+    VerifyResult V = verifySchedule(G, M, Again.Schedule);
+    ASSERT_TRUE(V.Ok) << G.name() << ": " << V.Error;
+    EXPECT_EQ(Again.Schedule.T, FoundT) << G.name();
+    for (int T = Ilp.TLowerBound; T < FoundT; ++T) {
+      if (!M.moduloFeasible(G, T))
+        continue;
+      SatAttempt A = Engine.solveAtT(T);
+      EXPECT_EQ(A.Status, MilpStatus::Infeasible)
+          << G.name() << " re-solve T=" << T;
+      ++Exercised;
+    }
+    SatAttempt Final = Engine.solveAtT(FoundT);
+    ASSERT_EQ(Final.Status, MilpStatus::Optimal) << G.name();
+    VerifyResult VF = verifySchedule(G, M, Final.Schedule);
+    EXPECT_TRUE(VF.Ok) << G.name() << ": " << VF.Error;
+  }
+  ASSERT_GT(Exercised, 0) << "slice never exercised a refuted period";
+}
+
+//===----------------------------------------------------------------------===//
+// Failure domain
+//===----------------------------------------------------------------------===//
+
+TEST(SatFaults, InjectedConflictDeathIsNeverAnInfeasibilityProof) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  CorpusOptions COpts;
+  COpts.MaxNodes = 14;
+  // Every conflict faults: any attempt that would need search dies.
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("sat-conflict:p1.0", 7));
+  int Killed = 0;
+  for (int I = 0; I < 25 && Killed == 0; ++I) {
+    Ddg G = generateRandomLoop(M, sliceSeed(I + 2000), COpts);
+    SchedulerResult Sat = satScheduleLoop(G, M);
+    EXPECT_TRUE(Sat.Error.isOk());
+    for (const TAttempt &A : Sat.Attempts) {
+      if (A.StopReason == SearchStop::Fault) {
+        // The killed attempt reports Unknown — never a fake Unsat.
+        EXPECT_EQ(A.Status, MilpStatus::Unknown);
+        ++Killed;
+      }
+      if (A.Status == MilpStatus::Infeasible && !A.ModuloSkipped) {
+        EXPECT_EQ(A.StopReason, SearchStop::None);
+      }
+    }
+    if (Killed > 0) {
+      EXPECT_TRUE(Sat.FaultsSeen);
+      EXPECT_FALSE(Sat.ProvenRateOptimal);
+    }
+  }
+  EXPECT_GT(Killed, 0) << "slice never reached a SAT conflict";
+}
+
+TEST(SatFaults, AllocFaultIsATypedError) {
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, sliceSeed(4), CorpusOptions{});
+  ASSERT_TRUE(FaultInjector::instance().configure("alloc:1"));
+  SatScheduler Engine(G, M);
+  SatAttempt A = Engine.solveAtT(4);
+  EXPECT_EQ(A.Status, MilpStatus::Error);
+  EXPECT_EQ(A.Error.code(), StatusCode::ResourceExhausted);
+  EXPECT_EQ(A.Stop, SearchStop::Fault);
+  FaultInjector::instance().reset();
+  // The engine recovers: the same period solves once the injector disarms.
+  SatAttempt B = Engine.solveAtT(4);
+  EXPECT_NE(B.Status, MilpStatus::Error);
+}
+
+TEST(SatScheduler, PreCancelledTokenShortCircuits) {
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, sliceSeed(5), CorpusOptions{});
+  CancellationSource Src;
+  Src.cancel();
+  SchedulerOptions Opts;
+  Opts.Cancel = Src.token();
+  SchedulerResult Sat = satScheduleLoop(G, M, Opts);
+  EXPECT_FALSE(Sat.found());
+  EXPECT_TRUE(Sat.Cancelled);
+}
+
+TEST(SatScheduler, InvalidInputIsATypedError) {
+  MachineModel M = ppc604Like();
+  Ddg G("bad-class");
+  G.addNode("x", 97, 1);
+  SchedulerResult Sat = satScheduleLoop(G, M);
+  EXPECT_FALSE(Sat.found());
+  EXPECT_EQ(Sat.Error.code(), StatusCode::InvalidInput);
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration: exactSchedule engines, racing, stats
+//===----------------------------------------------------------------------===//
+
+TEST(SatService, ExactScheduleSatEngineMatchesIlp) {
+  MachineModel M = ppc604Like();
+  // Node-limit-only budgets: a wall-clock cap would let background load
+  // change what gets censored and flake the comparison.
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 1e9;
+  Opts.NodeLimitPerT = 6000;
+  int Compared = 0;
+  for (int I = 0; I < 8; ++I) {
+    Ddg G = generateRandomLoop(M, sliceSeed(I + 500), CorpusOptions{});
+    SchedulerResult Ilp = exactSchedule(G, M, Opts, ExactEngine::Ilp);
+    ExactRaceInfo Info;
+    SchedulerResult Sat = exactSchedule(G, M, Opts, ExactEngine::Sat, &Info);
+    EXPECT_TRUE(Info.Ran);
+    EXPECT_EQ(Info.Winner, ExactEngine::Sat);
+    if (Sat.found())
+      EXPECT_TRUE(verifySchedule(G, M, Sat.Schedule).Ok) << G.name();
+    // Neither engine may beat the other's proven optimum.
+    if (Ilp.ProvenRateOptimal && Sat.found())
+      EXPECT_GE(Sat.Schedule.T, Ilp.Schedule.T) << G.name();
+    if (Sat.ProvenRateOptimal && Ilp.found())
+      EXPECT_GE(Ilp.Schedule.T, Sat.Schedule.T) << G.name();
+    if (!Ilp.ProvenRateOptimal || !Sat.ProvenRateOptimal)
+      continue; // A censored run pins nothing exactly.
+    EXPECT_EQ(Ilp.Schedule.T, Sat.Schedule.T) << G.name();
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 0) << "no instance yielded two proven optima";
+}
+
+TEST(SatService, RaceAdoptsAProvenAnswer) {
+  // The proof-preservation guarantee: when BOTH standalone engines prove
+  // rate-optimality at T*, the race must adopt a proven T* no matter how
+  // the cross-cancellation timing falls — whichever leg decides first ran
+  // to completion and carries a complete proof (or the loser's clean per-T
+  // refutations merge in).  Node-limit-only budgets keep each solo run's
+  // provenness independent of machine load.
+  MachineModel M = ppc604Like();
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 1e9;
+  Opts.NodeLimitPerT = 6000;
+  int Raced = 0;
+  for (int I = 0; I < 6; ++I) {
+    Ddg G = generateRandomLoop(M, sliceSeed(I + 600), CorpusOptions{});
+    SchedulerResult SatSolo = satScheduleLoop(G, M, Opts);
+    SchedulerResult IlpSolo = scheduleLoop(G, M, Opts);
+    if (!SatSolo.found() || !SatSolo.ProvenRateOptimal ||
+        !IlpSolo.found() || !IlpSolo.ProvenRateOptimal)
+      continue;
+    ASSERT_EQ(SatSolo.Schedule.T, IlpSolo.Schedule.T) << G.name();
+    ExactRaceInfo Info;
+    SchedulerResult Race = exactSchedule(G, M, Opts, ExactEngine::Race,
+                                         &Info);
+    ASSERT_TRUE(Race.found()) << G.name();
+    EXPECT_EQ(Race.Schedule.T, SatSolo.Schedule.T) << G.name();
+    EXPECT_TRUE(Race.ProvenRateOptimal) << G.name();
+    EXPECT_TRUE(verifySchedule(G, M, Race.Schedule).Ok) << G.name();
+    EXPECT_TRUE(Info.Ran);
+    ++Raced;
+  }
+  EXPECT_GT(Raced, 0) << "no instance yielded two proven solo optima";
+}
+
+TEST(SatService, RaceHonorsPreCancelledToken) {
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, sliceSeed(7), CorpusOptions{});
+  CancellationSource Src;
+  Src.cancel();
+  SchedulerOptions Opts;
+  Opts.Cancel = Src.token();
+  SchedulerResult R = exactSchedule(G, M, Opts, ExactEngine::Race);
+  EXPECT_FALSE(R.found());
+  EXPECT_TRUE(R.Cancelled);
+}
+
+TEST(SatService, EngineTagKeepsCacheKeysDistinct) {
+  // Results from different exact engines must never alias in the result
+  // cache, even for an identical loop/machine/options job.
+  MachineModel M = ppc604Like();
+  Ddg G = generateRandomLoop(M, sliceSeed(8), CorpusOptions{});
+  Fingerprint Ilp = fingerprintJob(G, M, {}, false, 0.0,
+                                   static_cast<int>(ExactEngine::Ilp));
+  Fingerprint Sat = fingerprintJob(G, M, {}, false, 0.0,
+                                   static_cast<int>(ExactEngine::Sat));
+  Fingerprint Race = fingerprintJob(G, M, {}, false, 0.0,
+                                    static_cast<int>(ExactEngine::Race));
+  EXPECT_FALSE(Ilp == Sat);
+  EXPECT_FALSE(Ilp == Race);
+  EXPECT_FALSE(Sat == Race);
+}
+
+TEST(SatService, ServiceBatchWithSatEngineCountsConflicts) {
+  MachineModel M = ppc604Like();
+  std::vector<Ddg> Loops;
+  for (int I = 0; I < 6; ++I)
+    Loops.push_back(generateRandomLoop(M, sliceSeed(I + 700),
+                                       CorpusOptions{}));
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 2;
+  SvcOpts.Engine = ExactEngine::Sat;
+  SchedulerService Svc(M, SvcOpts);
+  std::vector<SchedulerResult> Results = Svc.scheduleAll(Loops);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    ASSERT_TRUE(Results[I].found()) << Loops[I].name();
+    EXPECT_TRUE(verifySchedule(Loops[I], M, Results[I].Schedule).Ok)
+        << Loops[I].name();
+  }
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Completed, Loops.size());
+  // Race-win counters stay at zero outside Engine::Race.
+  EXPECT_EQ(Stats.RaceIlpWins + Stats.RaceSatWins, 0u);
+}
+
+TEST(SatService, ServiceBatchWithRaceEngineCountsWins) {
+  MachineModel M = ppc604Like();
+  std::vector<Ddg> Loops;
+  for (int I = 0; I < 6; ++I)
+    Loops.push_back(generateRandomLoop(M, sliceSeed(I + 800),
+                                       CorpusOptions{}));
+  ServiceOptions SvcOpts;
+  SvcOpts.Jobs = 2;
+  SvcOpts.Engine = ExactEngine::Race;
+  SvcOpts.UseCache = false;
+  SvcOpts.Sched.TimeLimitPerT = 1e9;
+  SvcOpts.Sched.NodeLimitPerT = 6000;
+  SchedulerService Svc(M, SvcOpts);
+  std::vector<SchedulerResult> Results = Svc.scheduleAll(Loops);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (Results[I].found())
+      EXPECT_TRUE(verifySchedule(Loops[I], M, Results[I].Schedule).Ok)
+          << Loops[I].name();
+    // When the race's answer is proven, it must match the ILP's proven
+    // answer exactly (timing may only change who proved it, not what).
+    SchedulerResult Ilp = scheduleLoop(Loops[I], M, SvcOpts.Sched);
+    if (Results[I].ProvenRateOptimal && Ilp.ProvenRateOptimal)
+      EXPECT_EQ(Results[I].Schedule.T, Ilp.Schedule.T) << Loops[I].name();
+  }
+  ServiceStats Stats = Svc.stats();
+  // Every job ran the race, and every race names exactly one winner.
+  EXPECT_EQ(Stats.RaceIlpWins + Stats.RaceSatWins, Loops.size());
+}

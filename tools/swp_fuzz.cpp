@@ -23,7 +23,15 @@
 // SearchStop chain, and any rate-optimality claim it makes survives a
 // fault-free re-solve.
 //
+// With --mode ilp-vs-sat the harness becomes a two-engine differential:
+// the branch-and-bound ILP and the CDCL SAT backend solve every instance
+// and their answers are cross-checked — both schedules verified and
+// replayed, proven-optimal IIs must agree exactly, neither engine may beat
+// the other's proven optimum, and a clean full-window infeasibility proof
+// from one engine forbids the other from finding anything in the window.
+//
 //   swp_fuzz --instances 10000 --seed 1            # acceptance run
+//   swp_fuzz --instances 10000 --seed 1 --mode ilp-vs-sat
 //   swp_fuzz --instances 200 --faults "lp-infeasible:p0.1,bnb-node:p0.05"
 //
 // Exit status: 0 = no findings, 1 = findings (each printed with a full
@@ -37,6 +45,7 @@
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
 #include "swp/machine/MachineModel.h"
+#include "swp/sat/SatScheduler.h"
 #include "swp/service/SchedulerService.h"
 #include "swp/sim/DynamicSimulator.h"
 #include "swp/support/FaultInjector.h"
@@ -57,6 +66,8 @@ struct FuzzOptions {
   int Instances = 1000;
   std::uint64_t Seed = 1;
   int MaxNodes = 10;
+  /// "all" = every scheduler path; "ilp-vs-sat" = two-engine differential.
+  std::string Mode = "all";
   std::string FaultSpec;
   double TimeLimitPerT = 0.05;
   std::int64_t NodeLimitPerT = 1500;
@@ -69,7 +80,8 @@ struct FuzzOptions {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--instances N] [--seed S] [--max-nodes N]\n"
-               "       [--faults SPEC] [--time-limit S] [--node-limit N]\n"
+               "       [--mode all|ilp-vs-sat] [--faults SPEC]\n"
+               "       [--time-limit S] [--node-limit N]\n"
                "       [--max-t-slack N] [--service-every N] [--verbose]\n",
                Argv0);
   return 2;
@@ -333,6 +345,95 @@ void fuzzOne(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
   }
 }
 
+/// Two-engine differential: the branch-and-bound ILP and the CDCL SAT
+/// backend answer the same instance; any disagreement between their
+/// schedules or proofs is a finding.
+void fuzzIlpVsSat(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
+                  Findings &F) {
+  Rng R(InstanceSeed);
+  MachineModel Machine = randomMachine(R);
+  Ddg G = randomLoop(R, Machine, Opts.MaxNodes, InstanceSeed);
+
+  const bool WithFaults = !Opts.FaultSpec.empty();
+  if (WithFaults) {
+    std::string Err;
+    if (!FaultInjector::instance().configure(Opts.FaultSpec,
+                                             mix64(InstanceSeed), &Err)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", Err.c_str());
+      std::exit(2);
+    }
+  }
+
+  SchedulerOptions SOpts;
+  SOpts.TimeLimitPerT = Opts.TimeLimitPerT;
+  SOpts.NodeLimitPerT = Opts.NodeLimitPerT;
+  SOpts.MaxTSlack = Opts.MaxTSlack;
+
+  SchedulerResult Ilp = scheduleLoop(G, Machine, SOpts);
+  SchedulerResult Sat = satScheduleLoop(G, Machine, SOpts);
+
+  // Faulted runs must end in a typed state, never a silent empty result.
+  if (WithFaults) {
+    auto Unexplained = [](const SchedulerResult &X) {
+      return !X.found() && X.Error.isOk() && X.Attempts.empty() &&
+             !X.Cancelled;
+    };
+    if (Unexplained(Ilp))
+      F.report(InstanceSeed, Machine, G,
+               "faulted ILP run returned an unexplained empty result");
+    if (Unexplained(Sat))
+      F.report(InstanceSeed, Machine, G,
+               "faulted SAT run returned an unexplained empty result");
+    FaultInjector::instance().reset();
+  }
+
+  if (Ilp.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Ilp.Schedule, "ilp");
+  if (Sat.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Sat.Schedule, "sat");
+
+  // Proof cross-checks run on fault-free ground truth (a faulted run
+  // already downgraded its claims; the re-solve proves it downgraded
+  // enough — any surviving claim must agree with the clean answers).
+  if (WithFaults) {
+    Ilp = scheduleLoop(G, Machine, SOpts);
+    Sat = satScheduleLoop(G, Machine, SOpts);
+  }
+  if (Ilp.Error.isOk() && Sat.Error.isOk() &&
+      Ilp.TLowerBound != Sat.TLowerBound)
+    F.report(InstanceSeed, Machine, G,
+             "T_lb disagrees: ilp " + std::to_string(Ilp.TLowerBound) +
+                 " vs sat " + std::to_string(Sat.TLowerBound));
+  if (Ilp.ProvenRateOptimal && Sat.ProvenRateOptimal &&
+      Ilp.Schedule.T != Sat.Schedule.T)
+    F.report(InstanceSeed, Machine, G,
+             "proven-optimal II mismatch: ilp " +
+                 std::to_string(Ilp.Schedule.T) + " vs sat " +
+                 std::to_string(Sat.Schedule.T));
+  if (Ilp.ProvenRateOptimal && Sat.found() &&
+      Sat.Schedule.T < Ilp.Schedule.T)
+    F.report(InstanceSeed, Machine, G,
+             "sat beat the ILP's proven optimum: " +
+                 std::to_string(Sat.Schedule.T) + " < " +
+                 std::to_string(Ilp.Schedule.T));
+  if (Sat.ProvenRateOptimal && Ilp.found() &&
+      Ilp.Schedule.T < Sat.Schedule.T)
+    F.report(InstanceSeed, Machine, G,
+             "ilp beat the SAT backend's proven optimum: " +
+                 std::to_string(Ilp.Schedule.T) + " < " +
+                 std::to_string(Sat.Schedule.T));
+  if (cleanFullProof(Ilp, Opts.MaxTSlack) && Sat.found() &&
+      Sat.Schedule.T <= Ilp.TLowerBound + Opts.MaxTSlack)
+    F.report(InstanceSeed, Machine, G,
+             "sat found T=" + std::to_string(Sat.Schedule.T) +
+                 " inside a window the ILP proved fully infeasible");
+  if (cleanFullProof(Sat, Opts.MaxTSlack) && Ilp.found() &&
+      Ilp.Schedule.T <= Sat.TLowerBound + Opts.MaxTSlack)
+    F.report(InstanceSeed, Machine, G,
+             "ilp found T=" + std::to_string(Ilp.Schedule.T) +
+                 " inside a window the SAT backend proved fully infeasible");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -357,6 +458,11 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Opts.MaxNodes = std::atoi(V);
+    } else if (Arg == "--mode") {
+      const char *V = Next();
+      if (!V)
+        return usage(Argv[0]);
+      Opts.Mode = V;
     } else if (Arg == "--faults") {
       const char *V = Next();
       if (!V)
@@ -390,19 +496,26 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.Instances < 1 || Opts.MaxNodes < 2)
     return usage(Argv[0]);
+  if (Opts.Mode != "all" && Opts.Mode != "ilp-vs-sat")
+    return usage(Argv[0]);
 
   Stopwatch Total;
   Findings F;
   for (int I = 0; I < Opts.Instances; ++I) {
     std::uint64_t InstanceSeed = mix64(Opts.Seed) ^ static_cast<std::uint64_t>(I);
-    fuzzOne(Opts, InstanceSeed, F);
+    if (Opts.Mode == "ilp-vs-sat")
+      fuzzIlpVsSat(Opts, InstanceSeed, F);
+    else
+      fuzzOne(Opts, InstanceSeed, F);
     if (Opts.Verbose && (I + 1) % 100 == 0)
       std::fprintf(stderr, "... %d/%d instances, %d findings, %.1fs\n",
                    I + 1, Opts.Instances, F.Count, Total.seconds());
   }
 
-  std::printf("swp_fuzz: %d instances, seed %llu%s, %d findings, %.1fs\n",
-              Opts.Instances, static_cast<unsigned long long>(Opts.Seed),
+  std::printf("swp_fuzz: %d instances (%s), seed %llu%s, %d findings, "
+              "%.1fs\n",
+              Opts.Instances, Opts.Mode.c_str(),
+              static_cast<unsigned long long>(Opts.Seed),
               Opts.FaultSpec.empty()
                   ? ""
                   : (" (faults: " + Opts.FaultSpec + ")").c_str(),

@@ -6,7 +6,11 @@
 //   swpc --machine M.machine --batch DIR [--jobs N] [options]
 //
 // Options:
-//   --scheduler ilp|portfolio|ims|slack|enum  algorithm (default ilp)
+//   --scheduler ilp|sat|race|portfolio|ims|slack|enum
+//                                    algorithm (default ilp); sat is the
+//                                    CDCL backend with incremental per-T
+//                                    re-solving, race runs ilp and sat
+//                                    concurrently with cross-cancellation
 //   --mapping fixed|runtime          mapping discipline (default fixed)
 //   --min-buffers                    buffer-minimal schedule (ilp only)
 //   --time-limit SECONDS             per-T MILP/search limit (default 10)
@@ -58,7 +62,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --machine FILE (--loop FILE | --batch DIR)\n"
-               "       [--scheduler ilp|portfolio|ims|slack|enum]\n"
+               "       [--scheduler ilp|sat|race|portfolio|ims|slack|enum]\n"
                "       [--mapping fixed|runtime] [--min-buffers] "
                "[--time-limit S]\n"
                "       [--deadline S] [--jobs N] [--format text|json]\n"
@@ -263,15 +267,21 @@ int main(int Argc, char **Argv) {
   SchedOpts.MinimizeBuffers = MinBuffers;
 
   if (!BatchDir.empty()) {
-    if (Scheduler != "ilp" && Scheduler != "portfolio") {
-      std::fprintf(stderr,
-                   "error: --batch supports --scheduler ilp|portfolio\n");
+    if (Scheduler != "ilp" && Scheduler != "sat" && Scheduler != "race" &&
+        Scheduler != "portfolio") {
+      std::fprintf(
+          stderr,
+          "error: --batch supports --scheduler ilp|sat|race|portfolio\n");
       return 2;
     }
     ServiceOptions SvcOpts;
     SvcOpts.Jobs = Jobs;
     SvcOpts.Sched = SchedOpts;
     SvcOpts.Portfolio = Scheduler == "portfolio";
+    if (Scheduler == "sat")
+      SvcOpts.Engine = ExactEngine::Sat;
+    else if (Scheduler == "race")
+      SvcOpts.Engine = ExactEngine::Race;
     SvcOpts.DeadlinePerLoop = Deadline;
     return runBatch(BatchDir, Machine, SvcOpts, Format);
   }
@@ -309,10 +319,17 @@ int main(int Argc, char **Argv) {
   double Seconds = 0.0;
   std::int64_t Nodes = 0;
   bool Cancelled = false, VerifyFailed = false;
-  if (Scheduler == "ilp" || Scheduler == "portfolio") {
-    SchedulerResult R = Scheduler == "ilp"
-                            ? scheduleLoop(Loop, Machine, SchedOpts)
-                            : portfolioSchedule(Loop, Machine, SchedOpts);
+  if (Scheduler == "ilp" || Scheduler == "sat" || Scheduler == "race" ||
+      Scheduler == "portfolio") {
+    SchedulerResult R;
+    if (Scheduler == "portfolio")
+      R = portfolioSchedule(Loop, Machine, SchedOpts);
+    else if (Scheduler == "sat")
+      R = exactSchedule(Loop, Machine, SchedOpts, ExactEngine::Sat);
+    else if (Scheduler == "race")
+      R = exactSchedule(Loop, Machine, SchedOpts, ExactEngine::Race);
+    else
+      R = scheduleLoop(Loop, Machine, SchedOpts);
     TLb = R.TLowerBound;
     Proven = R.ProvenRateOptimal;
     Seconds = R.TotalSeconds;
