@@ -1,0 +1,285 @@
+//===- bench_service_throughput.cpp - swpd sustained throughput -----------===//
+//
+// Sustained-throughput benchmark for the swpd daemon stack: wire protocol,
+// admission control, keyed services, and the persistent result cache, all
+// exercised end to end over a real local socket.  Three phases:
+//
+//   cold       — fresh daemon, empty cache; every corpus loop is a real
+//                solve.  Baseline qps and latency.
+//   warm       — the daemon is stopped (saving its snapshot) and restarted
+//                from the snapshot directory; the same requests replay and
+//                should be served almost entirely from the warm cache.
+//   saturated  — a deliberately tiny admission window (MaxInFlight=1) is
+//                driven by many concurrent clients; requests beyond the
+//                window are shed with a well-formed response.  The phase
+//                asserts the robustness contract: every request gets an
+//                answer, none hang, none vanish.
+//
+// Emits BENCH_service.json (override with SWP_BENCH_JSON) with per-phase
+// qps, p50/p99 latency, cache hit ratio, and shed rate.
+//
+// Env: SWP_BENCH_LOOPS (default 48 corpus loops), SWP_BENCH_CLIENTS
+// (default 4 concurrent connections), SWP_BENCH_JSON (output path),
+// SWP_TIME_LIMIT (per-T solver limit, default 60s — effort is bounded by
+// a node limit instead, so results stay deterministic and cacheable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "swp/machine/Catalog.h"
+#include "swp/net/Client.h"
+#include "swp/net/Daemon.h"
+#include "swp/support/Stopwatch.h"
+#include "swp/textio/Parser.h"
+#include "swp/workload/Corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace swp;
+using namespace swp::net;
+
+namespace {
+
+struct PhaseResult {
+  std::string Name;
+  std::uint64_t Requests = 0;
+  std::uint64_t Solved = 0;
+  std::uint64_t Shed = 0;
+  std::uint64_t Degraded = 0; // Non-None degradation on an answered request.
+  std::uint64_t CacheHits = 0;
+  std::uint64_t TransportErrors = 0;
+  double WallSeconds = 0.0;
+  std::vector<double> LatenciesMs;
+
+  double qps() const { return WallSeconds > 0 ? Requests / WallSeconds : 0; }
+  double hitRatio() const { return Solved ? double(CacheHits) / Solved : 0; }
+  double shedRate() const { return Requests ? double(Shed) / Requests : 0; }
+  double percentileMs(double P) const {
+    if (LatenciesMs.empty())
+      return 0;
+    std::vector<double> S = LatenciesMs;
+    std::sort(S.begin(), S.end());
+    std::size_t Idx = static_cast<std::size_t>(std::ceil(P * S.size()));
+    return S[std::min(Idx ? Idx - 1 : 0, S.size() - 1)];
+  }
+};
+
+/// Drives \p Requests through \p Clients concurrent connections; each
+/// client takes a strided slice so every request is sent exactly once.
+PhaseResult drivePhase(const std::string &Name, const std::string &SocketPath,
+                       const std::vector<ScheduleRequestMsg> &Requests,
+                       int Clients) {
+  PhaseResult Out;
+  Out.Name = Name;
+  std::mutex Mu;
+  Stopwatch Wall;
+  std::vector<std::thread> Pool;
+  for (int C = 0; C < Clients; ++C) {
+    Pool.emplace_back([&, C] {
+      Expected<DaemonClient> Conn = DaemonClient::connect(SocketPath, 30.0);
+      PhaseResult Local;
+      for (std::size_t I = C; I < Requests.size();
+           I += static_cast<std::size_t>(Clients)) {
+        ++Local.Requests;
+        if (!Conn.ok()) {
+          ++Local.TransportErrors;
+          continue;
+        }
+        Stopwatch One;
+        Expected<ScheduleResponseMsg> R = Conn->schedule(Requests[I]);
+        Local.LatenciesMs.push_back(One.seconds() * 1e3);
+        if (!R.ok()) {
+          ++Local.TransportErrors;
+          continue;
+        }
+        if (R->Outcome == ResponseOutcome::Shed)
+          ++Local.Shed;
+        else if (R->Degradation != DegradationLevel::None)
+          ++Local.Degraded;
+        if (R->Outcome == ResponseOutcome::Solved) {
+          ++Local.Solved;
+          if (R->Result.CacheHit)
+            ++Local.CacheHits;
+        }
+      }
+      std::lock_guard<std::mutex> Lock(Mu);
+      Out.Requests += Local.Requests;
+      Out.Solved += Local.Solved;
+      Out.Shed += Local.Shed;
+      Out.Degraded += Local.Degraded;
+      Out.CacheHits += Local.CacheHits;
+      Out.TransportErrors += Local.TransportErrors;
+      Out.LatenciesMs.insert(Out.LatenciesMs.end(), Local.LatenciesMs.begin(),
+                             Local.LatenciesMs.end());
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  Out.WallSeconds = Wall.seconds();
+  return Out;
+}
+
+void printPhase(const PhaseResult &P) {
+  std::printf("%-10s %6llu req  %8.1f qps  p50 %8.3f ms  p99 %8.3f ms  "
+              "hits %.2f  shed %.2f  degraded %llu  xport-err %llu\n",
+              P.Name.c_str(), static_cast<unsigned long long>(P.Requests),
+              P.qps(), P.percentileMs(0.50), P.percentileMs(0.99),
+              P.hitRatio(), P.shedRate(),
+              static_cast<unsigned long long>(P.Degraded),
+              static_cast<unsigned long long>(P.TransportErrors));
+}
+
+void emitJson(const std::string &Path, const std::vector<PhaseResult> &Phases,
+              int Loops, int Clients) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"service_throughput\",\n");
+  std::fprintf(F, "  \"machine\": \"ppc604-like\",\n");
+  std::fprintf(F, "  \"corpus_loops\": %d,\n  \"clients\": %d,\n", Loops,
+               Clients);
+  std::fprintf(F, "  \"phases\": [\n");
+  for (std::size_t I = 0; I < Phases.size(); ++I) {
+    const PhaseResult &P = Phases[I];
+    std::fprintf(
+        F,
+        "    {\"phase\":\"%s\",\"requests\":%llu,\"qps\":%.1f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_ratio\":%.3f,"
+        "\"shed_rate\":%.3f,\"solved\":%llu,\"shed\":%llu,\"degraded\":%llu,"
+        "\"transport_errors\":%llu,\"wall_seconds\":%.3f}%s\n",
+        P.Name.c_str(), static_cast<unsigned long long>(P.Requests), P.qps(),
+        P.percentileMs(0.50), P.percentileMs(0.99), P.hitRatio(), P.shedRate(),
+        static_cast<unsigned long long>(P.Solved),
+        static_cast<unsigned long long>(P.Shed),
+        static_cast<unsigned long long>(P.Degraded),
+        static_cast<unsigned long long>(P.TransportErrors), P.WallSeconds,
+        I + 1 < Phases.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("\nwrote %s\n", Path.c_str());
+}
+
+} // namespace
+
+int main() {
+  benchutil::banner(
+      "Service extension (swpd sustained throughput)",
+      "Daemon qps/latency cold, warm-from-snapshot, and saturated");
+
+  int Loops = benchutil::envInt("SWP_BENCH_LOOPS", 48);
+  int Clients = benchutil::envInt("SWP_BENCH_CLIENTS", 4);
+  const char *JsonEnv = std::getenv("SWP_BENCH_JSON");
+  std::string JsonPath = JsonEnv ? JsonEnv : "BENCH_service.json";
+
+  MachineModel Machine = ppc604Like();
+  CorpusOptions COpts;
+  COpts.NumLoops = Loops;
+  std::vector<Ddg> Corpus = generateCorpus(Machine, COpts);
+
+  std::vector<ScheduleRequestMsg> Requests;
+  Requests.reserve(Corpus.size());
+  std::string MachineText = printMachine(Machine);
+  for (const Ddg &G : Corpus) {
+    ScheduleRequestMsg Req;
+    Req.Tenant = "bench";
+    Req.Scheduler = "ilp";
+    Req.MachineText = MachineText;
+    Req.LoopText = printLoop(G, Machine);
+    Requests.push_back(std::move(Req));
+  }
+
+  std::string Tag = std::to_string(::getpid());
+  std::string SocketPath = "/tmp/swpd-bench-" + Tag + ".sock";
+  std::filesystem::path SnapDir =
+      std::filesystem::temp_directory_path() / ("swpd-bench-" + Tag + "-snap");
+
+  DaemonOptions Base;
+  Base.SocketPath = SocketPath;
+  Base.SnapshotDir = SnapDir.string();
+  Base.IoTimeoutSeconds = 30.0;
+  Base.Service.Jobs = Clients;
+  // Bound effort by node count, not wall time: time-limit-censored results
+  // are load-dependent and the service refuses to memoize them, which would
+  // turn the warm phase's hardest loops back into cold solves.  Node-limit
+  // censoring is deterministic and caches fine.
+  Base.Service.Sched.TimeLimitPerT = benchutil::envDouble("SWP_TIME_LIMIT", 60.0);
+  Base.Service.Sched.NodeLimitPerT = 500;
+  Base.Service.Sched.MaxTSlack = 8;
+
+  std::vector<PhaseResult> Phases;
+
+  // Phase 1: cold — empty cache, every request is a real solve.
+  {
+    Daemon D(Base);
+    if (!D.start().isOk()) {
+      std::fprintf(stderr, "daemon failed to start\n");
+      return 1;
+    }
+    Phases.push_back(drivePhase("cold", SocketPath, Requests, Clients));
+    D.stop(); // Saves the snapshot the warm phase restarts from.
+  }
+
+  // Phase 2: warm — restart from the snapshot; replays should hit.
+  {
+    Daemon D(Base);
+    if (!D.start().isOk()) {
+      std::fprintf(stderr, "daemon restart failed\n");
+      return 1;
+    }
+    std::printf("restart loaded %llu snapshot entries\n",
+                static_cast<unsigned long long>(
+                    D.stats().SnapshotEntriesLoaded));
+    Phases.push_back(drivePhase("warm", SocketPath, Requests, Clients));
+    D.stop();
+  }
+
+  // Phase 3: saturated — a one-slot admission window under many clients.
+  // Requests beyond the window shed with a well-formed response; nothing
+  // hangs and nothing is dropped silently.
+  {
+    DaemonOptions Tight = Base;
+    Tight.SnapshotDir.clear(); // Shed results must never reach a snapshot.
+    Tight.Admission.MaxInFlight = 1;
+    Tight.Admission.ReducedEffortAt = 1;
+    Tight.Admission.HeuristicOnlyAt = 1;
+    Daemon D(Tight);
+    if (!D.start().isOk()) {
+      std::fprintf(stderr, "saturated daemon failed to start\n");
+      return 1;
+    }
+    Phases.push_back(drivePhase("saturated", SocketPath, Requests,
+                                std::max(Clients, 8)));
+    D.stop();
+  }
+
+  std::printf("\n");
+  for (const PhaseResult &P : Phases)
+    printPhase(P);
+
+  std::uint64_t Answered = 0, Sent = 0;
+  for (const PhaseResult &P : Phases) {
+    Sent += P.Requests;
+    Answered += P.Requests - P.TransportErrors;
+  }
+  std::printf("\nrobustness: %llu/%llu requests answered in-protocol\n",
+              static_cast<unsigned long long>(Answered),
+              static_cast<unsigned long long>(Sent));
+
+  emitJson(JsonPath, Phases, Loops, Clients);
+
+  std::error_code Ec;
+  std::filesystem::remove_all(SnapDir, Ec);
+  std::filesystem::remove(SocketPath, Ec);
+  return 0;
+}

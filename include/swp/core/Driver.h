@@ -112,6 +112,10 @@ struct SchedulerResult {
   /// True when fault-injection sites fired during this solve; such results
   /// never claim censored-proof optimality and are never cached.
   bool FaultsSeen = false;
+  /// True when this result was served from the ResultCache (warm hit); the
+  /// cached copy itself stores false, so a hit differs from its cold solve
+  /// only in this flag.
+  bool CacheHit = false;
   /// Watchdog retries the service spent on this job (transient faults).
   int Retries = 0;
   double TotalSeconds = 0.0;

@@ -1,0 +1,62 @@
+//===- swp/net/Client.h - swpd client ---------------------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the swpd wire protocol: one connection, pipelined
+/// request/response pairs, typed Status on every failure mode (connect
+/// refused, I/O timeout, corrupt frame, daemon-side ErrorResponse).  swpc
+/// --connect is a thin CLI shell over this class; the daemon tests and the
+/// throughput bench drive it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_NET_CLIENT_H
+#define SWP_NET_CLIENT_H
+
+#include "swp/net/Socket.h"
+#include "swp/net/Wire.h"
+#include "swp/support/Status.h"
+
+#include <string>
+
+namespace swp::net {
+
+class DaemonClient {
+public:
+  /// Disconnected client (what Expected<DaemonClient> default-constructs);
+  /// only connect() produces a usable one.
+  DaemonClient() = default;
+
+  /// Connects to the daemon's socket; \p TimeoutSeconds bounds every
+  /// subsequent frame read/write on this connection.
+  static Expected<DaemonClient> connect(const std::string &SocketPath,
+                                        double TimeoutSeconds = 5.0);
+
+  DaemonClient(DaemonClient &&) = default;
+  DaemonClient &operator=(DaemonClient &&) = default;
+
+  /// One schedule round trip.  A returned value may still describe a shed
+  /// or error outcome — transport worked, the daemon answered; the Status
+  /// error path is for transport/protocol failure only.
+  Expected<ScheduleResponseMsg> schedule(const ScheduleRequestMsg &Req);
+
+  /// Fetches the daemon's rendered stats text.
+  Expected<std::string> statsText();
+
+  /// Asks the daemon to shut down; ok once the ShutdownAck arrives.
+  Status requestShutdown();
+
+private:
+  explicit DaemonClient(Socket S, double Timeout)
+      : Sock(std::move(S)), Timeout(Timeout) {}
+
+  Socket Sock;
+  double Timeout = 5.0;
+};
+
+} // namespace swp::net
+
+#endif // SWP_NET_CLIENT_H

@@ -1,0 +1,111 @@
+//===- swp/net/Socket.h - Timeout-bounded local sockets ---------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over AF_UNIX stream sockets with the failure
+/// discipline swpd needs: every read and write is bounded by a wall-clock
+/// timeout (poll-based, EINTR-safe), peer hangup and timeout surface as
+/// typed Status values rather than errno spelunking, and the frame-level
+/// send/receive paths carry FaultInjector sites (FaultSite::SockRead /
+/// SockWrite) so tests can force I/O failure at exact frame boundaries.
+///
+/// A failed or corrupt frame poisons the byte stream (there is no resync
+/// marker), so callers tear the connection down after any non-ok receive —
+/// the wrappers make that cheap by being movable and closing on destroy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_NET_SOCKET_H
+#define SWP_NET_SOCKET_H
+
+#include "swp/net/Wire.h"
+#include "swp/support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swp::net {
+
+/// A connected stream socket (client side or an accepted connection).
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket();
+
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  /// Connects to the AF_UNIX socket at \p Path.
+  static Expected<Socket> connectUnix(const std::string &Path,
+                                      double TimeoutSeconds);
+
+  bool valid() const { return Fd >= 0; }
+  void close();
+
+  /// Sends one complete frame.  Fails as FaultInjected when the SockWrite
+  /// site fires, ResourceExhausted on timeout, Cancelled when the peer
+  /// hung up.
+  Status sendFrame(MessageType Type, std::span<const std::uint8_t> Payload,
+                   double TimeoutSeconds);
+
+  /// Receives one complete frame, validating header and payload CRCs.
+  /// Corruption fails as InvalidInput naming the FrameError; the stream is
+  /// then unusable.
+  Status recvFrame(MessageType &Type, std::vector<std::uint8_t> &Payload,
+                   double TimeoutSeconds);
+
+  /// Waits until at least one byte is readable (ResourceExhausted on
+  /// timeout).  The daemon's idle loop polls this in short slices so it
+  /// can notice a stop request without abandoning a quiet client.
+  Status waitReadable(double TimeoutSeconds);
+
+private:
+  Status readExact(std::uint8_t *Buf, std::size_t Len, double TimeoutSeconds);
+  Status writeAll(const std::uint8_t *Buf, std::size_t Len,
+                  double TimeoutSeconds);
+
+  int Fd = -1;
+};
+
+/// A listening AF_UNIX socket.
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(ListenSocket &&O) noexcept : Fd(O.Fd), Path(std::move(O.Path)) {
+    O.Fd = -1;
+  }
+  ListenSocket &operator=(ListenSocket &&O) noexcept;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  /// Binds and listens on \p Path (unlinking any stale socket file first).
+  static Expected<ListenSocket> listenUnix(const std::string &Path,
+                                           int Backlog = 16);
+
+  bool valid() const { return Fd >= 0; }
+  /// Closes the socket and removes its filesystem entry.
+  void close();
+
+  /// Waits up to \p TimeoutSeconds for a connection; ResourceExhausted on
+  /// timeout (the accept loop uses this to poll its stop flag).
+  Expected<Socket> accept(double TimeoutSeconds);
+
+  const std::string &path() const { return Path; }
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+} // namespace swp::net
+
+#endif // SWP_NET_SOCKET_H

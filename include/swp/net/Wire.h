@@ -1,0 +1,148 @@
+//===- swp/net/Wire.h - swpd wire protocol ----------------------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The swpd wire protocol: length-prefixed binary frames over a local
+/// stream socket.  Every frame is a fixed 20-byte header followed by the
+/// payload:
+///
+///     offset  size  field
+///          0     4  magic        "SWPF" (little-endian 0x46505753)
+///          4     2  version      protocol version (currently 1)
+///          6     2  message type
+///          8     4  payload length (bounded by MaxFramePayload)
+///         12     4  CRC-32 of the payload
+///         16     4  CRC-32 of header bytes [0,16)
+///
+/// The header CRC means a bit flip anywhere in the frame — header or
+/// payload — is always detected (CRC-32 catches all single-bit and
+/// <=32-bit burst errors), which the wire fuzzer asserts exhaustively.  A
+/// frame that fails any check is rejected whole; a byte stream cannot be
+/// resynchronized after corruption, so the connection is then torn down.
+///
+/// Payloads are composed with the swp/support/Binary codec (explicit
+/// little-endian, bounds-checked, canonical), so decode(encode(M)) == M
+/// and re-encoding a decoded message is byte-exact.  Machine models and
+/// loops travel as the existing textio formats — the daemon reuses the
+/// parser's validation and limits rather than inventing a second schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_NET_WIRE_H
+#define SWP_NET_WIRE_H
+
+#include "swp/core/Driver.h"
+#include "swp/service/Admission.h"
+#include "swp/support/Binary.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swp::net {
+
+/// "SWPF" little-endian.
+inline constexpr std::uint32_t WireMagic = 0x46505753;
+inline constexpr std::uint16_t WireVersion = 1;
+/// Frames larger than this are rejected before allocation (a hostile
+/// length cannot balloon the daemon).
+inline constexpr std::uint32_t MaxFramePayload = 1u << 24;
+inline constexpr std::size_t FrameHeaderSize = 20;
+
+enum class MessageType : std::uint16_t {
+  ScheduleRequest = 1,
+  ScheduleResponse = 2,
+  StatsRequest = 3,
+  StatsResponse = 4,
+  Shutdown = 5,
+  ShutdownAck = 6,
+  /// Generic failure reply (malformed frame, unsupported type); payload is
+  /// one length-prefixed reason string.
+  ErrorResponse = 7,
+};
+
+/// Decoded frame header (payload travels separately).
+struct FrameHeader {
+  MessageType Type = MessageType::ErrorResponse;
+  std::uint32_t PayloadLen = 0;
+  std::uint32_t PayloadCrc = 0;
+};
+
+/// Why a frame was rejected.
+enum class FrameError {
+  None,
+  BadMagic,
+  BadVersion,
+  BadHeaderCrc,
+  Oversized,
+  BadPayloadCrc,
+};
+
+const char *frameErrorName(FrameError E);
+
+/// Builds a complete frame (header + payload) for \p Type.
+std::vector<std::uint8_t> encodeFrame(MessageType Type,
+                                      std::span<const std::uint8_t> Payload);
+
+/// Validates and decodes the 20 header bytes in \p Header.
+/// \returns FrameError::None on success.
+FrameError decodeFrameHeader(std::span<const std::uint8_t> Header,
+                             FrameHeader &Out);
+
+/// Checks \p Payload against the length/CRC the header promised.
+FrameError verifyFramePayload(const FrameHeader &H,
+                              std::span<const std::uint8_t> Payload);
+
+/// One scheduling request.  Machine and loop ride as the textio formats;
+/// Scheduler uses swpc's vocabulary ("ilp", "sat", "race", "portfolio",
+/// "portfolio-sat", "portfolio-race").
+struct ScheduleRequestMsg {
+  std::string Tenant;
+  std::string Scheduler = "ilp";
+  /// Per-request wall-clock deadline in seconds (0 = none); also the
+  /// tenant-budget charge.
+  double DeadlineSeconds = 0.0;
+  std::string MachineText;
+  std::string LoopText;
+};
+
+/// How a request ended, as seen by the client.
+enum class ResponseOutcome : std::uint8_t {
+  /// A verified schedule is attached.
+  Solved,
+  /// The solve ran and terminated but found no schedule; the attached
+  /// result carries the per-T stop chain and typed status.
+  Unsolved,
+  /// Load shedding refused the request before any solve ran.
+  Shed,
+  /// The request itself was bad (unparsable machine/loop, unknown
+  /// scheduler) or the daemon failed internally; Reason says why.
+  Error,
+};
+
+const char *responseOutcomeName(ResponseOutcome O);
+
+struct ScheduleResponseMsg {
+  ResponseOutcome Outcome = ResponseOutcome::Error;
+  /// How far admission control degraded this request.
+  DegradationLevel Degradation = DegradationLevel::None;
+  /// Cause of a Shed/Error outcome or of a non-None degradation.
+  std::string Reason;
+  /// True when Result below is meaningful (Solved and Unsolved carry one;
+  /// Shed never does).
+  bool HasResult = false;
+  SchedulerResult Result;
+};
+
+void encodeScheduleRequest(ByteWriter &W, const ScheduleRequestMsg &M);
+bool decodeScheduleRequest(ByteReader &R, ScheduleRequestMsg &Out);
+void encodeScheduleResponse(ByteWriter &W, const ScheduleResponseMsg &M);
+bool decodeScheduleResponse(ByteReader &R, ScheduleResponseMsg &Out);
+
+} // namespace swp::net
+
+#endif // SWP_NET_WIRE_H

@@ -1,0 +1,87 @@
+//===- swp/service/CachePersist.h - Crash-safe cache snapshots --*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disk persistence for the ResultCache: one snapshot file per shard
+/// (`shard-NNNN.swpcache`) under a snapshot directory, so warm capacity
+/// survives daemon restarts and can be pre-baked from corpus runs.
+///
+/// Crash safety is rename-based: a shard is written to `<name>.tmp`,
+/// fsynced, then atomically renamed over the final name.  A crash at any
+/// point therefore leaves either the previous good file, or the previous
+/// good file plus a partial `.tmp` the loader never reads — there is no
+/// state in which a half-written snapshot is live.
+///
+/// Nothing on disk is trusted: the loader checks the magic/version header
+/// and a CRC32 per entry, and any mismatch (truncation, bit rot, wrong
+/// version) discards the *whole* shard file — the cache rebuilds that
+/// shard from empty rather than restore a prefix of unknown provenance.
+/// The FaultSite::CacheLoad injection point forces the same path so tests
+/// can prove corrupt snapshots degrade to cold caches, never to poisoned
+/// hits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_CACHEPERSIST_H
+#define SWP_SERVICE_CACHEPERSIST_H
+
+#include "swp/service/ResultCache.h"
+#include "swp/support/Status.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace swp {
+
+/// Snapshot file format version; bumped on any layout change (old files
+/// then load as corrupt-and-rebuilt, never misparsed).
+inline constexpr std::uint32_t CacheSnapshotVersion = 1;
+
+/// "SWPS" little-endian.
+inline constexpr std::uint32_t CacheSnapshotMagic = 0x53505753;
+
+struct SnapshotSaveStats {
+  std::size_t ShardFiles = 0;
+  std::size_t Entries = 0;
+  std::size_t Bytes = 0;
+};
+
+struct SnapshotLoadStats {
+  /// Shard files present and read.
+  std::size_t ShardFiles = 0;
+  /// Entries restored into the cache.
+  std::size_t Entries = 0;
+  /// Shard files discarded for a bad header, bad entry checksum,
+  /// truncation, or an injected cache-load fault.
+  std::size_t CorruptShards = 0;
+};
+
+/// Test hook simulating a crash mid-write: the writer stops after emitting
+/// \p FailAfterBytes bytes of a shard's temp file and returns an error,
+/// leaving the partial `.tmp` behind exactly as a killed process would.
+struct SnapshotWriteHooks {
+  std::size_t FailAfterBytes = static_cast<std::size_t>(-1);
+};
+
+/// Writes every shard of \p Cache under \p Dir (created if missing).
+/// Atomic per shard: concurrent readers of a previous snapshot are never
+/// exposed to a partial file.
+Expected<SnapshotSaveStats> saveCacheSnapshot(const ResultCache &Cache,
+                                              const std::string &Dir,
+                                              const SnapshotWriteHooks &Hooks =
+                                                  {});
+
+/// Restores every readable shard file under \p Dir into \p Cache via
+/// ResultCache::restore (first-insert-wins; capacity still applies).
+/// Corrupt or truncated shards are counted and skipped.  A missing
+/// directory is not an error — it loads zero entries, the cold start.
+Expected<SnapshotLoadStats> loadCacheSnapshot(ResultCache &Cache,
+                                              const std::string &Dir);
+
+} // namespace swp
+
+#endif // SWP_SERVICE_CACHEPERSIST_H

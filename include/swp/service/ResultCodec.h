@@ -1,0 +1,42 @@
+//===- swp/service/ResultCodec.h - SchedulerResult serialization -*- C++ -*-=//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of SchedulerResult (and Fingerprint), shared by the
+/// wire protocol's schedule responses and the persistent cache snapshots so
+/// one codec — and one fuzzer — covers both.  Decoding is defensive: enum
+/// values outside their range, vector counts beyond sane bounds, and
+/// truncation all fail instead of producing a half-filled result, because a
+/// snapshot entry that decodes is afterwards trusted as a cache hit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_RESULTCODEC_H
+#define SWP_SERVICE_RESULTCODEC_H
+
+#include "swp/core/Driver.h"
+#include "swp/service/Fingerprint.h"
+#include "swp/support/Binary.h"
+
+namespace swp {
+
+/// Largest instruction/attempt count accepted when decoding (far beyond
+/// any real loop; a hostile count fails instead of allocating).
+inline constexpr std::uint32_t MaxCodecVectorLen = 1u << 20;
+
+void encodeFingerprint(ByteWriter &W, const Fingerprint &F);
+bool decodeFingerprint(ByteReader &R, Fingerprint &F);
+
+void encodeSchedulerResult(ByteWriter &W, const SchedulerResult &R);
+bool decodeSchedulerResult(ByteReader &R, SchedulerResult &Out);
+
+/// Convenience: the canonical byte image of \p R (used by tests asserting
+/// warm cache hits are bit-identical to cold solves).
+std::vector<std::uint8_t> schedulerResultBytes(const SchedulerResult &R);
+
+} // namespace swp
+
+#endif // SWP_SERVICE_RESULTCODEC_H

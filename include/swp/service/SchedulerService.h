@@ -42,6 +42,7 @@
 #include "swp/support/Cancellation.h"
 
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -145,10 +146,39 @@ struct ServiceOptions {
   bool FallbackLadder = true;
 };
 
+/// Per-request overrides of the service-wide solve effort.  The admission
+/// controller uses these to degrade saturated requests (shorter per-T time
+/// slices, narrower T windows, tighter deadlines) without reconfiguring
+/// the whole service; they fold into the job's fingerprint, so a degraded
+/// solve never aliases a full-effort cache entry.
+struct JobOptions {
+  /// Per-loop wall-clock deadline in seconds; negative keeps the service
+  /// default, 0 disables the deadline for this job.
+  double DeadlineSeconds = -1.0;
+  /// Per-T solver time limit in seconds; <= 0 keeps the service default.
+  double TimeLimitPerT = 0.0;
+  /// Candidate-T window above the lower bound; negative keeps the service
+  /// default.
+  int MaxTSlack = -1;
+};
+
+/// The degraded path the admission controller runs when exact engines are
+/// saturated: slack-modulo first, then iterative-modulo, both verified.
+/// Always returns (schedule, explicit unfound result, or InvalidInput for
+/// a malformed DDG) and stamps the adopted rung in Result.Fallback.
+SchedulerResult runHeuristicLadder(const Ddg &G, const MachineModel &Machine,
+                                   int MaxTSlack);
+
 /// Schedules many loops concurrently on one machine model.
 class SchedulerService {
 public:
   explicit SchedulerService(MachineModel Machine, ServiceOptions Opts = {});
+
+  /// Shares \p Cache with other services (the swpd daemon keys services by
+  /// machine but pools one cache across them, so snapshots and stats see a
+  /// single memoization domain).  \p Cache must not be null.
+  SchedulerService(MachineModel Machine, ServiceOptions Opts,
+                   std::shared_ptr<ResultCache> Cache);
   ~SchedulerService();
 
   SchedulerService(const SchedulerService &) = delete;
@@ -156,6 +186,9 @@ public:
 
   /// Enqueues one loop; the future resolves with its SchedulerResult.
   std::future<SchedulerResult> submit(Ddg G);
+
+  /// Enqueues one loop with per-job effort overrides.
+  std::future<SchedulerResult> submit(Ddg G, JobOptions Job);
 
   /// Schedules every loop of \p Loops; results are returned in input
   /// order (the whole batch runs through the pool concurrently).
@@ -171,12 +204,15 @@ public:
   const MachineModel &machine() const { return Machine; }
   const ServiceOptions &options() const { return Opts; }
 
+  /// The (possibly shared) result cache backing this service.
+  const std::shared_ptr<ResultCache> &cacheHandle() const { return Cache; }
+
 private:
-  SchedulerResult scheduleOne(const Ddg &G);
+  SchedulerResult scheduleOne(const Ddg &G, const JobOptions &Job);
 
   MachineModel Machine;
   ServiceOptions Opts;
-  ResultCache Cache;
+  std::shared_ptr<ResultCache> Cache;
   CancellationSource GlobalCancel;
 
   mutable std::mutex StatsMutex;

@@ -51,6 +51,10 @@ struct ServiceStats {
   std::uint64_t Completed = 0;
   std::uint64_t CacheHits = 0;
   std::uint64_t CacheMisses = 0;
+  /// Entries currently memoized in the result cache ...
+  std::uint64_t CacheSize = 0;
+  /// ... and entries its LRU policy has evicted under capacity pressure.
+  std::uint64_t CacheEvictions = 0;
   /// Loops whose search was cut short by a deadline or cancelAll().
   std::uint64_t Cancellations = 0;
   /// Loops with at least one attempt whose optimality/infeasibility proof

@@ -1,0 +1,208 @@
+//===- swp/support/Binary.h - Bounds-checked binary codec -------*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary serialization shared by the wire protocol and the
+/// cache snapshot format.  ByteWriter appends fixed-width fields to a
+/// growable buffer; ByteReader consumes them with hard bounds checks and a
+/// sticky failure flag, so a truncated or hostile buffer can never read
+/// out of bounds — every accessor degrades to "return false, leave the
+/// output untouched" once anything has failed.
+///
+/// Both ends byte-compose integers explicitly (no memcpy of structs), so
+/// the format is identical across hosts regardless of alignment or
+/// endianness.  Doubles travel as their IEEE-754 bit pattern, which makes
+/// encoding a pure function of the value — the round-trip fuzzer asserts
+/// byte-exact re-encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_BINARY_H
+#define SWP_SUPPORT_BINARY_H
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Appends little-endian fields to a byte buffer.
+class ByteWriter {
+public:
+  void u8(std::uint8_t V) { Buf.push_back(V); }
+
+  void u16(std::uint16_t V) {
+    u8(static_cast<std::uint8_t>(V));
+    u8(static_cast<std::uint8_t>(V >> 8));
+  }
+
+  void u32(std::uint32_t V) {
+    u16(static_cast<std::uint16_t>(V));
+    u16(static_cast<std::uint16_t>(V >> 16));
+  }
+
+  void u64(std::uint64_t V) {
+    u32(static_cast<std::uint32_t>(V));
+    u32(static_cast<std::uint32_t>(V >> 32));
+  }
+
+  void i32(std::int32_t V) { u32(static_cast<std::uint32_t>(V)); }
+  void i64(std::int64_t V) { u64(static_cast<std::uint64_t>(V)); }
+
+  /// IEEE-754 bit pattern; distinguishes 0.0 from -0.0 and preserves NaN
+  /// payloads, so encode(decode(bytes)) == bytes.
+  void f64(double V) {
+    std::uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+
+  void boolean(bool V) { u8(V ? 1 : 0); }
+
+  /// Length-prefixed byte string (any content, including NUL).
+  void str(const std::string &S) {
+    u32(static_cast<std::uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+
+  void bytes(std::span<const std::uint8_t> B) {
+    Buf.insert(Buf.end(), B.begin(), B.end());
+  }
+
+  const std::vector<std::uint8_t> &data() const { return Buf; }
+  std::vector<std::uint8_t> take() { return std::move(Buf); }
+  std::size_t size() const { return Buf.size(); }
+
+private:
+  std::vector<std::uint8_t> Buf;
+};
+
+/// Consumes little-endian fields from a byte span.  Any out-of-bounds or
+/// over-limit read sets a sticky failure flag; subsequent reads are no-ops
+/// returning false.
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const std::uint8_t> Bytes) : Data(Bytes) {}
+
+  bool failed() const { return Failed; }
+  std::size_t remaining() const { return Data.size() - Pos; }
+  /// True when every byte was consumed and nothing failed — decoders
+  /// require this so trailing garbage is rejected, not ignored.
+  bool done() const { return !Failed && Pos == Data.size(); }
+
+  bool u8(std::uint8_t &V) {
+    if (!need(1))
+      return false;
+    V = Data[Pos++];
+    return true;
+  }
+
+  bool u16(std::uint16_t &V) {
+    std::uint8_t Lo, Hi;
+    if (!u8(Lo) || !u8(Hi))
+      return false;
+    V = static_cast<std::uint16_t>(Lo | (static_cast<std::uint16_t>(Hi) << 8));
+    return true;
+  }
+
+  bool u32(std::uint32_t &V) {
+    std::uint16_t Lo, Hi;
+    if (!u16(Lo) || !u16(Hi))
+      return false;
+    V = Lo | (static_cast<std::uint32_t>(Hi) << 16);
+    return true;
+  }
+
+  bool u64(std::uint64_t &V) {
+    std::uint32_t Lo, Hi;
+    if (!u32(Lo) || !u32(Hi))
+      return false;
+    V = Lo | (static_cast<std::uint64_t>(Hi) << 32);
+    return true;
+  }
+
+  bool i32(std::int32_t &V) {
+    std::uint32_t U;
+    if (!u32(U))
+      return false;
+    V = static_cast<std::int32_t>(U);
+    return true;
+  }
+
+  bool i64(std::int64_t &V) {
+    std::uint64_t U;
+    if (!u64(U))
+      return false;
+    V = static_cast<std::int64_t>(U);
+    return true;
+  }
+
+  bool f64(double &V) {
+    std::uint64_t Bits;
+    if (!u64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return true;
+  }
+
+  bool boolean(bool &V) {
+    std::uint8_t B;
+    if (!u8(B))
+      return false;
+    // Reject non-canonical booleans so re-encoding is byte-exact.
+    if (B > 1)
+      return fail();
+    V = B == 1;
+    return true;
+  }
+
+  /// Length-prefixed string, bounded by \p MaxLen (hostile lengths fail
+  /// instead of allocating).
+  bool str(std::string &S, std::size_t MaxLen = 1 << 26) {
+    std::uint32_t Len;
+    if (!u32(Len))
+      return false;
+    if (Len > MaxLen || !need(Len))
+      return false;
+    S.assign(reinterpret_cast<const char *>(Data.data() + Pos), Len);
+    Pos += Len;
+    return true;
+  }
+
+  bool bytes(std::uint8_t *Out, std::size_t Len) {
+    if (!need(Len))
+      return false;
+    std::memcpy(Out, Data.data() + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  /// Marks the stream failed (decoders use it to reject semantic errors —
+  /// bad enum values, over-limit counts — with the same sticky behavior).
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+
+private:
+  bool need(std::size_t N) {
+    if (Failed || Data.size() - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> Data;
+  std::size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_BINARY_H

@@ -61,9 +61,17 @@ enum class FaultSite {
   /// CDCL conflict handling: the SAT search dies mid-proof; the solve
   /// reports Unknown (never a fake Unsat).
   SatConflict,
+  /// Socket read in the swpd wire path: the read fails as a peer reset
+  /// would (typed error, connection torn down, never a partial frame).
+  SockRead,
+  /// Socket write in the swpd wire path: the write fails mid-frame.
+  SockWrite,
+  /// Cache snapshot load: a shard file reads as corrupt; the loader must
+  /// rebuild that shard from empty instead of trusting it.
+  CacheLoad,
 };
 
-inline constexpr int NumFaultSites = 8;
+inline constexpr int NumFaultSites = 11;
 
 /// Short stable name of \p S ("lp-stall", "bnb-node", ...).
 const char *faultSiteName(FaultSite S);

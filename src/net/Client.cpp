@@ -1,0 +1,94 @@
+//===- Client.cpp - swpd client -------------------------------------------===//
+
+#include "swp/net/Client.h"
+
+using namespace swp;
+using namespace swp::net;
+
+Expected<DaemonClient> DaemonClient::connect(const std::string &SocketPath,
+                                             double TimeoutSeconds) {
+  Expected<Socket> S = Socket::connectUnix(SocketPath, TimeoutSeconds);
+  if (!S.ok())
+    return S.status();
+  return DaemonClient(std::move(*S), TimeoutSeconds);
+}
+
+namespace {
+
+/// An ErrorResponse payload is one reason string; anything else about the
+/// frame is protocol breakage.
+Status errorResponseStatus(std::span<const std::uint8_t> Payload) {
+  ByteReader R(Payload);
+  std::string Reason;
+  if (!R.str(Reason, 1 << 16) || !R.done())
+    Reason = "(malformed error response)";
+  return Status(StatusCode::InvalidInput, "daemon: " + Reason)
+      .withPhase("wire");
+}
+
+} // namespace
+
+Expected<ScheduleResponseMsg>
+DaemonClient::schedule(const ScheduleRequestMsg &Req) {
+  ByteWriter W;
+  encodeScheduleRequest(W, Req);
+  if (Status St = Sock.sendFrame(MessageType::ScheduleRequest, W.data(),
+                                 Timeout);
+      !St.isOk())
+    return St;
+  MessageType Type;
+  std::vector<std::uint8_t> Payload;
+  if (Status St = Sock.recvFrame(Type, Payload, Timeout); !St.isOk())
+    return St;
+  if (Type == MessageType::ErrorResponse)
+    return errorResponseStatus(Payload);
+  if (Type != MessageType::ScheduleResponse)
+    return Status(StatusCode::InvalidInput,
+                  "unexpected response frame type")
+        .withPhase("wire");
+  ScheduleResponseMsg Resp;
+  ByteReader R(Payload);
+  if (!decodeScheduleResponse(R, Resp) || !R.done())
+    return Status(StatusCode::InvalidInput,
+                  "undecodable schedule response payload")
+        .withPhase("wire");
+  return Resp;
+}
+
+Expected<std::string> DaemonClient::statsText() {
+  if (Status St = Sock.sendFrame(MessageType::StatsRequest, {}, Timeout);
+      !St.isOk())
+    return St;
+  MessageType Type;
+  std::vector<std::uint8_t> Payload;
+  if (Status St = Sock.recvFrame(Type, Payload, Timeout); !St.isOk())
+    return St;
+  if (Type == MessageType::ErrorResponse)
+    return errorResponseStatus(Payload);
+  if (Type != MessageType::StatsResponse)
+    return Status(StatusCode::InvalidInput,
+                  "unexpected response frame type")
+        .withPhase("wire");
+  ByteReader R(Payload);
+  std::string Text;
+  if (!R.str(Text, 1 << 20) || !R.done())
+    return Status(StatusCode::InvalidInput,
+                  "undecodable stats response payload")
+        .withPhase("wire");
+  return Text;
+}
+
+Status DaemonClient::requestShutdown() {
+  if (Status St = Sock.sendFrame(MessageType::Shutdown, {}, Timeout);
+      !St.isOk())
+    return St;
+  MessageType Type;
+  std::vector<std::uint8_t> Payload;
+  if (Status St = Sock.recvFrame(Type, Payload, Timeout); !St.isOk())
+    return St;
+  if (Type != MessageType::ShutdownAck)
+    return Status(StatusCode::InvalidInput,
+                  "expected shutdown ack, got another frame")
+        .withPhase("wire");
+  return Status::ok();
+}

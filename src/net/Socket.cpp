@@ -1,0 +1,251 @@
+//===- Socket.cpp - Timeout-bounded local sockets -------------------------===//
+
+#include "swp/net/Socket.h"
+
+#include "swp/support/FaultInjector.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace swp;
+using namespace swp::net;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status ioStatus(StatusCode Code, const std::string &Msg) {
+  return Status(Code, Msg).withPhase("socket");
+}
+
+/// Remaining milliseconds until \p Deadline, clamped to [0, 1h] for poll.
+int remainingMs(Clock::time_point Deadline) {
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - Clock::now());
+  if (Left.count() <= 0)
+    return 0;
+  return static_cast<int>(std::min<long long>(Left.count(), 3'600'000));
+}
+
+/// Waits for \p Events on \p Fd until \p Deadline; ok when ready.
+Status pollFor(int Fd, short Events, Clock::time_point Deadline,
+               const char *What) {
+  for (;;) {
+    pollfd P{Fd, Events, 0};
+    int Ms = remainingMs(Deadline);
+    int Rc = ::poll(&P, 1, Ms);
+    if (Rc > 0)
+      return Status::ok();
+    if (Rc == 0)
+      return ioStatus(StatusCode::ResourceExhausted,
+                      std::string("socket ") + What + " timed out");
+    if (errno != EINTR)
+      return ioStatus(StatusCode::Internal,
+                      std::string("poll failed: ") + std::strerror(errno));
+  }
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Expected<Socket> Socket::connectUnix(const std::string &Path,
+                                     double TimeoutSeconds) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return ioStatus(StatusCode::InvalidInput,
+                    "socket path too long: " + Path);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioStatus(StatusCode::ResourceExhausted,
+                    std::string("socket() failed: ") + std::strerror(errno));
+  Socket S(Fd);
+  // AF_UNIX connects either complete or fail immediately, so a blocking
+  // connect here cannot exceed the timeout in practice; timeouts govern
+  // the frame I/O that follows.
+  (void)TimeoutSeconds;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return ioStatus(StatusCode::ResourceExhausted,
+                    "cannot connect to " + Path + ": " +
+                        std::strerror(errno));
+  return S;
+}
+
+Status Socket::readExact(std::uint8_t *Buf, std::size_t Len,
+                         double TimeoutSeconds) {
+  auto Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         TimeoutSeconds));
+  std::size_t Got = 0;
+  while (Got < Len) {
+    if (Status St = pollFor(Fd, POLLIN, Deadline, "read"); !St.isOk())
+      return St;
+    ssize_t N = ::recv(Fd, Buf + Got, Len - Got, 0);
+    if (N == 0)
+      return ioStatus(StatusCode::Cancelled, "peer closed the connection");
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN)
+        continue;
+      return ioStatus(StatusCode::Internal,
+                      std::string("recv failed: ") + std::strerror(errno));
+    }
+    Got += static_cast<std::size_t>(N);
+  }
+  return Status::ok();
+}
+
+Status Socket::writeAll(const std::uint8_t *Buf, std::size_t Len,
+                        double TimeoutSeconds) {
+  auto Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         TimeoutSeconds));
+  std::size_t Sent = 0;
+  while (Sent < Len) {
+    if (Status St = pollFor(Fd, POLLOUT, Deadline, "write"); !St.isOk())
+      return St;
+    // MSG_NOSIGNAL: a vanished peer is a typed error, not a SIGPIPE.
+    ssize_t N = ::send(Fd, Buf + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN)
+        continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        return ioStatus(StatusCode::Cancelled, "peer closed the connection");
+      return ioStatus(StatusCode::Internal,
+                      std::string("send failed: ") + std::strerror(errno));
+    }
+    Sent += static_cast<std::size_t>(N);
+  }
+  return Status::ok();
+}
+
+Status Socket::sendFrame(MessageType Type,
+                         std::span<const std::uint8_t> Payload,
+                         double TimeoutSeconds) {
+  // One injection poll per frame: the whole send fails as a peer reset
+  // would, never a partial frame the receiver might half-trust.
+  if (FaultInjector::instance().shouldFire(FaultSite::SockWrite)) {
+    close();
+    return ioStatus(StatusCode::FaultInjected, "injected socket write fault");
+  }
+  std::vector<std::uint8_t> Frame = encodeFrame(Type, Payload);
+  return writeAll(Frame.data(), Frame.size(), TimeoutSeconds);
+}
+
+Status Socket::recvFrame(MessageType &Type, std::vector<std::uint8_t> &Payload,
+                         double TimeoutSeconds) {
+  if (FaultInjector::instance().shouldFire(FaultSite::SockRead)) {
+    close();
+    return ioStatus(StatusCode::FaultInjected, "injected socket read fault");
+  }
+  std::uint8_t Header[FrameHeaderSize];
+  if (Status St = readExact(Header, sizeof(Header), TimeoutSeconds);
+      !St.isOk())
+    return St;
+  FrameHeader H;
+  if (FrameError E = decodeFrameHeader(Header, H); E != FrameError::None)
+    return ioStatus(StatusCode::InvalidInput,
+                    std::string("corrupt frame header: ") +
+                        frameErrorName(E));
+  Payload.assign(H.PayloadLen, 0);
+  if (H.PayloadLen > 0)
+    if (Status St = readExact(Payload.data(), Payload.size(), TimeoutSeconds);
+        !St.isOk())
+      return St;
+  if (FrameError E = verifyFramePayload(H, Payload); E != FrameError::None)
+    return ioStatus(StatusCode::InvalidInput,
+                    std::string("corrupt frame payload: ") +
+                        frameErrorName(E));
+  Type = H.Type;
+  return Status::ok();
+}
+
+Status Socket::waitReadable(double TimeoutSeconds) {
+  auto Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         TimeoutSeconds));
+  return pollFor(Fd, POLLIN, Deadline, "read");
+}
+
+ListenSocket::~ListenSocket() { close(); }
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    Path = std::move(O.Path);
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    Fd = -1;
+  }
+}
+
+Expected<ListenSocket> ListenSocket::listenUnix(const std::string &Path,
+                                                int Backlog) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return ioStatus(StatusCode::InvalidInput,
+                    "socket path too long: " + Path);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioStatus(StatusCode::ResourceExhausted,
+                    std::string("socket() failed: ") + std::strerror(errno));
+  ListenSocket L;
+  L.Fd = Fd;
+  L.Path = Path;
+  ::unlink(Path.c_str()); // A stale socket file from a dead daemon.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return ioStatus(StatusCode::ResourceExhausted,
+                    "cannot bind " + Path + ": " + std::strerror(errno));
+  if (::listen(Fd, Backlog) != 0)
+    return ioStatus(StatusCode::ResourceExhausted,
+                    "cannot listen on " + Path + ": " +
+                        std::strerror(errno));
+  return L;
+}
+
+Expected<Socket> ListenSocket::accept(double TimeoutSeconds) {
+  auto Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         TimeoutSeconds));
+  if (Status St = pollFor(Fd, POLLIN, Deadline, "accept"); !St.isOk())
+    return St;
+  int CFd = ::accept(Fd, nullptr, nullptr);
+  if (CFd < 0)
+    return ioStatus(StatusCode::Internal,
+                    std::string("accept failed: ") + std::strerror(errno));
+  return Socket(CFd);
+}

@@ -1,0 +1,138 @@
+//===- Wire.cpp - swpd wire protocol --------------------------------------===//
+
+#include "swp/net/Wire.h"
+
+#include "swp/service/ResultCodec.h"
+#include "swp/support/Crc32.h"
+
+using namespace swp;
+using namespace swp::net;
+
+const char *swp::net::frameErrorName(FrameError E) {
+  switch (E) {
+  case FrameError::None:
+    return "none";
+  case FrameError::BadMagic:
+    return "bad-magic";
+  case FrameError::BadVersion:
+    return "bad-version";
+  case FrameError::BadHeaderCrc:
+    return "bad-header-crc";
+  case FrameError::Oversized:
+    return "oversized";
+  case FrameError::BadPayloadCrc:
+    return "bad-payload-crc";
+  }
+  return "?";
+}
+
+const char *swp::net::responseOutcomeName(ResponseOutcome O) {
+  switch (O) {
+  case ResponseOutcome::Solved:
+    return "solved";
+  case ResponseOutcome::Unsolved:
+    return "unsolved";
+  case ResponseOutcome::Shed:
+    return "shed";
+  case ResponseOutcome::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t>
+swp::net::encodeFrame(MessageType Type, std::span<const std::uint8_t> Payload) {
+  ByteWriter W;
+  W.u32(WireMagic);
+  W.u16(WireVersion);
+  W.u16(static_cast<std::uint16_t>(Type));
+  W.u32(static_cast<std::uint32_t>(Payload.size()));
+  W.u32(crc32(Payload));
+  W.u32(crc32(std::span<const std::uint8_t>(W.data().data(), 16)));
+  W.bytes(Payload);
+  return W.take();
+}
+
+FrameError swp::net::decodeFrameHeader(std::span<const std::uint8_t> Header,
+                                       FrameHeader &Out) {
+  if (Header.size() < FrameHeaderSize)
+    return FrameError::BadHeaderCrc; // Truncated header is indistinguishable.
+  ByteReader R(Header.first(FrameHeaderSize));
+  std::uint32_t Magic, Len, PayloadCrc, HeaderCrc;
+  std::uint16_t Version, Type;
+  R.u32(Magic);
+  R.u16(Version);
+  R.u16(Type);
+  R.u32(Len);
+  R.u32(PayloadCrc);
+  R.u32(HeaderCrc);
+  // The header CRC is checked first: with a corrupt header, magic/version/
+  // length are themselves untrustworthy.
+  if (crc32(Header.first(16)) != HeaderCrc)
+    return FrameError::BadHeaderCrc;
+  if (Magic != WireMagic)
+    return FrameError::BadMagic;
+  if (Version != WireVersion)
+    return FrameError::BadVersion;
+  if (Len > MaxFramePayload)
+    return FrameError::Oversized;
+  Out.Type = static_cast<MessageType>(Type);
+  Out.PayloadLen = Len;
+  Out.PayloadCrc = PayloadCrc;
+  return FrameError::None;
+}
+
+FrameError
+swp::net::verifyFramePayload(const FrameHeader &H,
+                             std::span<const std::uint8_t> Payload) {
+  if (Payload.size() != H.PayloadLen || crc32(Payload) != H.PayloadCrc)
+    return FrameError::BadPayloadCrc;
+  return FrameError::None;
+}
+
+void swp::net::encodeScheduleRequest(ByteWriter &W,
+                                     const ScheduleRequestMsg &M) {
+  W.str(M.Tenant);
+  W.str(M.Scheduler);
+  W.f64(M.DeadlineSeconds);
+  W.str(M.MachineText);
+  W.str(M.LoopText);
+}
+
+bool swp::net::decodeScheduleRequest(ByteReader &R, ScheduleRequestMsg &Out) {
+  Out = ScheduleRequestMsg();
+  // Names stay small; machine/loop texts get the codec's default bound.
+  if (!R.str(Out.Tenant, 1 << 10) || !R.str(Out.Scheduler, 1 << 10) ||
+      !R.f64(Out.DeadlineSeconds) || !R.str(Out.MachineText) ||
+      !R.str(Out.LoopText))
+    return false;
+  return true;
+}
+
+void swp::net::encodeScheduleResponse(ByteWriter &W,
+                                      const ScheduleResponseMsg &M) {
+  W.u8(static_cast<std::uint8_t>(M.Outcome));
+  W.u8(static_cast<std::uint8_t>(M.Degradation));
+  W.str(M.Reason);
+  W.boolean(M.HasResult);
+  if (M.HasResult)
+    encodeSchedulerResult(W, M.Result);
+}
+
+bool swp::net::decodeScheduleResponse(ByteReader &R,
+                                      ScheduleResponseMsg &Out) {
+  Out = ScheduleResponseMsg();
+  std::uint8_t Outcome, Level;
+  if (!R.u8(Outcome) || !R.u8(Level))
+    return false;
+  if (Outcome > static_cast<std::uint8_t>(ResponseOutcome::Error) ||
+      Level > static_cast<std::uint8_t>(DegradationLevel::Shed))
+    return R.fail();
+  Out.Outcome = static_cast<ResponseOutcome>(Outcome);
+  Out.Degradation = static_cast<DegradationLevel>(Level);
+  if (!R.str(Out.Reason, 1 << 16) || !R.boolean(Out.HasResult))
+    return false;
+  if (Out.HasResult && !decodeSchedulerResult(R, Out.Result))
+    return false;
+  return true;
+}

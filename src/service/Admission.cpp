@@ -1,0 +1,113 @@
+//===- Admission.cpp - Admission control & load shedding ------------------===//
+
+#include "swp/service/Admission.h"
+
+#include "swp/support/Format.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+const char *swp::degradationLevelName(DegradationLevel L) {
+  switch (L) {
+  case DegradationLevel::None:
+    return "none";
+  case DegradationLevel::ReducedEffort:
+    return "reduced-effort";
+  case DegradationLevel::HeuristicOnly:
+    return "heuristic-only";
+  case DegradationLevel::Shed:
+    return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions O) : Opts(O) {
+  // Keep the thresholds ordered even under hostile configuration, so the
+  // ladder degrades monotonically: reduced <= heuristic-only <= shed.
+  Opts.MaxInFlight = std::max(Opts.MaxInFlight, 0);
+  Opts.HeuristicOnlyAt = std::min(Opts.HeuristicOnlyAt, Opts.MaxInFlight);
+  Opts.ReducedEffortAt = std::min(Opts.ReducedEffortAt, Opts.HeuristicOnlyAt);
+}
+
+AdmissionDecision AdmissionController::admit(const std::string &Tenant,
+                                             double DeadlineSeconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  AdmissionDecision D;
+
+  if (Counters.InFlight >= Opts.MaxInFlight) {
+    ++Counters.Shed;
+    D.Level = DegradationLevel::Shed;
+    D.Reason = strFormat("queue full: %d requests in flight (max %d)",
+                         Counters.InFlight, Opts.MaxInFlight);
+    return D;
+  }
+
+  if (Opts.TenantBudgetSeconds > 0) {
+    auto Now = std::chrono::steady_clock::now();
+    auto [It, Fresh] = Tenants.try_emplace(Tenant);
+    TenantBucket &B = It->second;
+    if (Fresh) {
+      B.Tokens = Opts.TenantBudgetSeconds;
+    } else if (Opts.TenantRefillPerSecond > 0) {
+      double Elapsed = std::chrono::duration<double>(Now - B.LastRefill).count();
+      B.Tokens = std::min(Opts.TenantBudgetSeconds,
+                          B.Tokens + Elapsed * Opts.TenantRefillPerSecond);
+    }
+    B.LastRefill = Now;
+    double Charge =
+        DeadlineSeconds > 0 ? DeadlineSeconds : Opts.DefaultChargeSeconds;
+    if (B.Tokens < Charge) {
+      ++Counters.Shed;
+      ++Counters.TenantShed;
+      D.Level = DegradationLevel::Shed;
+      D.Reason = strFormat("tenant '%s' budget exhausted: %.3fs left, "
+                           "%.3fs requested",
+                           Tenant.c_str(), B.Tokens, Charge);
+      return D;
+    }
+    B.Tokens -= Charge;
+  }
+
+  if (Counters.InFlight >= Opts.HeuristicOnlyAt) {
+    D.Level = DegradationLevel::HeuristicOnly;
+    D.Reason = strFormat("exact engines saturated: %d in flight (heuristic "
+                         "threshold %d)",
+                         Counters.InFlight, Opts.HeuristicOnlyAt);
+    ++Counters.HeuristicOnly;
+  } else if (Counters.InFlight >= Opts.ReducedEffortAt) {
+    D.Level = DegradationLevel::ReducedEffort;
+    D.Reason = strFormat("load high: %d in flight (reduced-effort "
+                         "threshold %d)",
+                         Counters.InFlight, Opts.ReducedEffortAt);
+    ++Counters.ReducedEffort;
+  }
+  ++Counters.Admitted;
+  ++Counters.InFlight;
+  Counters.InFlightHighWater =
+      std::max(Counters.InFlightHighWater, Counters.InFlight);
+  return D;
+}
+
+void AdmissionController::complete() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Counters.InFlight > 0)
+    --Counters.InFlight;
+}
+
+JobOptions AdmissionController::degrade(const JobOptions &Base,
+                                        DegradationLevel Level) const {
+  JobOptions J = Base;
+  if (Level != DegradationLevel::ReducedEffort)
+    return J;
+  if (J.TimeLimitPerT <= 0 || J.TimeLimitPerT > Opts.ReducedTimeLimitPerT)
+    J.TimeLimitPerT = Opts.ReducedTimeLimitPerT;
+  if (J.MaxTSlack < 0 || J.MaxTSlack > Opts.ReducedMaxTSlack)
+    J.MaxTSlack = Opts.ReducedMaxTSlack;
+  return J;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

@@ -1,0 +1,221 @@
+//===- CachePersist.cpp - Crash-safe cache snapshots ----------------------===//
+
+#include "swp/service/CachePersist.h"
+
+#include "swp/service/ResultCodec.h"
+#include "swp/support/Binary.h"
+#include "swp/support/Crc32.h"
+#include "swp/support/FaultInjector.h"
+#include "swp/support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace swp;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Largest shard file the loader will read into memory (a snapshot the
+/// daemon wrote is far below this; anything bigger is treated as corrupt).
+constexpr std::uintmax_t MaxShardFileBytes = 1u << 30;
+
+std::string shardFileName(std::size_t Shard) {
+  return strFormat("shard-%04zu.swpcache", Shard);
+}
+
+/// Serializes one shard: header + length/CRC-framed entries.
+std::vector<std::uint8_t>
+serializeShard(std::size_t ShardIx,
+               const std::vector<std::pair<Fingerprint, SchedulerResult>>
+                   &Entries) {
+  ByteWriter W;
+  W.u32(CacheSnapshotMagic);
+  W.u32(CacheSnapshotVersion);
+  W.u64(static_cast<std::uint64_t>(ShardIx));
+  W.u64(static_cast<std::uint64_t>(Entries.size()));
+  for (const auto &[Key, Value] : Entries) {
+    ByteWriter E;
+    encodeFingerprint(E, Key);
+    encodeSchedulerResult(E, Value);
+    const std::vector<std::uint8_t> &Bytes = E.data();
+    W.u32(static_cast<std::uint32_t>(Bytes.size()));
+    W.u32(crc32(Bytes));
+    W.bytes(Bytes);
+  }
+  return W.take();
+}
+
+/// Parses one shard image; \returns false on any header/entry corruption
+/// (the caller then discards the whole shard).  Entries are only appended
+/// to \p Out, never restored directly — a shard is trusted all-or-nothing.
+bool parseShard(std::span<const std::uint8_t> Image,
+                std::vector<std::pair<Fingerprint, SchedulerResult>> &Out) {
+  ByteReader R(Image);
+  std::uint32_t Magic, Version;
+  std::uint64_t ShardIx, Count;
+  if (!R.u32(Magic) || !R.u32(Version) || !R.u64(ShardIx) || !R.u64(Count))
+    return false;
+  if (Magic != CacheSnapshotMagic || Version != CacheSnapshotVersion)
+    return false;
+  if (Count > (1u << 24)) // Far beyond any real shard; hostile count.
+    return false;
+  Out.reserve(static_cast<std::size_t>(Count));
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    std::uint32_t Len, Crc;
+    if (!R.u32(Len) || !R.u32(Crc))
+      return false;
+    if (Len > Image.size() || R.remaining() < Len)
+      return false;
+    std::vector<std::uint8_t> Entry(Len);
+    if (!R.bytes(Entry.data(), Len))
+      return false;
+    if (crc32(Entry) != Crc)
+      return false;
+    ByteReader ER(Entry);
+    Fingerprint Key;
+    SchedulerResult Value;
+    if (!decodeFingerprint(ER, Key) || !decodeSchedulerResult(ER, Value) ||
+        !ER.done())
+      return false;
+    Out.emplace_back(Key, std::move(Value));
+  }
+  // Trailing garbage after the declared entries is corruption too.
+  return R.done();
+}
+
+/// Writes \p Bytes to \p TmpPath (honoring the crash hook), fsyncs, and
+/// renames onto \p FinalPath.  On the injected crash the partial .tmp is
+/// left in place, exactly like a killed process.
+Status writeAtomically(const std::vector<std::uint8_t> &Bytes,
+                       const fs::path &TmpPath, const fs::path &FinalPath,
+                       const SnapshotWriteHooks &Hooks) {
+  std::FILE *F = std::fopen(TmpPath.c_str(), "wb");
+  if (!F)
+    return Status(StatusCode::ResourceExhausted,
+                  "cannot open snapshot temp file " + TmpPath.string())
+        .withPhase("snapshot-save");
+  std::size_t ToWrite = Bytes.size();
+  bool InjectedCrash = false;
+  if (Hooks.FailAfterBytes < ToWrite) {
+    ToWrite = Hooks.FailAfterBytes;
+    InjectedCrash = true;
+  }
+  std::size_t Written =
+      ToWrite == 0 ? 0 : std::fwrite(Bytes.data(), 1, ToWrite, F);
+  if (InjectedCrash) {
+    // Simulated kill mid-write: flush what a dying process would have
+    // handed the kernel, keep the partial .tmp, skip the rename.
+    std::fclose(F);
+    return Status(StatusCode::FaultInjected,
+                  "injected crash mid-snapshot-write after " +
+                      std::to_string(ToWrite) + " bytes")
+        .withPhase("snapshot-save");
+  }
+  bool WriteOk = Written == ToWrite && std::fflush(F) == 0 &&
+                 ::fsync(::fileno(F)) == 0;
+  std::fclose(F);
+  if (!WriteOk) {
+    std::error_code Ec;
+    fs::remove(TmpPath, Ec);
+    return Status(StatusCode::ResourceExhausted,
+                  "short write to snapshot temp file " + TmpPath.string())
+        .withPhase("snapshot-save");
+  }
+  std::error_code Ec;
+  fs::rename(TmpPath, FinalPath, Ec);
+  if (Ec)
+    return Status(StatusCode::ResourceExhausted,
+                  "cannot rename snapshot " + TmpPath.string() + " -> " +
+                      FinalPath.string() + ": " + Ec.message())
+        .withPhase("snapshot-save");
+  return Status::ok();
+}
+
+} // namespace
+
+Expected<SnapshotSaveStats>
+swp::saveCacheSnapshot(const ResultCache &Cache, const std::string &Dir,
+                       const SnapshotWriteHooks &Hooks) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec)
+    return Status(StatusCode::ResourceExhausted,
+                  "cannot create snapshot directory " + Dir + ": " +
+                      Ec.message())
+        .withPhase("snapshot-save");
+
+  SnapshotSaveStats Stats;
+  for (std::size_t S = 0; S < Cache.numShards(); ++S) {
+    auto Entries = Cache.shardEntries(S);
+    std::vector<std::uint8_t> Image = serializeShard(S, Entries);
+    fs::path Final = fs::path(Dir) / shardFileName(S);
+    fs::path Tmp = Final;
+    Tmp += ".tmp";
+    if (Status St = writeAtomically(Image, Tmp, Final, Hooks); !St.isOk())
+      return St;
+    ++Stats.ShardFiles;
+    Stats.Entries += Entries.size();
+    Stats.Bytes += Image.size();
+  }
+  return Stats;
+}
+
+Expected<SnapshotLoadStats> swp::loadCacheSnapshot(ResultCache &Cache,
+                                                   const std::string &Dir) {
+  SnapshotLoadStats Stats;
+  std::error_code Ec;
+  if (!fs::is_directory(Dir, Ec))
+    return Stats; // Cold start: nothing persisted yet.
+
+  // Shard files are self-describing, so a snapshot written with a
+  // different shard count still restores (entries re-shard by fingerprint
+  // on the way in).
+  std::vector<fs::path> Files;
+  for (fs::directory_iterator It(Dir, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    if (It->is_regular_file() && It->path().extension() == ".swpcache")
+      Files.push_back(It->path());
+  }
+  if (Ec)
+    return Status(StatusCode::ResourceExhausted,
+                  "cannot scan snapshot directory " + Dir + ": " +
+                      Ec.message())
+        .withPhase("snapshot-load");
+  std::sort(Files.begin(), Files.end());
+
+  FaultInjector &FI = FaultInjector::instance();
+  for (const fs::path &P : Files) {
+    ++Stats.ShardFiles;
+    // Injected corruption: the shard reads as untrustworthy and is
+    // rebuilt from empty, the same path a real checksum mismatch takes.
+    bool Corrupt = FI.shouldFire(FaultSite::CacheLoad);
+    std::vector<std::pair<Fingerprint, SchedulerResult>> Entries;
+    if (!Corrupt) {
+      std::uintmax_t FileSize = fs::file_size(P, Ec);
+      if (Ec || FileSize > MaxShardFileBytes) {
+        Corrupt = true;
+      } else {
+        std::ifstream In(P, std::ios::binary);
+        std::vector<std::uint8_t> Image(static_cast<std::size_t>(FileSize));
+        if (!In ||
+            !In.read(reinterpret_cast<char *>(Image.data()),
+                     static_cast<std::streamsize>(Image.size())))
+          Corrupt = true;
+        else
+          Corrupt = !parseShard(Image, Entries);
+      }
+    }
+    if (Corrupt) {
+      ++Stats.CorruptShards;
+      continue;
+    }
+    for (const auto &[Key, Value] : Entries)
+      Cache.restore(Key, Value);
+    Stats.Entries += Entries.size();
+  }
+  return Stats;
+}

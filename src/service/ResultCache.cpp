@@ -6,7 +6,8 @@
 
 using namespace swp;
 
-ResultCache::ResultCache(std::size_t NumShards) {
+ResultCache::ResultCache(std::size_t NumShards, std::size_t PerShardCapacity)
+    : Capacity(PerShardCapacity == 0 ? 1 : PerShardCapacity) {
   if (NumShards == 0)
     NumShards = 1;
   Shards.reserve(NumShards);
@@ -20,8 +21,23 @@ bool ResultCache::lookup(const Fingerprint &Key, SchedulerResult &Out) const {
   auto It = S.Map.find(Key);
   if (It == S.Map.end())
     return false;
-  Out = It->second;
+  // Refresh recency: splice the hit to the MRU end.
+  S.Items.splice(S.Items.begin(), S.Items, It->second);
+  Out = It->second->second;
   return true;
+}
+
+void ResultCache::insertLocked(Shard &S, const Fingerprint &Key,
+                               const SchedulerResult &Value) {
+  if (S.Map.find(Key) != S.Map.end())
+    return; // First insert wins.
+  S.Items.emplace_front(Key, Value);
+  S.Map.emplace(Key, S.Items.begin());
+  if (S.Items.size() > Capacity) {
+    S.Map.erase(S.Items.back().first);
+    S.Items.pop_back();
+    ++S.Evictions;
+  }
 }
 
 void ResultCache::insert(const Fingerprint &Key, const SchedulerResult &Value) {
@@ -36,21 +52,53 @@ void ResultCache::insert(const Fingerprint &Key, const SchedulerResult &Value) {
     return;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
-  S.Map.try_emplace(Key, Value);
+  insertLocked(S, Key, Value);
+}
+
+void ResultCache::restore(const Fingerprint &Key,
+                          const SchedulerResult &Value) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  insertLocked(S, Key, Value);
 }
 
 std::size_t ResultCache::size() const {
   std::size_t Total = 0;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->Mutex);
-    Total += S->Map.size();
+    Total += S->Items.size();
   }
   return Total;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::uint64_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Total += S->Evictions;
+  }
+  return Total;
+}
+
+std::vector<std::pair<Fingerprint, SchedulerResult>>
+ResultCache::shardEntries(std::size_t S) const {
+  std::vector<std::pair<Fingerprint, SchedulerResult>> Out;
+  if (S >= Shards.size())
+    return Out;
+  Shard &Sh = *Shards[S];
+  std::lock_guard<std::mutex> Lock(Sh.Mutex);
+  Out.reserve(Sh.Items.size());
+  // Items run MRU -> LRU; emit LRU-first so restoring in order rebuilds
+  // the same recency.
+  for (auto It = Sh.Items.rbegin(); It != Sh.Items.rend(); ++It)
+    Out.push_back(*It);
+  return Out;
 }
 
 void ResultCache::clear() {
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->Items.clear();
     S->Map.clear();
   }
 }

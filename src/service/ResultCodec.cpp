@@ -1,0 +1,137 @@
+//===- ResultCodec.cpp - SchedulerResult serialization --------------------===//
+
+#include "swp/service/ResultCodec.h"
+
+using namespace swp;
+
+namespace {
+
+void encodeStatus(ByteWriter &W, const Status &S) {
+  W.i32(static_cast<std::int32_t>(S.code()));
+  W.str(S.message());
+  W.str(S.phase());
+  W.i32(S.t());
+  W.str(S.instance());
+}
+
+bool decodeStatus(ByteReader &R, Status &Out) {
+  std::int32_t Code;
+  std::string Message, Phase, Instance;
+  std::int32_t T;
+  if (!R.i32(Code) || !R.str(Message) || !R.str(Phase) || !R.i32(T) ||
+      !R.str(Instance))
+    return false;
+  if (Code < 0 || Code > static_cast<std::int32_t>(StatusCode::FaultInjected))
+    return R.fail();
+  Out = Status(static_cast<StatusCode>(Code), std::move(Message));
+  Out.withPhase(std::move(Phase)).withT(T).withInstance(std::move(Instance));
+  return true;
+}
+
+void encodeIntVector(ByteWriter &W, const std::vector<int> &V) {
+  W.u32(static_cast<std::uint32_t>(V.size()));
+  for (int X : V)
+    W.i32(X);
+}
+
+bool decodeIntVector(ByteReader &R, std::vector<int> &Out) {
+  std::uint32_t N;
+  if (!R.u32(N))
+    return false;
+  if (N > MaxCodecVectorLen)
+    return R.fail();
+  Out.clear();
+  Out.reserve(N);
+  for (std::uint32_t I = 0; I < N; ++I) {
+    std::int32_t X;
+    if (!R.i32(X))
+      return false;
+    Out.push_back(X);
+  }
+  return true;
+}
+
+} // namespace
+
+void swp::encodeFingerprint(ByteWriter &W, const Fingerprint &F) {
+  W.u64(F.Hi);
+  W.u64(F.Lo);
+}
+
+bool swp::decodeFingerprint(ByteReader &R, Fingerprint &F) {
+  return R.u64(F.Hi) && R.u64(F.Lo);
+}
+
+void swp::encodeSchedulerResult(ByteWriter &W, const SchedulerResult &R) {
+  W.i32(R.Schedule.T);
+  encodeIntVector(W, R.Schedule.StartTime);
+  encodeIntVector(W, R.Schedule.Mapping);
+  W.i32(R.TDep);
+  W.i32(R.TRes);
+  W.i32(R.TLowerBound);
+  W.boolean(R.ProvenRateOptimal);
+  W.boolean(R.VerifyFailed);
+  W.boolean(R.Cancelled);
+  encodeStatus(W, R.Error);
+  W.i32(static_cast<std::int32_t>(R.Fallback));
+  W.boolean(R.FaultsSeen);
+  W.boolean(R.CacheHit);
+  W.i32(R.Retries);
+  W.f64(R.TotalSeconds);
+  W.i64(R.TotalNodes);
+  W.u32(static_cast<std::uint32_t>(R.Attempts.size()));
+  for (const TAttempt &A : R.Attempts) {
+    W.i32(A.T);
+    W.boolean(A.ModuloSkipped);
+    W.i32(static_cast<std::int32_t>(A.Status));
+    W.i32(static_cast<std::int32_t>(A.StopReason));
+    W.f64(A.Seconds);
+    W.i64(A.Nodes);
+  }
+}
+
+bool swp::decodeSchedulerResult(ByteReader &R, SchedulerResult &Out) {
+  Out = SchedulerResult();
+  if (!R.i32(Out.Schedule.T) || !decodeIntVector(R, Out.Schedule.StartTime) ||
+      !decodeIntVector(R, Out.Schedule.Mapping) || !R.i32(Out.TDep) ||
+      !R.i32(Out.TRes) || !R.i32(Out.TLowerBound) ||
+      !R.boolean(Out.ProvenRateOptimal) || !R.boolean(Out.VerifyFailed) ||
+      !R.boolean(Out.Cancelled) || !decodeStatus(R, Out.Error))
+    return false;
+  std::int32_t Fallback;
+  if (!R.i32(Fallback) || Fallback < 0 ||
+      Fallback > static_cast<std::int32_t>(FallbackRung::IterativeModulo))
+    return R.fail();
+  Out.Fallback = static_cast<FallbackRung>(Fallback);
+  if (!R.boolean(Out.FaultsSeen) || !R.boolean(Out.CacheHit) ||
+      !R.i32(Out.Retries) || !R.f64(Out.TotalSeconds) ||
+      !R.i64(Out.TotalNodes))
+    return false;
+  std::uint32_t NumAttempts;
+  if (!R.u32(NumAttempts))
+    return false;
+  if (NumAttempts > MaxCodecVectorLen)
+    return R.fail();
+  Out.Attempts.reserve(NumAttempts);
+  for (std::uint32_t I = 0; I < NumAttempts; ++I) {
+    TAttempt A;
+    std::int32_t MStatus, Stop;
+    if (!R.i32(A.T) || !R.boolean(A.ModuloSkipped) || !R.i32(MStatus) ||
+        !R.i32(Stop) || !R.f64(A.Seconds) || !R.i64(A.Nodes))
+      return false;
+    if (MStatus < 0 || MStatus > static_cast<std::int32_t>(MilpStatus::Error))
+      return R.fail();
+    if (Stop < 0 || Stop > static_cast<std::int32_t>(SearchStop::Fault))
+      return R.fail();
+    A.Status = static_cast<MilpStatus>(MStatus);
+    A.StopReason = static_cast<SearchStop>(Stop);
+    Out.Attempts.push_back(A);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> swp::schedulerResultBytes(const SchedulerResult &R) {
+  ByteWriter W;
+  encodeSchedulerResult(W, R);
+  return W.take();
+}

@@ -298,20 +298,71 @@ SchedulerResult swp::portfolioSchedule(const Ddg &G,
   return R;
 }
 
+SchedulerResult swp::runHeuristicLadder(const Ddg &G,
+                                        const MachineModel &Machine,
+                                        int MaxTSlack) {
+  Stopwatch Total;
+  SchedulerResult R;
+  if (!G.isWellFormed(Machine.numTypes()) || !Machine.acceptsDdg(G)) {
+    R.Error = Status(StatusCode::InvalidInput,
+                     "DDG is malformed or uses op classes the machine does "
+                     "not define")
+                  .withPhase("heuristic-ladder")
+                  .withInstance(G.name());
+    R.TotalSeconds = Total.seconds();
+    return R;
+  }
+  SlackOptions SlackOpts;
+  SlackOpts.MaxTSlack = MaxTSlack;
+  SlackResult Slack = slackModuloSchedule(G, Machine, SlackOpts);
+  if (Slack.found() && verifySchedule(G, Machine, Slack.Schedule).Ok) {
+    R.Schedule = Slack.Schedule;
+    R.Fallback = FallbackRung::SlackModulo;
+    R.TDep = Slack.TDep;
+    R.TRes = Slack.TRes;
+    R.TLowerBound = Slack.TLowerBound;
+  } else {
+    ImsOptions ImsOpts;
+    ImsOpts.MaxTSlack = MaxTSlack;
+    ImsResult Ims = iterativeModuloSchedule(G, Machine, ImsOpts);
+    R.TDep = Ims.TDep;
+    R.TRes = Ims.TRes;
+    R.TLowerBound = Ims.TLowerBound;
+    if (Ims.found() && verifySchedule(G, Machine, Ims.Schedule).Ok) {
+      R.Schedule = Ims.Schedule;
+      R.Fallback = FallbackRung::IterativeModulo;
+    }
+  }
+  // T_lb comes from fault-free analysis, so a rung schedule sitting on it
+  // is rate-optimal by construction.
+  R.ProvenRateOptimal =
+      R.found() && R.TLowerBound > 0 && R.Schedule.T == R.TLowerBound;
+  R.TotalSeconds = Total.seconds();
+  return R;
+}
+
 SchedulerService::SchedulerService(MachineModel M, ServiceOptions O)
-    : Machine(std::move(M)), Opts(O), Pool(O.Jobs) {
+    : SchedulerService(std::move(M), O, std::make_shared<ResultCache>()) {}
+
+SchedulerService::SchedulerService(MachineModel M, ServiceOptions O,
+                                   std::shared_ptr<ResultCache> C)
+    : Machine(std::move(M)), Opts(O), Cache(std::move(C)), Pool(O.Jobs) {
   Counters.Jobs = Pool.threadCount();
 }
 
 SchedulerService::~SchedulerService() = default;
 
 std::future<SchedulerResult> SchedulerService::submit(Ddg G) {
+  return submit(std::move(G), JobOptions());
+}
+
+std::future<SchedulerResult> SchedulerService::submit(Ddg G, JobOptions Job) {
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Counters.Submitted;
   }
   return Pool.submit(
-      [this, Loop = std::move(G)] { return scheduleOne(Loop); });
+      [this, Loop = std::move(G), Job] { return scheduleOne(Loop, Job); });
 }
 
 std::vector<SchedulerResult>
@@ -334,19 +385,35 @@ ServiceStats SchedulerService::stats() const {
   ServiceStats S = Counters;
   S.QueueHighWater = Pool.queueHighWater();
   S.DispatchFaults = Pool.dispatchFaults();
+  S.CacheSize = Cache->size();
+  S.CacheEvictions = Cache->evictions();
   return S;
 }
 
-SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
+SchedulerResult SchedulerService::scheduleOne(const Ddg &G,
+                                              const JobOptions &Job) {
   Stopwatch Latency;
+  // Fold the per-job overrides into the effective options before
+  // fingerprinting, so a degraded solve can never alias (or poison) the
+  // cache entry of a full-effort one.
+  SchedulerOptions BaseSched = Opts.Sched;
+  if (Job.TimeLimitPerT > 0)
+    BaseSched.TimeLimitPerT = Job.TimeLimitPerT;
+  if (Job.MaxTSlack >= 0)
+    BaseSched.MaxTSlack = Job.MaxTSlack;
+  const double Deadline =
+      Job.DeadlineSeconds >= 0 ? Job.DeadlineSeconds : Opts.DeadlinePerLoop;
+
   Fingerprint Key;
   SchedulerResult R;
   bool Hit = false;
   if (Opts.UseCache) {
-    Key = fingerprintJob(G, Machine, Opts.Sched, Opts.Portfolio,
-                         Opts.DeadlinePerLoop,
+    Key = fingerprintJob(G, Machine, BaseSched, Opts.Portfolio, Deadline,
                          static_cast<int>(Opts.Engine));
-    Hit = Cache.lookup(Key, R);
+    Hit = Cache->lookup(Key, R);
+    // The cached copy stores CacheHit = false, so a warm hit differs from
+    // its cold solve only in this flag.
+    R.CacheHit = Hit;
   }
 
   PortfolioOutcome Outcome = PortfolioOutcome::NothingFound;
@@ -367,11 +434,11 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
           FaultInjector::instance().shouldFire(FaultSite::Deadline);
       Stopwatch JobWatch;
       CancellationSource JobCancel(GlobalCancel.token());
-      if (Opts.DeadlinePerLoop > 0)
-        JobCancel.setDeadlineAfter(Opts.DeadlinePerLoop);
+      if (Deadline > 0)
+        JobCancel.setDeadlineAfter(Deadline);
       if (DeadlineFault)
         JobCancel.cancel();
-      SchedulerOptions SOpts = Opts.Sched;
+      SchedulerOptions SOpts = BaseSched;
       SOpts.Cancel = JobCancel.token();
       if (Opts.Portfolio) {
         R = portfolioSchedule(G, Machine, SOpts, &Outcome, Opts.Engine,
@@ -386,8 +453,7 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
       SawFaults = SawFaults || R.FaultsSeen;
       if (R.found() || Attempt >= Opts.WatchdogRetries)
         break;
-      bool RealDeadline = Opts.DeadlinePerLoop > 0 &&
-                          JobWatch.seconds() >= Opts.DeadlinePerLoop;
+      bool RealDeadline = Deadline > 0 && JobWatch.seconds() >= Deadline;
       bool TransientError =
           !R.Error.isOk() && R.Error.code() != StatusCode::InvalidInput;
       bool SpuriousCancel = R.Cancelled && !RealDeadline &&
@@ -409,35 +475,22 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
     if (Opts.FallbackLadder && !R.found() && !CleanProof &&
         R.Error.code() != StatusCode::InvalidInput &&
         !GlobalCancel.token().cancelled()) {
-      auto AdoptRung = [&R](const ModuloSchedule &S, FallbackRung Rung,
-                            int TDep, int TRes, int TLb) {
-        R.Schedule = S;
-        R.Fallback = Rung;
+      SchedulerResult Rung =
+          runHeuristicLadder(G, Machine, BaseSched.MaxTSlack);
+      if (Rung.found()) {
+        R.Schedule = Rung.Schedule;
+        R.Fallback = Rung.Fallback;
         if (R.TLowerBound == 0) {
-          R.TDep = TDep;
-          R.TRes = TRes;
-          R.TLowerBound = TLb;
+          R.TDep = Rung.TDep;
+          R.TRes = Rung.TRes;
+          R.TLowerBound = Rung.TLowerBound;
         }
-      };
-      SlackOptions SlackOpts;
-      SlackOpts.MaxTSlack = Opts.Sched.MaxTSlack;
-      SlackResult Slack = slackModuloSchedule(G, Machine, SlackOpts);
-      if (Slack.found() && verifySchedule(G, Machine, Slack.Schedule).Ok) {
-        AdoptRung(Slack.Schedule, FallbackRung::SlackModulo, Slack.TDep,
-                  Slack.TRes, Slack.TLowerBound);
-      } else {
-        ImsOptions ImsOpts;
-        ImsOpts.MaxTSlack = Opts.Sched.MaxTSlack;
-        ImsResult Ims = iterativeModuloSchedule(G, Machine, ImsOpts);
-        if (Ims.found() && verifySchedule(G, Machine, Ims.Schedule).Ok)
-          AdoptRung(Ims.Schedule, FallbackRung::IterativeModulo, Ims.TDep,
-                    Ims.TRes, Ims.TLowerBound);
+        // T_lb comes from fault-free analysis, so a rung schedule sitting
+        // on it is rate-optimal by construction even though the ILP search
+        // was not trustworthy.
+        R.ProvenRateOptimal =
+            R.TLowerBound > 0 && R.Schedule.T == R.TLowerBound;
       }
-      // T_lb comes from fault-free analysis, so a rung schedule sitting on
-      // it is rate-optimal by construction even though the ILP search was
-      // not trustworthy.
-      R.ProvenRateOptimal =
-          R.found() && R.TLowerBound > 0 && R.Schedule.T == R.TLowerBound;
     }
   }
 
@@ -455,7 +508,7 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G) {
   // and fault-window results on injector state (the cache rechecks that).
   // Node-limit and LP-stall censoring is deterministic and caches fine.
   if (!Hit && Opts.UseCache && !WallClockCensored && !R.FaultsSeen)
-    Cache.insert(Key, R);
+    Cache->insert(Key, R);
 
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);

@@ -40,6 +40,8 @@ std::string ServiceStats::render() const {
   Counters.addRow({"jobs completed", std::to_string(Completed)});
   Counters.addRow({"cache hits", std::to_string(CacheHits)});
   Counters.addRow({"cache misses", std::to_string(CacheMisses)});
+  Counters.addRow({"cache size", std::to_string(CacheSize)});
+  Counters.addRow({"cache evictions", std::to_string(CacheEvictions)});
   Counters.addRow({"cancellations", std::to_string(Cancellations)});
   Counters.addRow({"censored proofs", std::to_string(CensoredProofs)});
   if (PortfolioHeuristicWins + PortfolioIlpWins + PortfolioFallbacks > 0) {

@@ -40,6 +40,12 @@ const char *swp::faultSiteName(FaultSite S) {
     return "deadline";
   case FaultSite::SatConflict:
     return "sat-conflict";
+  case FaultSite::SockRead:
+    return "sock-read";
+  case FaultSite::SockWrite:
+    return "sock-write";
+  case FaultSite::CacheLoad:
+    return "cache-load";
   }
   return "?";
 }

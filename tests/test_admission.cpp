@@ -1,0 +1,190 @@
+//===- test_admission.cpp - Admission control & load shedding tests -------===//
+//
+// The AdmissionController's degradation ladder (full effort -> reduced
+// effort -> heuristic-only -> shed), per-tenant token buckets (zero refill
+// = hard quota, which keeps these tests deterministic), the degrade()
+// effort mapping, and the counter/stats contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/service/Admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace swp;
+
+namespace {
+
+AdmissionOptions ladderOptions() {
+  AdmissionOptions O;
+  O.ReducedEffortAt = 1;
+  O.HeuristicOnlyAt = 2;
+  O.MaxInFlight = 3;
+  return O;
+}
+
+} // namespace
+
+TEST(Admission, AdmitsAtFullServiceWhenIdle) {
+  AdmissionController C(ladderOptions());
+  AdmissionDecision D = C.admit("t", 0.0);
+  EXPECT_TRUE(D.admitted());
+  EXPECT_EQ(D.Level, DegradationLevel::None);
+  EXPECT_TRUE(D.Reason.empty());
+  C.complete();
+  EXPECT_EQ(C.stats().Admitted, 1u);
+  EXPECT_EQ(C.stats().InFlight, 0);
+}
+
+TEST(Admission, DegradesMonotonicallyWithDepth) {
+  AdmissionController C(ladderOptions());
+  AdmissionDecision D1 = C.admit("t", 0.0);
+  AdmissionDecision D2 = C.admit("t", 0.0);
+  AdmissionDecision D3 = C.admit("t", 0.0);
+  AdmissionDecision D4 = C.admit("t", 0.0);
+
+  EXPECT_EQ(D1.Level, DegradationLevel::None);
+  EXPECT_EQ(D2.Level, DegradationLevel::ReducedEffort);
+  EXPECT_EQ(D3.Level, DegradationLevel::HeuristicOnly);
+  EXPECT_EQ(D4.Level, DegradationLevel::Shed);
+  EXPECT_FALSE(D4.admitted());
+  // Every degraded decision names its cause for the response.
+  EXPECT_FALSE(D2.Reason.empty());
+  EXPECT_FALSE(D3.Reason.empty());
+  EXPECT_FALSE(D4.Reason.empty());
+
+  AdmissionStats S = C.stats();
+  EXPECT_EQ(S.Admitted, 3u);
+  EXPECT_EQ(S.ReducedEffort, 1u);
+  EXPECT_EQ(S.HeuristicOnly, 1u);
+  EXPECT_EQ(S.Shed, 1u);
+  EXPECT_EQ(S.TenantShed, 0u);
+  EXPECT_EQ(S.InFlight, 3);
+  EXPECT_EQ(S.InFlightHighWater, 3);
+}
+
+TEST(Admission, CompletionRestoresFullService) {
+  AdmissionController C(ladderOptions());
+  (void)C.admit("t", 0.0);
+  (void)C.admit("t", 0.0);
+  C.complete();
+  C.complete();
+  AdmissionDecision D = C.admit("t", 0.0);
+  EXPECT_EQ(D.Level, DegradationLevel::None);
+}
+
+TEST(Admission, HostileThresholdsAreReordered) {
+  // A config with thresholds above MaxInFlight must still degrade
+  // monotonically: the ctor clamps reduced <= heuristic <= shed.
+  AdmissionOptions O;
+  O.MaxInFlight = 2;
+  O.ReducedEffortAt = 10;
+  O.HeuristicOnlyAt = 10;
+  AdmissionController C(O);
+  EXPECT_EQ(C.options().HeuristicOnlyAt, 2);
+  EXPECT_EQ(C.options().ReducedEffortAt, 2);
+  (void)C.admit("t", 0.0);
+  (void)C.admit("t", 0.0);
+  EXPECT_EQ(C.admit("t", 0.0).Level, DegradationLevel::Shed);
+}
+
+TEST(Admission, ZeroMaxInFlightShedsEverything) {
+  AdmissionOptions O;
+  O.MaxInFlight = 0;
+  AdmissionController C(O);
+  AdmissionDecision D = C.admit("t", 0.0);
+  EXPECT_EQ(D.Level, DegradationLevel::Shed);
+  EXPECT_NE(D.Reason.find("queue full"), std::string::npos);
+}
+
+TEST(Admission, TenantBudgetIsAHardQuotaWithoutRefill) {
+  AdmissionOptions O;
+  O.TenantBudgetSeconds = 2.0;
+  O.TenantRefillPerSecond = 0.0; // Never refills: deterministic.
+  O.DefaultChargeSeconds = 1.0;
+  AdmissionController C(O);
+
+  EXPECT_TRUE(C.admit("a", 0.0).admitted());
+  C.complete();
+  EXPECT_TRUE(C.admit("a", 0.0).admitted());
+  C.complete();
+  AdmissionDecision D = C.admit("a", 0.0);
+  EXPECT_EQ(D.Level, DegradationLevel::Shed);
+  EXPECT_NE(D.Reason.find("budget"), std::string::npos);
+
+  // Another tenant's bucket is untouched.
+  EXPECT_TRUE(C.admit("b", 0.0).admitted());
+  C.complete();
+
+  AdmissionStats S = C.stats();
+  EXPECT_EQ(S.Shed, 1u);
+  EXPECT_EQ(S.TenantShed, 1u);
+}
+
+TEST(Admission, DeadlineIsTheBudgetCharge) {
+  AdmissionOptions O;
+  O.TenantBudgetSeconds = 5.0;
+  O.TenantRefillPerSecond = 0.0;
+  AdmissionController C(O);
+
+  // A 4-second deadline charges 4 of the 5 tokens; a second 4-second
+  // request no longer fits, but a 1-second one does.
+  EXPECT_TRUE(C.admit("a", 4.0).admitted());
+  C.complete();
+  EXPECT_EQ(C.admit("a", 4.0).Level, DegradationLevel::Shed);
+  EXPECT_TRUE(C.admit("a", 1.0).admitted());
+  C.complete();
+}
+
+TEST(Admission, RefillRestoresTenantBudget) {
+  AdmissionOptions O;
+  O.TenantBudgetSeconds = 1.0;
+  O.TenantRefillPerSecond = 1e9; // Effectively instant for the test.
+  AdmissionController C(O);
+  EXPECT_TRUE(C.admit("a", 1.0).admitted());
+  C.complete();
+  // The bucket is empty, but the (huge) refill rate tops it back up on the
+  // next admit's lazy refill.
+  EXPECT_TRUE(C.admit("a", 1.0).admitted());
+  C.complete();
+}
+
+TEST(Admission, DegradeTightensOnlyReducedEffort) {
+  AdmissionOptions O;
+  O.ReducedTimeLimitPerT = 0.25;
+  O.ReducedMaxTSlack = 8;
+  AdmissionController C(O);
+
+  JobOptions Base; // Service defaults: no per-job overrides.
+  JobOptions None = C.degrade(Base, DegradationLevel::None);
+  EXPECT_EQ(None.TimeLimitPerT, Base.TimeLimitPerT);
+  EXPECT_EQ(None.MaxTSlack, Base.MaxTSlack);
+
+  JobOptions Reduced = C.degrade(Base, DegradationLevel::ReducedEffort);
+  EXPECT_EQ(Reduced.TimeLimitPerT, 0.25);
+  EXPECT_EQ(Reduced.MaxTSlack, 8);
+
+  // An already-tighter request is not loosened.
+  JobOptions Tight;
+  Tight.TimeLimitPerT = 0.1;
+  Tight.MaxTSlack = 2;
+  JobOptions Kept = C.degrade(Tight, DegradationLevel::ReducedEffort);
+  EXPECT_EQ(Kept.TimeLimitPerT, 0.1);
+  EXPECT_EQ(Kept.MaxTSlack, 2);
+
+  // HeuristicOnly bypasses the exact engines; nothing to tighten.
+  JobOptions H = C.degrade(Base, DegradationLevel::HeuristicOnly);
+  EXPECT_EQ(H.TimeLimitPerT, Base.TimeLimitPerT);
+  EXPECT_EQ(H.MaxTSlack, Base.MaxTSlack);
+}
+
+TEST(Admission, LevelNamesAreStable) {
+  EXPECT_STREQ(degradationLevelName(DegradationLevel::None), "none");
+  EXPECT_STREQ(degradationLevelName(DegradationLevel::ReducedEffort),
+               "reduced-effort");
+  EXPECT_STREQ(degradationLevelName(DegradationLevel::HeuristicOnly),
+               "heuristic-only");
+  EXPECT_STREQ(degradationLevelName(DegradationLevel::Shed), "shed");
+}

@@ -1,0 +1,410 @@
+//===- test_daemon.cpp - swpd daemon integration tests --------------------===//
+//
+// In-process Daemon + DaemonClient over a real AF_UNIX socket: solve
+// parity with a local service, warm-restart cache identity through the
+// snapshot layer, load shedding and degradation levels on the wire,
+// malformed-input error responses that keep the connection alive, corrupt
+// frames that tear it down, injected socket faults, and the shutdown
+// handshake.  Every daemon runs on its own socket path and the solves are
+// node-limited, so the suite is deterministic and fast.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/machine/Catalog.h"
+#include "swp/net/Client.h"
+#include "swp/net/Daemon.h"
+#include "swp/service/ResultCodec.h"
+#include "swp/support/FaultInjector.h"
+#include "swp/textio/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace swp;
+using namespace swp::net;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Per-test socket path, short enough for sockaddr_un.
+std::string socketPathFor(const char *Name) {
+  return "/tmp/swpd-ut-" + std::to_string(::getpid()) + "-" + Name + ".sock";
+}
+
+/// Small 4-op loop over the ppc604-like machine: load -> add -> add ->
+/// store with one loop-carried edge.  ILP-solvable in milliseconds.
+Ddg smallLoop() {
+  Ddg G;
+  G.setName("daemon-loop");
+  int A = G.addNode("ld", 3, 2);
+  int B = G.addNode("add1", 0, 1);
+  int C = G.addNode("add2", 0, 1);
+  int D = G.addNode("st", 3, 2);
+  G.addEdge(A, B, 0);
+  G.addEdge(B, C, 0);
+  G.addEdge(C, D, 0);
+  G.addEdge(D, A, 1);
+  return G;
+}
+
+/// Deterministic solver knobs: only the node limit may censor.
+ServiceOptions fastService() {
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SO.Sched.TimeLimitPerT = 1e9;
+  SO.Sched.NodeLimitPerT = 2000;
+  SO.Sched.MaxTSlack = 4;
+  return SO;
+}
+
+DaemonOptions daemonOptions(const char *Name) {
+  DaemonOptions O;
+  O.SocketPath = socketPathFor(Name);
+  O.Service = fastService();
+  O.IoTimeoutSeconds = 10.0;
+  return O;
+}
+
+ScheduleRequestMsg requestFor(const MachineModel &M, const Ddg &G) {
+  ScheduleRequestMsg Req;
+  Req.Tenant = "test";
+  Req.Scheduler = "ilp";
+  Req.MachineText = printMachine(M);
+  Req.LoopText = printLoop(G, M);
+  return Req;
+}
+
+class DaemonTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+} // namespace
+
+TEST_F(DaemonTest, SolvesMatchALocalService) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("parity");
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  Expected<ScheduleResponseMsg> Resp = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(Resp.ok()) << Resp.status().str();
+  EXPECT_EQ(Resp->Outcome, ResponseOutcome::Solved);
+  EXPECT_EQ(Resp->Degradation, DegradationLevel::None);
+  ASSERT_TRUE(Resp->HasResult);
+  EXPECT_FALSE(Resp->Result.CacheHit);
+
+  SchedulerService Local(M, fastService());
+  SchedulerResult Want = Local.submit(G).get();
+  ASSERT_TRUE(Want.found());
+  EXPECT_EQ(Resp->Result.Schedule.T, Want.Schedule.T);
+  EXPECT_EQ(Resp->Result.Schedule.StartTime, Want.Schedule.StartTime);
+  EXPECT_EQ(Resp->Result.Schedule.Mapping, Want.Schedule.Mapping);
+  EXPECT_EQ(Resp->Result.ProvenRateOptimal, Want.ProvenRateOptimal);
+
+  DaemonStats S = D.stats();
+  EXPECT_EQ(S.Requests, 1u);
+  EXPECT_EQ(S.Connections, 1u);
+  D.stop();
+}
+
+TEST_F(DaemonTest, RestartServesWarmHitsIdenticalToColdSolves) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("restart");
+  O.SnapshotDir = "/tmp/swpd-ut-" + std::to_string(::getpid()) + "-snap";
+  fs::remove_all(O.SnapshotDir);
+
+  ScheduleResponseMsg Cold;
+  {
+    Daemon D(O);
+    ASSERT_TRUE(D.start().isOk());
+    Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+    ASSERT_TRUE(C.ok());
+    Expected<ScheduleResponseMsg> R = C->schedule(requestFor(M, G));
+    ASSERT_TRUE(R.ok()) << R.status().str();
+    ASSERT_EQ(R->Outcome, ResponseOutcome::Solved);
+    Cold = *R;
+    D.stop(); // Saves the snapshot.
+  }
+  EXPECT_FALSE(Cold.Result.CacheHit);
+
+  Daemon D2(O);
+  ASSERT_TRUE(D2.start().isOk());
+  EXPECT_GE(D2.stats().SnapshotEntriesLoaded, 1u);
+  Expected<DaemonClient> C2 = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C2.ok());
+  Expected<ScheduleResponseMsg> Warm = C2->schedule(requestFor(M, G));
+  ASSERT_TRUE(Warm.ok()) << Warm.status().str();
+  ASSERT_EQ(Warm->Outcome, ResponseOutcome::Solved);
+  EXPECT_TRUE(Warm->Result.CacheHit);
+
+  // Identical to the pre-restart cold solve, bit for bit, modulo the
+  // hit marker itself.
+  SchedulerResult A = Cold.Result, B = Warm->Result;
+  A.CacheHit = B.CacheHit = false;
+  EXPECT_EQ(schedulerResultBytes(A), schedulerResultBytes(B));
+  D2.stop();
+  fs::remove_all(O.SnapshotDir);
+}
+
+TEST_F(DaemonTest, SaturationShedsWithAWellFormedResponse) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("shed");
+  O.Admission.MaxInFlight = 0; // Everything sheds.
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  Expected<ScheduleResponseMsg> R = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(R.ok()) << "a shed must still be a well-formed response";
+  EXPECT_EQ(R->Outcome, ResponseOutcome::Shed);
+  EXPECT_EQ(R->Degradation, DegradationLevel::Shed);
+  EXPECT_FALSE(R->HasResult);
+  EXPECT_FALSE(R->Reason.empty());
+
+  DaemonStats S = D.stats();
+  EXPECT_EQ(S.Admission.Shed, 1u);
+  EXPECT_EQ(S.Service.CacheSize, 0u) << "shed requests must never be cached";
+  D.stop();
+}
+
+TEST_F(DaemonTest, HeuristicOnlyDegradationCarriesFallbackRung) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("heur");
+  O.Admission.ReducedEffortAt = 0;
+  O.Admission.HeuristicOnlyAt = 0;
+  O.Admission.MaxInFlight = 4;
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  Expected<ScheduleResponseMsg> R = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  EXPECT_EQ(R->Outcome, ResponseOutcome::Solved);
+  EXPECT_EQ(R->Degradation, DegradationLevel::HeuristicOnly);
+  EXPECT_FALSE(R->Reason.empty());
+  ASSERT_TRUE(R->HasResult);
+  EXPECT_NE(R->Result.Fallback, FallbackRung::None)
+      << "a heuristic-only answer must name its rung";
+  EXPECT_EQ(D.stats().Service.CacheSize, 0u)
+      << "degraded answers must never be memoized as full-effort results";
+  D.stop();
+}
+
+TEST_F(DaemonTest, ReducedEffortStillSolvesAndCachesUnderItsOwnKey) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("reduced");
+  O.Admission.ReducedEffortAt = 0;
+  O.Admission.HeuristicOnlyAt = 4;
+  O.Admission.MaxInFlight = 4;
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  Expected<ScheduleResponseMsg> R1 = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(R1.ok());
+  EXPECT_EQ(R1->Outcome, ResponseOutcome::Solved);
+  EXPECT_EQ(R1->Degradation, DegradationLevel::ReducedEffort);
+  EXPECT_FALSE(R1->Result.CacheHit);
+
+  // The same degraded request hits the degraded entry (same JobOptions
+  // fold into the fingerprint).
+  Expected<ScheduleResponseMsg> R2 = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_TRUE(R2->Result.CacheHit);
+  EXPECT_EQ(R2->Result.Schedule.T, R1->Result.Schedule.T);
+  D.stop();
+}
+
+TEST_F(DaemonTest, TenantBudgetShedsOneTenantNotOthers) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("tenant");
+  O.Admission.TenantBudgetSeconds = 1.0;
+  O.Admission.TenantRefillPerSecond = 0.0; // Hard quota.
+  O.Admission.DefaultChargeSeconds = 1.0;
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  ScheduleRequestMsg Req = requestFor(M, G);
+  Req.Tenant = "greedy";
+  Expected<ScheduleResponseMsg> R1 = C->schedule(Req);
+  ASSERT_TRUE(R1.ok());
+  EXPECT_EQ(R1->Outcome, ResponseOutcome::Solved);
+
+  Expected<ScheduleResponseMsg> R2 = C->schedule(Req);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2->Outcome, ResponseOutcome::Shed);
+  EXPECT_NE(R2->Reason.find("budget"), std::string::npos);
+
+  Req.Tenant = "patient";
+  Expected<ScheduleResponseMsg> R3 = C->schedule(Req);
+  ASSERT_TRUE(R3.ok());
+  EXPECT_EQ(R3->Outcome, ResponseOutcome::Solved);
+  EXPECT_EQ(D.stats().Admission.TenantShed, 1u);
+  D.stop();
+}
+
+TEST_F(DaemonTest, MalformedInputsGetErrorResponsesAndKeepTheConnection) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("badinput");
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+
+  ScheduleRequestMsg Bad = requestFor(M, G);
+  Bad.MachineText = "not a machine\n";
+  Expected<ScheduleResponseMsg> R1 = C->schedule(Bad);
+  ASSERT_TRUE(R1.ok());
+  EXPECT_EQ(R1->Outcome, ResponseOutcome::Error);
+  EXPECT_NE(R1->Reason.find("machine"), std::string::npos);
+
+  Bad = requestFor(M, G);
+  Bad.LoopText = "node x class NOPE latency 1\n";
+  Expected<ScheduleResponseMsg> R2 = C->schedule(Bad);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2->Outcome, ResponseOutcome::Error);
+  EXPECT_NE(R2->Reason.find("loop"), std::string::npos);
+
+  Bad = requestFor(M, G);
+  Bad.Scheduler = "quantum-annealer";
+  Expected<ScheduleResponseMsg> R3 = C->schedule(Bad);
+  ASSERT_TRUE(R3.ok());
+  EXPECT_EQ(R3->Outcome, ResponseOutcome::Error);
+  EXPECT_NE(R3->Reason.find("unknown scheduler"), std::string::npos);
+
+  // The connection survived three malformed requests; a good one works.
+  Expected<ScheduleResponseMsg> R4 = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(R4.ok());
+  EXPECT_EQ(R4->Outcome, ResponseOutcome::Solved);
+  D.stop();
+}
+
+TEST_F(DaemonTest, CorruptFrameGetsErrorResponseThenTeardown) {
+  DaemonOptions O = daemonOptions("corrupt");
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  // A raw client: valid frame with one payload byte flipped after the
+  // CRCs were computed.
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, O.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  std::vector<std::uint8_t> Payload{1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> Frame =
+      encodeFrame(MessageType::StatsRequest, Payload);
+  Frame[FrameHeaderSize + 2] ^= 0x10;
+  ASSERT_EQ(::write(Fd, Frame.data(), Frame.size()),
+            static_cast<ssize_t>(Frame.size()));
+
+  Socket Raw(Fd); // Adopt the fd to read the daemon's reply.
+  MessageType Type;
+  std::vector<std::uint8_t> Reply;
+  Status St = Raw.recvFrame(Type, Reply, 10.0);
+  ASSERT_TRUE(St.isOk()) << St.str();
+  EXPECT_EQ(Type, MessageType::ErrorResponse);
+
+  // After the error the daemon tears the connection down.
+  Status St2 = Raw.recvFrame(Type, Reply, 10.0);
+  EXPECT_FALSE(St2.isOk());
+  EXPECT_EQ(D.stats().FrameErrors, 1u);
+  D.stop();
+}
+
+TEST_F(DaemonTest, InjectedSocketFaultsFailTypedAndRecover) {
+  MachineModel M = ppc604Like();
+  Ddg G = smallLoop();
+  DaemonOptions O = daemonOptions("sockfault");
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+
+  // sock-read fires in the daemon's receive path: the connection dies,
+  // the client sees a typed transport failure, never a hang.
+  {
+    Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+    ASSERT_TRUE(C.ok());
+    std::string Err;
+    ASSERT_TRUE(
+        FaultInjector::instance().configure("sock-read:1", 0, &Err))
+        << Err;
+    Expected<ScheduleResponseMsg> R = C->schedule(requestFor(M, G));
+    EXPECT_FALSE(R.ok());
+    FaultInjector::instance().reset();
+  }
+
+  // sock-write fires in the client's send path: same typed discipline.
+  {
+    Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+    ASSERT_TRUE(C.ok());
+    std::string Err;
+    ASSERT_TRUE(
+        FaultInjector::instance().configure("sock-write:1", 0, &Err))
+        << Err;
+    Expected<ScheduleResponseMsg> R = C->schedule(requestFor(M, G));
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.status().code(), StatusCode::FaultInjected);
+    FaultInjector::instance().reset();
+  }
+
+  // Recovery: a fresh connection serves normally.
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  Expected<ScheduleResponseMsg> R = C->schedule(requestFor(M, G));
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  EXPECT_EQ(R->Outcome, ResponseOutcome::Solved);
+  D.stop();
+}
+
+TEST_F(DaemonTest, StatsRequestReturnsRenderedText) {
+  DaemonOptions O = daemonOptions("stats");
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  Expected<std::string> Text = C->statsText();
+  ASSERT_TRUE(Text.ok()) << Text.status().str();
+  EXPECT_NE(Text->find("requests"), std::string::npos);
+  EXPECT_NE(Text->find("Admission"), std::string::npos);
+  D.stop();
+}
+
+TEST_F(DaemonTest, ShutdownFrameStopsTheDaemon) {
+  DaemonOptions O = daemonOptions("shutdown");
+  Daemon D(O);
+  ASSERT_TRUE(D.start().isOk());
+  Expected<DaemonClient> C = DaemonClient::connect(O.SocketPath, 10.0);
+  ASSERT_TRUE(C.ok());
+  ASSERT_TRUE(C->requestShutdown().isOk());
+  EXPECT_TRUE(D.waitShutdownRequested(10.0));
+  D.stop();
+  EXPECT_FALSE(D.running());
+}

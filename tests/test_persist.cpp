@@ -1,0 +1,325 @@
+//===- test_persist.cpp - Result-cache bounds & crash-safe snapshots ------===//
+//
+// The ResultCache's LRU capacity contract (eviction, recency refresh,
+// first-insert-wins) and the CachePersist snapshot layer: byte-exact round
+// trips, atomic rename-on-write crash safety (a kill mid-write leaves the
+// last good snapshot live), checksum/truncation/version corruption
+// detection with whole-shard rebuild, and the CacheLoad fault site.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/service/CachePersist.h"
+#include "swp/service/ResultCache.h"
+#include "swp/service/ResultCodec.h"
+#include "swp/support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace swp;
+namespace fs = std::filesystem;
+
+namespace {
+
+Fingerprint key(std::uint64_t I) { return Fingerprint{I * 0x9e37u + 1, I}; }
+
+/// A distinguishable result with enough populated fields that a lossy
+/// codec would be caught.
+SchedulerResult result(int T) {
+  SchedulerResult R;
+  R.Schedule.T = T;
+  R.Schedule.StartTime = {0, T, 2 * T};
+  R.Schedule.Mapping = {0, 1, 0};
+  R.TDep = 1;
+  R.TRes = T;
+  R.TLowerBound = T;
+  R.ProvenRateOptimal = (T % 2) == 0;
+  R.TotalSeconds = 0.5 * T;
+  R.TotalNodes = 10 * T;
+  TAttempt A;
+  A.T = T;
+  A.Status = MilpStatus::Optimal;
+  A.Seconds = 0.25;
+  A.Nodes = 10 * T;
+  R.Attempts.push_back(A);
+  return R;
+}
+
+/// Fresh per-test snapshot directory under the gtest temp root.
+class PersistTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = fs::path(::testing::TempDir()) /
+          ("swp-persist-" +
+           std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(Dir);
+    FaultInjector::instance().reset();
+  }
+  void TearDown() override {
+    FaultInjector::instance().reset();
+    fs::remove_all(Dir);
+  }
+
+  fs::path Dir;
+};
+
+/// Flips one byte of \p P at \p Offset (from the start, or from the end
+/// when negative).
+void flipByte(const fs::path &P, long Offset) {
+  std::fstream F(P, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(F.is_open());
+  if (Offset < 0) {
+    F.seekg(0, std::ios::end);
+    Offset += static_cast<long>(F.tellg());
+  }
+  F.seekg(Offset);
+  char C;
+  F.read(&C, 1);
+  C = static_cast<char>(C ^ 0x20);
+  F.seekp(Offset);
+  F.write(&C, 1);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bounded LRU
+//===----------------------------------------------------------------------===//
+
+TEST_F(PersistTest, LruEvictsAtCapacity) {
+  ResultCache C(1, 3);
+  for (std::uint64_t I = 1; I <= 4; ++I)
+    C.insert(key(I), result(static_cast<int>(I)));
+  EXPECT_EQ(C.size(), 3u);
+  EXPECT_EQ(C.evictions(), 1u);
+  SchedulerResult Out;
+  EXPECT_FALSE(C.lookup(key(1), Out)) << "LRU entry must be the one evicted";
+  EXPECT_TRUE(C.lookup(key(2), Out));
+  EXPECT_TRUE(C.lookup(key(3), Out));
+  EXPECT_TRUE(C.lookup(key(4), Out));
+}
+
+TEST_F(PersistTest, LookupRefreshesRecency) {
+  ResultCache C(1, 3);
+  for (std::uint64_t I = 1; I <= 3; ++I)
+    C.insert(key(I), result(static_cast<int>(I)));
+  SchedulerResult Out;
+  ASSERT_TRUE(C.lookup(key(1), Out)); // 1 becomes MRU; 2 is now LRU.
+  C.insert(key(4), result(4));
+  EXPECT_TRUE(C.lookup(key(1), Out));
+  EXPECT_FALSE(C.lookup(key(2), Out));
+  EXPECT_EQ(C.evictions(), 1u);
+}
+
+TEST_F(PersistTest, FirstInsertWins) {
+  ResultCache C(1, 8);
+  C.insert(key(1), result(3));
+  C.insert(key(1), result(7));
+  SchedulerResult Out;
+  ASSERT_TRUE(C.lookup(key(1), Out));
+  EXPECT_EQ(Out.Schedule.T, 3);
+  EXPECT_EQ(C.size(), 1u);
+}
+
+TEST_F(PersistTest, RestoreBypassesInsertFaultGating) {
+  // With the CacheInsert site firing, live inserts are dropped (a lost
+  // cache write) but the snapshot loader's restore() path must still land.
+  std::string Err;
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("cache-insert:1000", 0, &Err))
+      << Err;
+  ResultCache C(1, 8);
+  C.insert(key(1), result(3));
+  SchedulerResult Out;
+  EXPECT_FALSE(C.lookup(key(1), Out));
+  C.restore(key(1), result(3));
+  EXPECT_TRUE(C.lookup(key(1), Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+TEST_F(PersistTest, SnapshotRoundTripsByteExactly) {
+  ResultCache C(2, 64);
+  for (std::uint64_t I = 1; I <= 10; ++I)
+    C.insert(key(I), result(static_cast<int>(I)));
+
+  Expected<SnapshotSaveStats> Saved = saveCacheSnapshot(C, Dir.string());
+  ASSERT_TRUE(Saved.ok()) << Saved.status().str();
+  EXPECT_EQ(Saved->ShardFiles, 2u);
+  EXPECT_EQ(Saved->Entries, 10u);
+  EXPECT_GT(Saved->Bytes, 0u);
+
+  ResultCache Warm(2, 64);
+  Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(Warm, Dir.string());
+  ASSERT_TRUE(Loaded.ok()) << Loaded.status().str();
+  EXPECT_EQ(Loaded->Entries, 10u);
+  EXPECT_EQ(Loaded->CorruptShards, 0u);
+  EXPECT_EQ(Warm.size(), 10u);
+
+  for (std::uint64_t I = 1; I <= 10; ++I) {
+    SchedulerResult A, B;
+    ASSERT_TRUE(C.lookup(key(I), A));
+    ASSERT_TRUE(Warm.lookup(key(I), B));
+    EXPECT_EQ(schedulerResultBytes(A), schedulerResultBytes(B))
+        << "entry " << I << " did not survive the round trip bit-for-bit";
+  }
+}
+
+TEST_F(PersistTest, ReshardsAcrossDifferentShardCounts) {
+  // Shard files are self-describing, so a snapshot written with 4 shards
+  // restores into a 1-shard cache (entries re-shard by fingerprint).
+  ResultCache C(4, 64);
+  for (std::uint64_t I = 1; I <= 8; ++I)
+    C.insert(key(I), result(static_cast<int>(I)));
+  ASSERT_TRUE(saveCacheSnapshot(C, Dir.string()).ok());
+
+  ResultCache Warm(1, 64);
+  Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(Warm, Dir.string());
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(Loaded->Entries, 8u);
+  EXPECT_EQ(Warm.size(), 8u);
+}
+
+TEST_F(PersistTest, MissingDirectoryIsAColdStart) {
+  ResultCache C(1, 8);
+  Expected<SnapshotLoadStats> Loaded =
+      loadCacheSnapshot(C, (Dir / "never-created").string());
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(Loaded->ShardFiles, 0u);
+  EXPECT_EQ(Loaded->Entries, 0u);
+}
+
+TEST_F(PersistTest, CrashMidWriteKeepsLastGoodSnapshot) {
+  ResultCache Good(1, 64);
+  Good.insert(key(1), result(3));
+  Good.insert(key(2), result(5));
+  ASSERT_TRUE(saveCacheSnapshot(Good, Dir.string()).ok());
+
+  // A later snapshot of different contents dies mid-write: the partial
+  // .tmp stays behind, the rename never happens.
+  ResultCache Newer(1, 64);
+  Newer.insert(key(9), result(9));
+  SnapshotWriteHooks Hooks;
+  Hooks.FailAfterBytes = 10;
+  Expected<SnapshotSaveStats> Crashed =
+      saveCacheSnapshot(Newer, Dir.string(), Hooks);
+  ASSERT_FALSE(Crashed.ok());
+  EXPECT_EQ(Crashed.status().code(), StatusCode::FaultInjected);
+  EXPECT_TRUE(fs::exists(Dir / "shard-0000.swpcache.tmp"));
+
+  // Restart: the last good snapshot loads; the partial .tmp is ignored.
+  ResultCache Warm(1, 64);
+  Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(Warm, Dir.string());
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(Loaded->Entries, 2u);
+  EXPECT_EQ(Loaded->CorruptShards, 0u);
+  SchedulerResult Out;
+  EXPECT_TRUE(Warm.lookup(key(1), Out));
+  EXPECT_TRUE(Warm.lookup(key(2), Out));
+  EXPECT_FALSE(Warm.lookup(key(9), Out))
+      << "the crashed snapshot's contents must not be visible";
+}
+
+TEST_F(PersistTest, EntryCorruptionDiscardsTheWholeShard) {
+  ResultCache C(1, 64);
+  C.insert(key(1), result(3));
+  C.insert(key(2), result(5));
+  ASSERT_TRUE(saveCacheSnapshot(C, Dir.string()).ok());
+  // A flipped bit in the last entry's bytes fails that entry's CRC; the
+  // loader must rebuild the shard from empty, not restore a prefix.
+  flipByte(Dir / "shard-0000.swpcache", -2);
+
+  ResultCache Warm(1, 64);
+  Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(Warm, Dir.string());
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(Loaded->ShardFiles, 1u);
+  EXPECT_EQ(Loaded->CorruptShards, 1u);
+  EXPECT_EQ(Loaded->Entries, 0u);
+  EXPECT_EQ(Warm.size(), 0u);
+}
+
+TEST_F(PersistTest, HeaderAndVersionCorruptionRejected) {
+  ResultCache C(1, 64);
+  C.insert(key(1), result(3));
+  ASSERT_TRUE(saveCacheSnapshot(C, Dir.string()).ok());
+
+  flipByte(Dir / "shard-0000.swpcache", 0); // Magic.
+  ResultCache W1(1, 64);
+  Expected<SnapshotLoadStats> L1 = loadCacheSnapshot(W1, Dir.string());
+  ASSERT_TRUE(L1.ok());
+  EXPECT_EQ(L1->CorruptShards, 1u);
+
+  flipByte(Dir / "shard-0000.swpcache", 0); // Back to valid.
+  flipByte(Dir / "shard-0000.swpcache", 4); // Version.
+  ResultCache W2(1, 64);
+  Expected<SnapshotLoadStats> L2 = loadCacheSnapshot(W2, Dir.string());
+  ASSERT_TRUE(L2.ok());
+  EXPECT_EQ(L2->CorruptShards, 1u);
+}
+
+TEST_F(PersistTest, TruncatedShardRejected) {
+  ResultCache C(1, 64);
+  C.insert(key(1), result(3));
+  C.insert(key(2), result(5));
+  ASSERT_TRUE(saveCacheSnapshot(C, Dir.string()).ok());
+
+  fs::path Shard = Dir / "shard-0000.swpcache";
+  std::uintmax_t Size = fs::file_size(Shard);
+  fs::resize_file(Shard, Size / 2);
+
+  ResultCache Warm(1, 64);
+  Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(Warm, Dir.string());
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(Loaded->CorruptShards, 1u);
+  EXPECT_EQ(Warm.size(), 0u);
+}
+
+TEST_F(PersistTest, CacheLoadFaultSiteForcesShardRebuild) {
+  ResultCache C(2, 64);
+  for (std::uint64_t I = 1; I <= 6; ++I)
+    C.insert(key(I), result(static_cast<int>(I)));
+  ASSERT_TRUE(saveCacheSnapshot(C, Dir.string()).ok());
+  // The loader reads shard files in sorted order, so the injected fault
+  // hits shard 0; whatever lived there is lost, shard 1 still restores.
+  std::size_t Shard0 = C.shardEntries(0).size();
+  std::size_t Shard1 = C.shardEntries(1).size();
+  ASSERT_EQ(Shard0 + Shard1, 6u);
+
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::instance().configure("cache-load:1", 0, &Err))
+      << Err;
+  ResultCache Warm(2, 64);
+  Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(Warm, Dir.string());
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(Loaded->ShardFiles, 2u);
+  EXPECT_EQ(Loaded->CorruptShards, 1u);
+  EXPECT_EQ(Loaded->Entries, Shard1)
+      << "degradation is per shard, never all-or-nothing";
+  EXPECT_EQ(Warm.size(), Loaded->Entries);
+}
+
+TEST_F(PersistTest, SnapshotPreservesRecencyOrder) {
+  // Entries are snapshotted LRU-first and restored in that order, so the
+  // warm cache evicts in the same order the cold one would have.
+  ResultCache C(1, 3);
+  for (std::uint64_t I = 1; I <= 3; ++I)
+    C.insert(key(I), result(static_cast<int>(I)));
+  SchedulerResult Out;
+  ASSERT_TRUE(C.lookup(key(1), Out)); // 1 -> MRU; LRU order is now 2,3,1.
+  ASSERT_TRUE(saveCacheSnapshot(C, Dir.string()).ok());
+
+  ResultCache Warm(1, 3);
+  ASSERT_TRUE(loadCacheSnapshot(Warm, Dir.string()).ok());
+  Warm.insert(key(4), result(4)); // Evicts the restored LRU: key 2.
+  EXPECT_FALSE(Warm.lookup(key(2), Out));
+  EXPECT_TRUE(Warm.lookup(key(1), Out));
+  EXPECT_TRUE(Warm.lookup(key(3), Out));
+}

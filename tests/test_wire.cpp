@@ -1,0 +1,298 @@
+//===- test_wire.cpp - swpd wire protocol tests ---------------------------===//
+//
+// The frame codec (header layout, CRC discipline, rejection taxonomy) and
+// the message codecs (byte-exact round trips, bounds, canonicality).  The
+// exhaustive truncation/bit-flip sweeps live in swp_fuzz --mode wire; here
+// each rejection class gets a directed test naming the expected
+// FrameError.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/net/Wire.h"
+#include "swp/support/Crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace swp;
+using namespace swp::net;
+
+namespace {
+
+std::vector<std::uint8_t> bytesOf(const std::string &S) {
+  return std::vector<std::uint8_t>(S.begin(), S.end());
+}
+
+/// A 20-byte header with an arbitrary field tweak but a *valid* header
+/// CRC, so decodeFrameHeader's field checks (magic, version, size) are
+/// reachable past the CRC gate.
+std::vector<std::uint8_t> headerWith(std::uint32_t Magic, std::uint16_t Version,
+                                     std::uint16_t Type, std::uint32_t Len,
+                                     std::uint32_t PayloadCrc) {
+  ByteWriter W;
+  W.u32(Magic);
+  W.u16(Version);
+  W.u16(Type);
+  W.u32(Len);
+  W.u32(PayloadCrc);
+  W.u32(crc32(std::span<const std::uint8_t>(W.data().data(), 16)));
+  return W.take();
+}
+
+ScheduleRequestMsg sampleRequest() {
+  ScheduleRequestMsg Req;
+  Req.Tenant = "tenant-a";
+  Req.Scheduler = "portfolio-sat";
+  Req.DeadlineSeconds = 2.5;
+  Req.MachineText = "machine m\n";
+  Req.LoopText = std::string("loop with\0embedded NUL", 22);
+  return Req;
+}
+
+ScheduleResponseMsg sampleResponse() {
+  ScheduleResponseMsg Resp;
+  Resp.Outcome = ResponseOutcome::Solved;
+  Resp.Degradation = DegradationLevel::ReducedEffort;
+  Resp.Reason = "load high";
+  Resp.HasResult = true;
+  Resp.Result.Schedule.T = 3;
+  Resp.Result.Schedule.StartTime = {0, 1, 5};
+  Resp.Result.Schedule.Mapping = {0, 0, 1};
+  Resp.Result.TDep = 2;
+  Resp.Result.TRes = 3;
+  Resp.Result.TLowerBound = 3;
+  Resp.Result.ProvenRateOptimal = true;
+  Resp.Result.CacheHit = true;
+  Resp.Result.TotalSeconds = 0.125;
+  Resp.Result.TotalNodes = 42;
+  TAttempt A;
+  A.T = 3;
+  A.Status = MilpStatus::Optimal;
+  A.StopReason = SearchStop::None;
+  A.Seconds = 0.1;
+  A.Nodes = 42;
+  Resp.Result.Attempts.push_back(A);
+  return Resp;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Frame codec
+//===----------------------------------------------------------------------===//
+
+TEST(WireFrame, RoundTripsHeaderAndPayload) {
+  std::vector<std::uint8_t> Payload = bytesOf("hello frames");
+  std::vector<std::uint8_t> Frame =
+      encodeFrame(MessageType::ScheduleRequest, Payload);
+  ASSERT_EQ(Frame.size(), FrameHeaderSize + Payload.size());
+
+  FrameHeader H;
+  ASSERT_EQ(decodeFrameHeader(std::span(Frame).first(FrameHeaderSize), H),
+            FrameError::None);
+  EXPECT_EQ(H.Type, MessageType::ScheduleRequest);
+  EXPECT_EQ(H.PayloadLen, Payload.size());
+  EXPECT_EQ(verifyFramePayload(H, std::span(Frame).subspan(FrameHeaderSize)),
+            FrameError::None);
+}
+
+TEST(WireFrame, EmptyPayloadIsAFullFrame) {
+  std::vector<std::uint8_t> Frame = encodeFrame(MessageType::StatsRequest, {});
+  ASSERT_EQ(Frame.size(), FrameHeaderSize);
+  FrameHeader H;
+  ASSERT_EQ(decodeFrameHeader(Frame, H), FrameError::None);
+  EXPECT_EQ(H.PayloadLen, 0u);
+  EXPECT_EQ(verifyFramePayload(H, {}), FrameError::None);
+}
+
+TEST(WireFrame, TruncatedHeaderRejected) {
+  std::vector<std::uint8_t> Frame = encodeFrame(MessageType::StatsRequest, {});
+  FrameHeader H;
+  for (std::size_t Len = 0; Len < FrameHeaderSize; ++Len)
+    EXPECT_EQ(decodeFrameHeader(std::span(Frame).first(Len), H),
+              FrameError::BadHeaderCrc)
+        << "header prefix of " << Len << " bytes";
+}
+
+TEST(WireFrame, HeaderCrcGateRunsFirst) {
+  // A flipped magic bit without a recomputed CRC must read as a CRC
+  // failure, not BadMagic — a corrupt header's fields are untrustworthy.
+  std::vector<std::uint8_t> Frame = encodeFrame(MessageType::StatsRequest, {});
+  Frame[0] ^= 0x01;
+  FrameHeader H;
+  EXPECT_EQ(decodeFrameHeader(Frame, H), FrameError::BadHeaderCrc);
+}
+
+TEST(WireFrame, FieldRejectionsBehindValidCrc) {
+  FrameHeader H;
+  EXPECT_EQ(decodeFrameHeader(
+                headerWith(WireMagic ^ 1, WireVersion, 3, 0, crc32({})), H),
+            FrameError::BadMagic);
+  EXPECT_EQ(decodeFrameHeader(
+                headerWith(WireMagic, WireVersion + 1, 3, 0, crc32({})), H),
+            FrameError::BadVersion);
+  EXPECT_EQ(decodeFrameHeader(headerWith(WireMagic, WireVersion, 3,
+                                         MaxFramePayload + 1, crc32({})),
+                              H),
+            FrameError::Oversized);
+}
+
+TEST(WireFrame, PayloadCorruptionRejected) {
+  std::vector<std::uint8_t> Payload = bytesOf("payload bytes");
+  std::vector<std::uint8_t> Frame =
+      encodeFrame(MessageType::ScheduleResponse, Payload);
+  FrameHeader H;
+  ASSERT_EQ(decodeFrameHeader(std::span(Frame).first(FrameHeaderSize), H),
+            FrameError::None);
+
+  std::vector<std::uint8_t> Bad = Payload;
+  Bad[3] ^= 0x40;
+  EXPECT_EQ(verifyFramePayload(H, Bad), FrameError::BadPayloadCrc);
+
+  std::vector<std::uint8_t> Short(Payload.begin(), Payload.end() - 1);
+  EXPECT_EQ(verifyFramePayload(H, Short), FrameError::BadPayloadCrc);
+}
+
+TEST(WireFrame, ErrorNamesAreStable) {
+  EXPECT_STREQ(frameErrorName(FrameError::BadHeaderCrc), "bad-header-crc");
+  EXPECT_STREQ(frameErrorName(FrameError::BadPayloadCrc), "bad-payload-crc");
+  EXPECT_STREQ(responseOutcomeName(ResponseOutcome::Shed), "shed");
+}
+
+//===----------------------------------------------------------------------===//
+// Message codecs
+//===----------------------------------------------------------------------===//
+
+TEST(WireMessages, RequestRoundTripsByteExactly) {
+  ScheduleRequestMsg Req = sampleRequest();
+  ByteWriter W;
+  encodeScheduleRequest(W, Req);
+
+  ByteReader R(W.data());
+  ScheduleRequestMsg Out;
+  ASSERT_TRUE(decodeScheduleRequest(R, Out));
+  ASSERT_TRUE(R.done());
+  EXPECT_EQ(Out.Tenant, Req.Tenant);
+  EXPECT_EQ(Out.Scheduler, Req.Scheduler);
+  EXPECT_EQ(Out.DeadlineSeconds, Req.DeadlineSeconds);
+  EXPECT_EQ(Out.MachineText, Req.MachineText);
+  EXPECT_EQ(Out.LoopText, Req.LoopText);
+
+  ByteWriter W2;
+  encodeScheduleRequest(W2, Out);
+  EXPECT_EQ(W2.data(), W.data());
+}
+
+TEST(WireMessages, ResponseRoundTripsByteExactly) {
+  ScheduleResponseMsg Resp = sampleResponse();
+  ByteWriter W;
+  encodeScheduleResponse(W, Resp);
+
+  ByteReader R(W.data());
+  ScheduleResponseMsg Out;
+  ASSERT_TRUE(decodeScheduleResponse(R, Out));
+  ASSERT_TRUE(R.done());
+  EXPECT_EQ(Out.Outcome, Resp.Outcome);
+  EXPECT_EQ(Out.Degradation, Resp.Degradation);
+  EXPECT_EQ(Out.Reason, Resp.Reason);
+  ASSERT_TRUE(Out.HasResult);
+  EXPECT_EQ(Out.Result.Schedule.T, 3);
+  EXPECT_EQ(Out.Result.Schedule.StartTime, Resp.Result.Schedule.StartTime);
+  EXPECT_TRUE(Out.Result.ProvenRateOptimal);
+  EXPECT_TRUE(Out.Result.CacheHit);
+  ASSERT_EQ(Out.Result.Attempts.size(), 1u);
+  EXPECT_EQ(Out.Result.Attempts[0].Status, MilpStatus::Optimal);
+
+  ByteWriter W2;
+  encodeScheduleResponse(W2, Out);
+  EXPECT_EQ(W2.data(), W.data());
+}
+
+TEST(WireMessages, ShedResponseCarriesNoResult) {
+  ScheduleResponseMsg Resp;
+  Resp.Outcome = ResponseOutcome::Shed;
+  Resp.Degradation = DegradationLevel::Shed;
+  Resp.Reason = "queue full";
+  Resp.HasResult = false;
+  ByteWriter W;
+  encodeScheduleResponse(W, Resp);
+
+  ByteReader R(W.data());
+  ScheduleResponseMsg Out;
+  ASSERT_TRUE(decodeScheduleResponse(R, Out));
+  ASSERT_TRUE(R.done());
+  EXPECT_EQ(Out.Outcome, ResponseOutcome::Shed);
+  EXPECT_FALSE(Out.HasResult);
+}
+
+TEST(WireMessages, TruncatedPayloadsRejected) {
+  ScheduleRequestMsg Req = sampleRequest();
+  ByteWriter W;
+  encodeScheduleRequest(W, Req);
+  const std::vector<std::uint8_t> &Full = W.data();
+  for (std::size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    std::vector<std::uint8_t> Short(Full.begin(),
+                                    Full.begin() + static_cast<long>(Cut));
+    ByteReader R(Short);
+    ScheduleRequestMsg Out;
+    EXPECT_FALSE(decodeScheduleRequest(R, Out) && R.done())
+        << "accepted a " << Cut << "-byte truncation";
+  }
+}
+
+TEST(WireMessages, TrailingGarbageRejectedByDone) {
+  ScheduleRequestMsg Req = sampleRequest();
+  ByteWriter W;
+  encodeScheduleRequest(W, Req);
+  std::vector<std::uint8_t> Extra = W.data();
+  Extra.push_back(0xAB);
+  ByteReader R(Extra);
+  ScheduleRequestMsg Out;
+  ASSERT_TRUE(decodeScheduleRequest(R, Out));
+  EXPECT_FALSE(R.done());
+}
+
+TEST(WireMessages, OutOfRangeEnumsRejected) {
+  ScheduleResponseMsg Resp = sampleResponse();
+  ByteWriter W;
+  encodeScheduleResponse(W, Resp);
+
+  // Byte 0 is the outcome, byte 1 the degradation level.
+  std::vector<std::uint8_t> BadOutcome = W.data();
+  BadOutcome[0] = 200;
+  ByteReader R1(BadOutcome);
+  ScheduleResponseMsg Out;
+  EXPECT_FALSE(decodeScheduleResponse(R1, Out));
+
+  std::vector<std::uint8_t> BadLevel = W.data();
+  BadLevel[1] = 77;
+  ByteReader R2(BadLevel);
+  EXPECT_FALSE(decodeScheduleResponse(R2, Out));
+}
+
+TEST(WireMessages, NonCanonicalBooleanRejected) {
+  ScheduleResponseMsg Resp = sampleResponse();
+  ByteWriter W;
+  encodeScheduleResponse(W, Resp);
+  // HasResult sits after outcome, level, and the length-prefixed reason.
+  std::size_t BoolAt = 1 + 1 + 4 + Resp.Reason.size();
+  std::vector<std::uint8_t> Bad = W.data();
+  ASSERT_EQ(Bad[BoolAt], 1u);
+  Bad[BoolAt] = 2;
+  ByteReader R(Bad);
+  ScheduleResponseMsg Out;
+  EXPECT_FALSE(decodeScheduleResponse(R, Out) && R.done());
+}
+
+TEST(WireMessages, HostileStringLengthsFailInsteadOfAllocating) {
+  // A tenant-name length prefix of ~4 GiB must fail the codec's bound, not
+  // attempt the allocation.
+  ByteWriter W;
+  W.u32(0xFFFFFFF0u);
+  ByteReader R(W.data());
+  ScheduleRequestMsg Out;
+  EXPECT_FALSE(decodeScheduleRequest(R, Out));
+}

@@ -30,8 +30,17 @@
 // the other's proven optimum, and a clean full-window infeasibility proof
 // from one engine forbids the other from finding anything in the window.
 //
+// With --mode wire the harness fuzzes the swpd wire protocol instead of
+// the schedulers: random requests and responses (arbitrary byte strings,
+// NaN/infinity doubles, every enum value) must round-trip byte-exactly
+// through the message codecs and the frame codec, every truncation of a
+// frame must be rejected, and every single-bit flip anywhere in a frame —
+// header or payload — must be caught by one of the two CRCs.  The bit-flip
+// and truncation sweeps are exhaustive per instance, not sampled.
+//
 //   swp_fuzz --instances 10000 --seed 1            # acceptance run
 //   swp_fuzz --instances 10000 --seed 1 --mode ilp-vs-sat
+//   swp_fuzz --instances 2000 --seed 1 --mode wire
 //   swp_fuzz --instances 200 --faults "lp-infeasible:p0.1,bnb-node:p0.05"
 //
 // Exit status: 0 = no findings, 1 = findings (each printed with a full
@@ -45,6 +54,7 @@
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
 #include "swp/machine/MachineModel.h"
+#include "swp/net/Wire.h"
 #include "swp/sat/SatScheduler.h"
 #include "swp/service/SchedulerService.h"
 #include "swp/sim/DynamicSimulator.h"
@@ -55,6 +65,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,7 +78,9 @@ struct FuzzOptions {
   int Instances = 1000;
   std::uint64_t Seed = 1;
   int MaxNodes = 10;
-  /// "all" = every scheduler path; "ilp-vs-sat" = two-engine differential.
+  /// "all" = every scheduler path; "ilp-vs-sat" = two-engine differential;
+  /// "wire" = swpd frame/message codec round trips and corruption
+  /// rejection.
   std::string Mode = "all";
   std::string FaultSpec;
   double TimeLimitPerT = 0.05;
@@ -80,7 +94,7 @@ struct FuzzOptions {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--instances N] [--seed S] [--max-nodes N]\n"
-               "       [--mode all|ilp-vs-sat] [--faults SPEC]\n"
+               "       [--mode all|ilp-vs-sat|wire] [--faults SPEC]\n"
                "       [--time-limit S] [--node-limit N]\n"
                "       [--max-t-slack N] [--service-every N] [--verbose]\n",
                Argv0);
@@ -163,6 +177,14 @@ struct Findings {
     std::fprintf(stderr, "--- machine\n%s--- loop\n%s---\n",
                  printMachine(Machine).c_str(),
                  printLoop(G, Machine).c_str());
+  }
+
+  /// Wire-mode findings have no machine/loop to dump; the instance seed
+  /// alone replays them.
+  void report(std::uint64_t InstanceSeed, const std::string &What) {
+    ++Count;
+    std::fprintf(stderr, "FINDING (instance seed %llu): %s\n",
+                 static_cast<unsigned long long>(InstanceSeed), What.c_str());
   }
 };
 
@@ -434,6 +456,267 @@ void fuzzIlpVsSat(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
                  " inside a window the SAT backend proved fully infeasible");
 }
 
+//===----------------------------------------------------------------------===//
+// Wire-protocol fuzzing (--mode wire)
+//===----------------------------------------------------------------------===//
+
+/// Arbitrary bytes, including NUL and high bit — the codec is
+/// length-prefixed, so content must never matter.
+std::string randomWireString(Rng &R, int MaxLen) {
+  int Len = R.intIn(0, MaxLen);
+  std::string S;
+  S.reserve(static_cast<std::size_t>(Len));
+  for (int I = 0; I < Len; ++I)
+    S.push_back(static_cast<char>(R.intIn(0, 255)));
+  return S;
+}
+
+/// Doubles that stress the f64 bit-pattern contract: signed zeros,
+/// infinities, NaN, and ordinary values.
+double randomWireDouble(Rng &R) {
+  switch (R.intIn(0, 7)) {
+  case 0:
+    return 0.0;
+  case 1:
+    return -0.0;
+  case 2:
+    return std::numeric_limits<double>::infinity();
+  case 3:
+    return -std::numeric_limits<double>::infinity();
+  case 4:
+    return std::numeric_limits<double>::quiet_NaN();
+  default:
+    return R.intIn(-1000000, 1000000) * 0.001;
+  }
+}
+
+/// A SchedulerResult with every field randomized over its full legal
+/// range (the decoder rejects out-of-range enums, so stay in range here;
+/// rejection is covered separately by the corruption sweeps).
+SchedulerResult randomWireResult(Rng &R) {
+  SchedulerResult Res;
+  Res.Schedule.T = R.intIn(-2, 100);
+  int N = R.intIn(0, 8);
+  for (int I = 0; I < N; ++I) {
+    Res.Schedule.StartTime.push_back(R.intIn(-1, 500));
+    Res.Schedule.Mapping.push_back(R.intIn(-1, 7));
+  }
+  Res.TDep = R.intIn(0, 50);
+  Res.TRes = R.intIn(0, 50);
+  Res.TLowerBound = R.intIn(0, 50);
+  Res.ProvenRateOptimal = R.chance(0.5);
+  Res.VerifyFailed = R.chance(0.1);
+  Res.Cancelled = R.chance(0.1);
+  Res.Error = Status(
+      static_cast<StatusCode>(
+          R.intIn(0, static_cast<int>(StatusCode::FaultInjected))),
+      randomWireString(R, 32));
+  Res.Error.withPhase(randomWireString(R, 12))
+      .withT(R.intIn(-1, 50))
+      .withInstance(randomWireString(R, 12));
+  Res.Fallback = static_cast<FallbackRung>(
+      R.intIn(0, static_cast<int>(FallbackRung::IterativeModulo)));
+  Res.FaultsSeen = R.chance(0.2);
+  Res.CacheHit = R.chance(0.3);
+  Res.Retries = R.intIn(0, 3);
+  Res.TotalSeconds = randomWireDouble(R);
+  Res.TotalNodes = static_cast<std::int64_t>(R.next() >> 16);
+  int Attempts = R.intIn(0, 4);
+  for (int I = 0; I < Attempts; ++I) {
+    TAttempt A;
+    A.T = R.intIn(1, 60);
+    A.ModuloSkipped = R.chance(0.2);
+    A.Status = static_cast<MilpStatus>(
+        R.intIn(0, static_cast<int>(MilpStatus::Error)));
+    A.StopReason = static_cast<SearchStop>(
+        R.intIn(0, static_cast<int>(SearchStop::Fault)));
+    A.Seconds = randomWireDouble(R);
+    A.Nodes = static_cast<std::int64_t>(R.next() >> 20);
+    Res.Attempts.push_back(A);
+  }
+  return Res;
+}
+
+net::ScheduleRequestMsg randomWireRequest(Rng &R) {
+  net::ScheduleRequestMsg Req;
+  Req.Tenant = randomWireString(R, 24);
+  Req.Scheduler = randomWireString(R, 16);
+  Req.DeadlineSeconds = randomWireDouble(R);
+  Req.MachineText = randomWireString(R, 64);
+  Req.LoopText = randomWireString(R, 64);
+  return Req;
+}
+
+net::ScheduleResponseMsg randomWireResponse(Rng &R) {
+  net::ScheduleResponseMsg Resp;
+  Resp.Outcome = static_cast<net::ResponseOutcome>(
+      R.intIn(0, static_cast<int>(net::ResponseOutcome::Error)));
+  Resp.Degradation = static_cast<DegradationLevel>(
+      R.intIn(0, static_cast<int>(DegradationLevel::Shed)));
+  Resp.Reason = randomWireString(R, 48);
+  Resp.HasResult = R.chance(0.6);
+  if (Resp.HasResult)
+    Resp.Result = randomWireResult(R);
+  return Resp;
+}
+
+/// The daemon's receive path in miniature: header decode, then payload
+/// length/CRC verification.  \returns true when \p Bytes is rejected.
+bool wireRejects(std::span<const std::uint8_t> Bytes) {
+  net::FrameHeader H;
+  if (net::decodeFrameHeader(Bytes, H) != net::FrameError::None)
+    return true;
+  return net::verifyFramePayload(H, Bytes.subspan(net::FrameHeaderSize)) !=
+         net::FrameError::None;
+}
+
+/// Frame-level checks for one payload: clean accept, then exhaustive
+/// truncation and exhaustive single-bit-flip rejection.
+void fuzzWireFrame(std::uint64_t InstanceSeed, Findings &F,
+                   net::MessageType Type,
+                   std::span<const std::uint8_t> Payload, const char *What) {
+  std::vector<std::uint8_t> Frame = net::encodeFrame(Type, Payload);
+
+  net::FrameHeader H;
+  net::FrameError E =
+      net::decodeFrameHeader(std::span(Frame).first(net::FrameHeaderSize), H);
+  if (E != net::FrameError::None) {
+    F.report(InstanceSeed, std::string(What) + ": clean header rejected: " +
+                               net::frameErrorName(E));
+    return;
+  }
+  if (H.Type != Type || H.PayloadLen != Payload.size()) {
+    F.report(InstanceSeed,
+             std::string(What) + ": header fields do not round-trip");
+    return;
+  }
+  E = net::verifyFramePayload(H,
+                              std::span(Frame).subspan(net::FrameHeaderSize));
+  if (E != net::FrameError::None) {
+    F.report(InstanceSeed, std::string(What) + ": clean payload rejected: " +
+                               net::frameErrorName(E));
+    return;
+  }
+
+  // Every proper prefix of the frame must be rejected (a short header is
+  // a bad header; a short payload fails length/CRC verification).
+  for (std::size_t Cut = 0; Cut < Frame.size(); ++Cut) {
+    if (!wireRejects(std::span(Frame).first(Cut))) {
+      F.report(InstanceSeed, std::string(What) + ": truncation to " +
+                                 std::to_string(Cut) + " bytes accepted");
+      break;
+    }
+  }
+
+  // Every single-bit flip — header or payload — must be caught by one of
+  // the two CRC-32s (which detect all single-bit errors).
+  for (std::size_t Bit = 0; Bit < Frame.size() * 8; ++Bit) {
+    Frame[Bit / 8] ^= static_cast<std::uint8_t>(1u << (Bit % 8));
+    bool Rejected = wireRejects(Frame);
+    Frame[Bit / 8] ^= static_cast<std::uint8_t>(1u << (Bit % 8));
+    if (!Rejected) {
+      F.report(InstanceSeed, std::string(What) + ": bit flip at bit " +
+                                 std::to_string(Bit) + " accepted");
+      break;
+    }
+  }
+}
+
+/// One wire-protocol instance: random request and response, byte-exact
+/// message round trips, message-level truncation/corruption rejection, and
+/// the frame sweeps of fuzzWireFrame.
+void fuzzWire(std::uint64_t InstanceSeed, Findings &F) {
+  Rng R(InstanceSeed);
+
+  // --- ScheduleRequest message codec.
+  net::ScheduleRequestMsg Req = randomWireRequest(R);
+  ByteWriter ReqW;
+  net::encodeScheduleRequest(ReqW, Req);
+  std::vector<std::uint8_t> ReqBytes = ReqW.take();
+  {
+    ByteReader Rd(ReqBytes);
+    net::ScheduleRequestMsg Out;
+    if (!net::decodeScheduleRequest(Rd, Out) || !Rd.done()) {
+      F.report(InstanceSeed, "request decode(encode()) failed");
+    } else {
+      ByteWriter W2;
+      net::encodeScheduleRequest(W2, Out);
+      if (W2.data() != ReqBytes)
+        F.report(InstanceSeed, "request re-encode is not byte-exact");
+    }
+    // Any message-level truncation must fail (the codec is length-
+    // prefixed throughout, so a cut always lands inside a promised field).
+    std::vector<std::uint8_t> Cut(
+        ReqBytes.begin(),
+        ReqBytes.begin() +
+            R.intIn(0, static_cast<int>(ReqBytes.size()) - 1));
+    ByteReader RdCut(Cut);
+    net::ScheduleRequestMsg OutCut;
+    if (net::decodeScheduleRequest(RdCut, OutCut) && RdCut.done())
+      F.report(InstanceSeed, "truncated request message accepted");
+    // Trailing garbage must be flagged by done().
+    std::vector<std::uint8_t> Extra = ReqBytes;
+    Extra.push_back(static_cast<std::uint8_t>(R.intIn(0, 255)));
+    ByteReader RdExtra(Extra);
+    net::ScheduleRequestMsg OutExtra;
+    if (net::decodeScheduleRequest(RdExtra, OutExtra) && RdExtra.done())
+      F.report(InstanceSeed, "request with trailing garbage accepted");
+  }
+
+  // --- ScheduleResponse message codec.
+  net::ScheduleResponseMsg Resp = randomWireResponse(R);
+  ByteWriter RespW;
+  net::encodeScheduleResponse(RespW, Resp);
+  std::vector<std::uint8_t> RespBytes = RespW.take();
+  {
+    ByteReader Rd(RespBytes);
+    net::ScheduleResponseMsg Out;
+    if (!net::decodeScheduleResponse(Rd, Out) || !Rd.done()) {
+      F.report(InstanceSeed, "response decode(encode()) failed");
+    } else {
+      ByteWriter W2;
+      net::encodeScheduleResponse(W2, Out);
+      if (W2.data() != RespBytes)
+        F.report(InstanceSeed, "response re-encode is not byte-exact");
+    }
+    std::vector<std::uint8_t> Cut(
+        RespBytes.begin(),
+        RespBytes.begin() +
+            R.intIn(0, static_cast<int>(RespBytes.size()) - 1));
+    ByteReader RdCut(Cut);
+    net::ScheduleResponseMsg OutCut;
+    if (net::decodeScheduleResponse(RdCut, OutCut) && RdCut.done())
+      F.report(InstanceSeed, "truncated response message accepted");
+
+    // Semantic rejection: an out-of-range outcome enum and a
+    // non-canonical boolean must both fail, not alias a legal value.
+    std::vector<std::uint8_t> BadEnum = RespBytes;
+    BadEnum[0] = static_cast<std::uint8_t>(R.intIn(
+        static_cast<int>(net::ResponseOutcome::Error) + 1, 255));
+    ByteReader RdEnum(BadEnum);
+    net::ScheduleResponseMsg OutEnum;
+    if (net::decodeScheduleResponse(RdEnum, OutEnum))
+      F.report(InstanceSeed, "out-of-range response outcome accepted");
+    std::vector<std::uint8_t> BadBool = RespBytes;
+    // HasResult sits after outcome, level, and the length-prefixed reason.
+    std::size_t BoolAt = 1 + 1 + 4 + Resp.Reason.size();
+    BadBool[BoolAt] = static_cast<std::uint8_t>(R.intIn(2, 255));
+    ByteReader RdBool(BadBool);
+    net::ScheduleResponseMsg OutBool;
+    if (net::decodeScheduleResponse(RdBool, OutBool) && RdBool.done())
+      F.report(InstanceSeed, "non-canonical HasResult boolean accepted");
+  }
+
+  // --- frame codec: exhaustive truncation + bit-flip sweeps over both
+  // payloads and over an empty-payload control frame.
+  fuzzWireFrame(InstanceSeed, F, net::MessageType::ScheduleRequest, ReqBytes,
+                "request frame");
+  fuzzWireFrame(InstanceSeed, F, net::MessageType::ScheduleResponse,
+                RespBytes, "response frame");
+  fuzzWireFrame(InstanceSeed, F, net::MessageType::StatsRequest, {},
+                "empty frame");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -496,7 +779,7 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.Instances < 1 || Opts.MaxNodes < 2)
     return usage(Argv[0]);
-  if (Opts.Mode != "all" && Opts.Mode != "ilp-vs-sat")
+  if (Opts.Mode != "all" && Opts.Mode != "ilp-vs-sat" && Opts.Mode != "wire")
     return usage(Argv[0]);
 
   Stopwatch Total;
@@ -505,6 +788,8 @@ int main(int Argc, char **Argv) {
     std::uint64_t InstanceSeed = mix64(Opts.Seed) ^ static_cast<std::uint64_t>(I);
     if (Opts.Mode == "ilp-vs-sat")
       fuzzIlpVsSat(Opts, InstanceSeed, F);
+    else if (Opts.Mode == "wire")
+      fuzzWire(InstanceSeed, F);
     else
       fuzzOne(Opts, InstanceSeed, F);
     if (Opts.Verbose && (I + 1) % 100 == 0)

@@ -27,6 +27,18 @@
 //
 // Batch mode feeds the loops through the SchedulerService thread pool
 // (service statistics go to stderr so a json stdout stream stays clean).
+// --save-cache/--load-cache persist the service's result cache around a
+// batch run, pre-baking warm capacity for the daemon.
+//
+// Client mode talks to a running swpd daemon instead of solving locally:
+//
+//   swpc --connect SOCKET --machine M --loop L [--tenant NAME] [options]
+//   swpc --connect SOCKET --machine M --batch DIR [...]
+//   swpc --connect SOCKET --daemon-stats
+//   swpc --connect SOCKET --shutdown
+//
+// Exit codes in client mode: 0 all solved, 3 some requests shed by load
+// control (none failed), 1 anything unsolved/errored or transport failure.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +52,8 @@
 #include "swp/heuristics/Enumerative.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
+#include "swp/net/Client.h"
+#include "swp/service/CachePersist.h"
 #include "swp/service/SchedulerService.h"
 #include "swp/service/ServiceStats.h"
 #include "swp/support/Format.h"
@@ -67,8 +81,12 @@ int usage(const char *Argv0) {
                "[--time-limit S]\n"
                "       [--deadline S] [--jobs N] [--format text|json]\n"
                "       [--iterations N] [--print tka,kernel,usage,arcs,"
-               "lifetimes,dot,loop,machine]\n",
-               Argv0);
+               "lifetimes,dot,loop,machine]\n"
+               "       [--save-cache DIR] [--load-cache DIR]\n"
+               "   or: %s --connect SOCKET (--machine FILE (--loop FILE |"
+               " --batch DIR)\n"
+               "        [--tenant NAME] | --daemon-stats | --shutdown)\n",
+               Argv0, Argv0);
   return 2;
 }
 
@@ -136,8 +154,101 @@ std::string resultText(const std::string &Name, const SchedulerResult &R) {
                    R.TotalSeconds, static_cast<long long>(R.TotalNodes));
 }
 
+std::string connectResultJson(const std::string &Name,
+                              const net::ScheduleResponseMsg &Resp) {
+  const SchedulerResult &R = Resp.Result;
+  return strFormat(
+      "{\"loop\":\"%s\",\"outcome\":\"%s\",\"degradation\":\"%s\","
+      "\"cache_hit\":%s,\"fallback\":\"%s\",\"T\":%d,\"T_lb\":%d,"
+      "\"proven\":%s,\"seconds\":%.6f,\"reason\":\"%s\"}",
+      jsonEscape(Name).c_str(), net::responseOutcomeName(Resp.Outcome),
+      degradationLevelName(Resp.Degradation),
+      R.CacheHit ? "true" : "false", fallbackRungName(R.Fallback),
+      R.Schedule.T, R.TLowerBound, R.ProvenRateOptimal ? "true" : "false",
+      R.TotalSeconds, jsonEscape(Resp.Reason).c_str());
+}
+
+std::string connectResultText(const std::string &Name,
+                              const net::ScheduleResponseMsg &Resp) {
+  if (Resp.Outcome == net::ResponseOutcome::Shed)
+    return strFormat("%s: shed (%s)", Name.c_str(), Resp.Reason.c_str());
+  if (Resp.Outcome == net::ResponseOutcome::Error)
+    return strFormat("%s: error (%s)", Name.c_str(), Resp.Reason.c_str());
+  std::string Line = resultText(Name, Resp.Result);
+  if (Resp.Result.CacheHit)
+    Line += " [cache hit]";
+  if (Resp.Degradation != DegradationLevel::None)
+    Line += strFormat(" [degraded: %s]",
+                      degradationLevelName(Resp.Degradation));
+  if (Resp.Result.Fallback != FallbackRung::None)
+    Line += strFormat(" [fallback: %s]",
+                      fallbackRungName(Resp.Result.Fallback));
+  return Line;
+}
+
+/// Client mode: send every loop to the daemon over one connection.
+int runConnect(const std::string &SocketPath, const std::string &Tenant,
+               const std::string &Scheduler, double Deadline,
+               const std::string &MachineText,
+               const std::vector<std::pair<std::string, std::string>> &Loops,
+               const std::string &Format, bool WantStats, bool WantShutdown) {
+  Expected<net::DaemonClient> Client = net::DaemonClient::connect(SocketPath);
+  if (!Client.ok()) {
+    std::fprintf(stderr, "error: %s\n", Client.status().str().c_str());
+    return 1;
+  }
+
+  bool AnyBad = false, AnyShed = false;
+  for (const auto &[Name, LoopText] : Loops) {
+    net::ScheduleRequestMsg Req;
+    Req.Tenant = Tenant;
+    Req.Scheduler = Scheduler;
+    Req.DeadlineSeconds = Deadline;
+    Req.MachineText = MachineText;
+    Req.LoopText = LoopText;
+    Expected<net::ScheduleResponseMsg> Resp = Client->schedule(Req);
+    if (!Resp.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", Name.c_str(),
+                   Resp.status().str().c_str());
+      return 1;
+    }
+    std::printf("%s\n", Format == "json"
+                            ? connectResultJson(Name, *Resp).c_str()
+                            : connectResultText(Name, *Resp).c_str());
+    switch (Resp->Outcome) {
+    case net::ResponseOutcome::Solved:
+      break;
+    case net::ResponseOutcome::Shed:
+      AnyShed = true;
+      break;
+    case net::ResponseOutcome::Unsolved:
+    case net::ResponseOutcome::Error:
+      AnyBad = true;
+      break;
+    }
+  }
+
+  if (WantStats) {
+    Expected<std::string> Stats = Client->statsText();
+    if (!Stats.ok()) {
+      std::fprintf(stderr, "error: %s\n", Stats.status().str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s\n", Stats->c_str());
+  }
+  if (WantShutdown) {
+    if (Status St = Client->requestShutdown(); !St.isOk()) {
+      std::fprintf(stderr, "error: %s\n", St.str().c_str());
+      return 1;
+    }
+  }
+  return AnyBad ? 1 : AnyShed ? 3 : 0;
+}
+
 int runBatch(const std::string &BatchDir, const MachineModel &Machine,
-             const ServiceOptions &SvcOpts, const std::string &Format) {
+             const ServiceOptions &SvcOpts, const std::string &Format,
+             const std::string &LoadCacheDir,
+             const std::string &SaveCacheDir) {
   namespace fs = std::filesystem;
   std::error_code Ec;
   std::vector<fs::path> Files;
@@ -175,10 +286,33 @@ int runBatch(const std::string &BatchDir, const MachineModel &Machine,
     Loops.push_back(std::move(Loop));
   }
 
-  SchedulerService Svc(Machine, SvcOpts);
+  auto Cache = std::make_shared<ResultCache>();
+  if (!LoadCacheDir.empty()) {
+    Expected<SnapshotLoadStats> Loaded = loadCacheSnapshot(*Cache,
+                                                           LoadCacheDir);
+    if (!Loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", Loaded.status().str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %zu cached results (%zu corrupt shards "
+                         "discarded)\n",
+                 Loaded->Entries, Loaded->CorruptShards);
+  }
+  SchedulerService Svc(Machine, SvcOpts, Cache);
   Stopwatch Wall;
   std::vector<SchedulerResult> Results = Svc.scheduleAll(Loops);
   double WallSeconds = Wall.seconds();
+
+  if (!SaveCacheDir.empty()) {
+    Expected<SnapshotSaveStats> Saved = saveCacheSnapshot(*Cache,
+                                                          SaveCacheDir);
+    if (!Saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", Saved.status().str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved %zu cached results (%zu bytes)\n",
+                 Saved->Entries, Saved->Bytes);
+  }
 
   bool AnyMissing = false;
   for (size_t I = 0; I < Results.size(); ++I) {
@@ -201,7 +335,9 @@ int runBatch(const std::string &BatchDir, const MachineModel &Machine,
 int main(int Argc, char **Argv) {
   std::string MachinePath, LoopPath, BatchDir, Scheduler = "ilp";
   std::string Mapping = "fixed", Format = "text", Prints;
-  bool MinBuffers = false;
+  std::string ConnectPath, Tenant = "default";
+  std::string SaveCacheDir, LoadCacheDir;
+  bool MinBuffers = false, DaemonStats = false, Shutdown = false;
   double TimeLimit = 10.0, Deadline = 0.0;
   int Iterations = 4, Jobs = 0;
 
@@ -238,8 +374,75 @@ int main(int Argc, char **Argv) {
       Iterations = std::atoi(Val.c_str());
     else if (Arg == "--print" && Next(Val))
       Prints = Val;
+    else if (Arg == "--connect" && Next(Val))
+      ConnectPath = Val;
+    else if (Arg == "--tenant" && Next(Val))
+      Tenant = Val;
+    else if (Arg == "--daemon-stats")
+      DaemonStats = true;
+    else if (Arg == "--shutdown")
+      Shutdown = true;
+    else if (Arg == "--save-cache" && Next(Val))
+      SaveCacheDir = Val;
+    else if (Arg == "--load-cache" && Next(Val))
+      LoadCacheDir = Val;
     else
       return usage(Argv[0]);
+  }
+  if (!ConnectPath.empty()) {
+    // Client mode: loops are optional when only stats/shutdown is wanted.
+    bool HasWork = !LoopPath.empty() || !BatchDir.empty();
+    if (HasWork && (MachinePath.empty() || !LoopPath.empty() == !BatchDir.empty()))
+      return usage(Argv[0]);
+    if (!HasWork && !DaemonStats && !Shutdown)
+      return usage(Argv[0]);
+    if (Format != "text" && Format != "json")
+      return usage(Argv[0]);
+
+    std::string MachineText;
+    std::vector<std::pair<std::string, std::string>> Loops;
+    if (HasWork) {
+      if (!readFile(MachinePath, MachineText)) {
+        std::fprintf(stderr, "error: cannot read machine file %s\n",
+                     MachinePath.c_str());
+        return 1;
+      }
+      if (!LoopPath.empty()) {
+        std::string Text;
+        if (!readFile(LoopPath, Text)) {
+          std::fprintf(stderr, "error: cannot read loop file %s\n",
+                       LoopPath.c_str());
+          return 1;
+        }
+        Loops.emplace_back(std::filesystem::path(LoopPath).stem().string(),
+                           std::move(Text));
+      } else {
+        namespace fs = std::filesystem;
+        std::error_code Ec;
+        std::vector<fs::path> Files;
+        for (fs::directory_iterator It(BatchDir, Ec), End; !Ec && It != End;
+             It.increment(Ec))
+          if (It->is_regular_file() && It->path().extension() == ".loop")
+            Files.push_back(It->path());
+        std::sort(Files.begin(), Files.end());
+        if (Files.empty()) {
+          std::fprintf(stderr, "error: no *.loop files in %s\n",
+                       BatchDir.c_str());
+          return 1;
+        }
+        for (const fs::path &P : Files) {
+          std::string Text;
+          if (!readFile(P.string(), Text)) {
+            std::fprintf(stderr, "error: cannot read loop file %s\n",
+                         P.string().c_str());
+            return 1;
+          }
+          Loops.emplace_back(P.stem().string(), std::move(Text));
+        }
+      }
+    }
+    return runConnect(ConnectPath, Tenant, Scheduler, Deadline, MachineText,
+                      Loops, Format, DaemonStats, Shutdown);
   }
   if (MachinePath.empty() || (LoopPath.empty() == BatchDir.empty()))
     return usage(Argv[0]);
@@ -283,7 +486,8 @@ int main(int Argc, char **Argv) {
     else if (Scheduler == "race")
       SvcOpts.Engine = ExactEngine::Race;
     SvcOpts.DeadlinePerLoop = Deadline;
-    return runBatch(BatchDir, Machine, SvcOpts, Format);
+    return runBatch(BatchDir, Machine, SvcOpts, Format, LoadCacheDir,
+                    SaveCacheDir);
   }
 
   std::string LoopText;
