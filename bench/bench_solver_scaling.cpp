@@ -4,6 +4,16 @@
 // as problem size grows — LP relaxation solves, full MILP feasibility at
 // T_lb, IMS, and the enumerative search, each against loop size N.
 //
+// With SWP_PERF_SMOKE set the binary runs the CI regression gate instead
+// of the google-benchmark suite: the rate-optimal ILP solves a pinned tiny
+// corpus under deterministic limits and the *counter* totals (simplex
+// pivots, B&B nodes, LP solves) are compared against the checked-in
+// reference (bench/perf_smoke_ref.json, override via SWP_PERF_REF).  Any
+// counter exceeding 3x its reference — or a drop in found/proven loops —
+// fails the gate.  Counters, not wall-clock, so a loaded CI runner cannot
+// flake the job; SWP_PERF_SMOKE=write regenerates the reference after an
+// intentional solver change.
+//
 //===----------------------------------------------------------------------===//
 
 #include "swp/core/Driver.h"
@@ -19,7 +29,14 @@
 #include "swp/solver/Simplex.h"
 #include "swp/workload/Corpus.h"
 
+#include "swp/support/Format.h"
+
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 using namespace swp;
 
@@ -180,6 +197,150 @@ void BM_VerifierThroughput(benchmark::State &State) {
 }
 BENCHMARK(BM_VerifierThroughput)->Arg(8)->Arg(16);
 
+//===----------------------------------------------------------------------===//
+// CI perf-smoke gate (SWP_PERF_SMOKE)
+//===----------------------------------------------------------------------===//
+
+/// Deterministic effort totals of the ILP over the pinned smoke corpus.
+struct SmokeTotals {
+  long long Pivots = 0;
+  long long Nodes = 0;
+  long long Solves = 0;
+  long long Refactorizations = 0;
+  long long Found = 0;
+  long long Proven = 0;
+  double Seconds = 0.0; // Informational only — never gated.
+};
+
+SmokeTotals runSmokeCorpus() {
+  MachineModel M = ppc604Like();
+  CorpusOptions COpts;
+  COpts.NumLoops = 48;
+  COpts.MaxNodes = 16;
+  std::vector<Ddg> Corpus = generateCorpus(M, COpts);
+
+  // Only deterministic limits: a node budget bounds a runaway regression,
+  // a wall-clock limit would make the counters depend on machine speed.
+  SchedulerOptions Opts;
+  Opts.TimeLimitPerT = 1e9;
+  Opts.NodeLimitPerT = 5000;
+  Opts.MaxTSlack = 6;
+
+  SmokeTotals T;
+  for (const Ddg &G : Corpus) {
+    SchedulerResult R = scheduleLoop(G, M, Opts);
+    T.Pivots += R.TotalLp.Pivots;
+    T.Nodes += R.TotalNodes;
+    T.Solves += R.TotalLp.Solves;
+    T.Refactorizations += R.TotalLp.Refactorizations;
+    T.Found += R.found() ? 1 : 0;
+    T.Proven += R.ProvenRateOptimal ? 1 : 0;
+    T.Seconds += R.TotalSeconds;
+  }
+  return T;
+}
+
+std::string smokeJson(const SmokeTotals &T) {
+  return strFormat("{\n  \"pivots\": %lld,\n  \"nodes\": %lld,\n"
+                   "  \"solves\": %lld,\n  \"refactorizations\": %lld,\n"
+                   "  \"found\": %lld,\n  \"proven\": %lld,\n"
+                   "  \"seconds\": %.3f\n}\n",
+                   T.Pivots, T.Nodes, T.Solves, T.Refactorizations, T.Found,
+                   T.Proven, T.Seconds);
+}
+
+/// Pulls `"key": <integer>` out of the flat reference JSON; \returns -1
+/// when the key is missing (treated as a malformed reference).
+long long refField(const std::string &Json, const char *Key) {
+  std::string Needle = std::string("\"") + Key + "\":";
+  std::size_t At = Json.find(Needle);
+  if (At == std::string::npos)
+    return -1;
+  return std::atoll(Json.c_str() + At + Needle.size());
+}
+
+int perfSmoke(bool WriteRef) {
+  const char *RefEnv = std::getenv("SWP_PERF_REF");
+  std::string RefPath = RefEnv ? RefEnv : "bench/perf_smoke_ref.json";
+
+  SmokeTotals Cur = runSmokeCorpus();
+  std::printf("perf-smoke totals (48-loop pinned corpus):\n%s",
+              smokeJson(Cur).c_str());
+
+  if (WriteRef) {
+    std::FILE *Out = std::fopen(RefPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", RefPath.c_str());
+      return 1;
+    }
+    std::fputs(smokeJson(Cur).c_str(), Out);
+    std::fclose(Out);
+    std::printf("wrote reference %s\n", RefPath.c_str());
+    return 0;
+  }
+
+  std::FILE *In = std::fopen(RefPath.c_str(), "r");
+  if (!In) {
+    std::fprintf(stderr, "error: reference %s not found (run with "
+                         "SWP_PERF_SMOKE=write to create it)\n",
+                 RefPath.c_str());
+    return 1;
+  }
+  std::string Ref;
+  char Buf[256];
+  while (std::size_t Got = std::fread(Buf, 1, sizeof(Buf), In))
+    Ref.append(Buf, Got);
+  std::fclose(In);
+
+  int Failures = 0;
+  auto GateCeiling = [&](const char *Key, long long Have) {
+    long long Want = refField(Ref, Key);
+    if (Want < 0) {
+      std::fprintf(stderr, "FAIL %s: missing from reference\n", Key);
+      ++Failures;
+      return;
+    }
+    long long Limit = 3 * (Want < 1 ? 1 : Want);
+    std::printf("  %-16s %8lld vs ref %8lld (limit %lld) %s\n", Key, Have,
+                Want, Limit, Have > Limit ? "FAIL" : "ok");
+    if (Have > Limit)
+      ++Failures;
+  };
+  auto GateFloor = [&](const char *Key, long long Have) {
+    long long Want = refField(Ref, Key);
+    if (Want < 0) {
+      std::fprintf(stderr, "FAIL %s: missing from reference\n", Key);
+      ++Failures;
+      return;
+    }
+    std::printf("  %-16s %8lld vs ref %8lld (floor) %s\n", Key, Have, Want,
+                Have < Want ? "FAIL" : "ok");
+    if (Have < Want)
+      ++Failures;
+  };
+  std::printf("gate (>3x a counter fails; fewer found/proven fails):\n");
+  GateCeiling("pivots", Cur.Pivots);
+  GateCeiling("nodes", Cur.Nodes);
+  GateCeiling("solves", Cur.Solves);
+  GateFloor("found", Cur.Found);
+  GateFloor("proven", Cur.Proven);
+  if (Failures) {
+    std::fprintf(stderr, "perf-smoke: %d gate failure(s)\n", Failures);
+    return 1;
+  }
+  std::printf("perf-smoke: ok\n");
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  if (const char *Mode = std::getenv("SWP_PERF_SMOKE"))
+    return perfSmoke(std::strcmp(Mode, "write") == 0);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,9 +9,12 @@
 // Both exact engines run over the same corpus — the branch-and-bound ILP
 // and the CDCL SAT backend — and the per-family comparison (families are
 // the Table-5 size classes) is written to BENCH_solver.json: per engine
-// the total/median solve time, search effort (B&B nodes / CDCL
-// conflicts), mean optimal II, and how many loops were proven
-// rate-optimal.
+// the total/median/p99 solve time, search effort (B&B nodes / CDCL
+// conflicts), simplex effort (pivots / refactorizations), mean optimal
+// II, and how many loops were proven rate-optimal.  Each family also
+// carries the pre-sparse-simplex ILP numbers (dense two-phase tableau,
+// no warm starts or propagation) as "baseline_ilp" with the resulting
+// speedup, so the artifact is a before/after record.
 //
 // Env: SWP_CORPUS_SIZE (default 400), SWP_TIME_LIMIT (default 2),
 //      SWP_BENCH_JSON (output path, default BENCH_solver.json).
@@ -27,7 +30,9 @@
 #include "swp/support/TextTable.h"
 #include "swp/workload/Corpus.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -40,12 +45,14 @@ struct EngineStats {
   std::vector<double> Times;
   std::int64_t Effort = 0; // B&B nodes or CDCL conflicts.
   std::int64_t IiSum = 0;
+  LpEffort Lp; // Simplex effort (zero for the SAT engine).
   int Found = 0;
   int Proven = 0;
 
   void add(const SchedulerResult &R) {
     Times.push_back(R.TotalSeconds);
     Effort += R.TotalNodes;
+    Lp += R.TotalLp;
     if (R.found()) {
       ++Found;
       IiSum += R.Schedule.T;
@@ -76,12 +83,33 @@ struct Family {
 
 std::string engineJson(const EngineStats &E) {
   return strFormat("{\"total_seconds\":%.6f,\"median_seconds\":%.6f,"
-                   "\"effort\":%lld,\"found\":%d,\"proven_optimal\":%d,"
+                   "\"p99_seconds\":%.6f,"
+                   "\"effort\":%lld,\"lp_pivots\":%lld,"
+                   "\"lp_refactorizations\":%lld,"
+                   "\"found\":%d,\"proven_optimal\":%d,"
                    "\"mean_optimal_ii\":%.3f}",
                    E.total(), E.Times.empty() ? 0.0 : percentile(E.Times, 50),
-                   static_cast<long long>(E.Effort), E.Found, E.Proven,
-                   E.meanIi());
+                   E.Times.empty() ? 0.0 : percentile(E.Times, 99),
+                   static_cast<long long>(E.Effort),
+                   static_cast<long long>(E.Lp.Pivots),
+                   static_cast<long long>(E.Lp.Refactorizations), E.Found,
+                   E.Proven, E.meanIi());
 }
+
+/// The ILP numbers the dense two-phase tableau produced on the default
+/// 400-loop seed-0 corpus (no warm starts, no propagation, no symmetry
+/// breaking) — the "before" column of the artifact.  Keyed by family
+/// index; only meaningful for the default corpus/limit configuration.
+struct BaselineIlp {
+  double TotalSeconds;
+  int Proven;
+};
+constexpr BaselineIlp DenseTableauBaseline[] = {
+    {0.025322, 173}, // tiny
+    {0.184146, 162}, // small
+    {22.337897, 47}, // medium
+    {39.092879, 8},  // large
+};
 
 } // namespace
 
@@ -166,10 +194,13 @@ int main() {
               (BigTimes.empty() || MedianSmall <= MedianBig) ? "REPRODUCED"
                                                              : "MISMATCH");
 
-  // Engine comparison per size family, and the JSON artifact.
+  // Engine comparison per size family, and the JSON artifact.  The
+  // embedded baseline only describes the default corpus; suppress the
+  // before/after columns when the corpus was resized via env.
+  const bool DefaultCorpus = COpts.NumLoops == 400;
   TextTable Cmp;
-  Cmp.setHeader({"Family", "Loops", "ILP total", "SAT total", "ILP nodes",
-                 "SAT conflicts", "Faster"});
+  Cmp.setHeader({"Family", "Loops", "ILP total", "ILP before", "Speedup",
+                 "SAT total", "ILP pivots", "Faster"});
   std::string Json = "{\n  \"bench\": \"table5_solver_times\",\n"
                      "  \"machine\": \"" + Machine.name() + "\",\n"
                      "  \"corpus_size\": " + std::to_string(Corpus.size()) +
@@ -177,20 +208,32 @@ int main() {
                      strFormat("%.3f", SOpts.TimeLimitPerT) +
                      ",\n  \"families\": [\n";
   std::vector<std::string> Entries;
-  for (const Family &Fam : Families) {
+  for (size_t FamIx = 0; FamIx < Families.size(); ++FamIx) {
+    const Family &Fam = Families[FamIx];
     if (Fam.Loops == 0)
       continue;
     const char *Faster = Fam.Sat.total() < Fam.Ilp.total() ? "sat" : "ilp";
+    std::string Before = "-", Speedup = "-", BaselineJson;
+    if (DefaultCorpus && FamIx < std::size(DenseTableauBaseline)) {
+      const BaselineIlp &B = DenseTableauBaseline[FamIx];
+      Before = strFormat("%.3fs", B.TotalSeconds);
+      Speedup = strFormat("%.1fx", B.TotalSeconds /
+                                       std::max(1e-6, Fam.Ilp.total()));
+      BaselineJson = strFormat(
+          ",\"baseline_ilp\":{\"total_seconds\":%.6f,\"proven_optimal\":%d},"
+          "\"ilp_speedup\":%.1f",
+          B.TotalSeconds, B.Proven,
+          B.TotalSeconds / std::max(1e-6, Fam.Ilp.total()));
+    }
     Cmp.addRow({Fam.Name, std::to_string(Fam.Loops),
-                strFormat("%.3fs", Fam.Ilp.total()),
+                strFormat("%.3fs", Fam.Ilp.total()), Before, Speedup,
                 strFormat("%.3fs", Fam.Sat.total()),
-                std::to_string(Fam.Ilp.Effort),
-                std::to_string(Fam.Sat.Effort), Faster});
+                std::to_string(Fam.Ilp.Lp.Pivots), Faster});
     Entries.push_back(
         strFormat("    {\"family\":\"%s\",\"loops\":%d,\"ilp\":%s,"
-                  "\"sat\":%s,\"faster\":\"%s\"}",
+                  "\"sat\":%s%s,\"faster\":\"%s\"}",
                   Fam.Name, Fam.Loops, engineJson(Fam.Ilp).c_str(),
-                  engineJson(Fam.Sat).c_str(), Faster));
+                  engineJson(Fam.Sat).c_str(), BaselineJson.c_str(), Faster));
   }
   for (size_t I = 0; I < Entries.size(); ++I)
     Json += Entries[I] + (I + 1 < Entries.size() ? ",\n" : "\n");

@@ -23,6 +23,7 @@
 #include "swp/core/Formulation.h"
 #include "swp/core/Schedule.h"
 #include "swp/solver/BranchAndBound.h"
+#include "swp/solver/Simplex.h"
 #include "swp/support/Status.h"
 
 #include <cstdint>
@@ -55,10 +56,45 @@ struct SchedulerOptions {
   /// internally; it never affects infeasibility proofs (those always come
   /// from the exhaustive search or the LP itself).
   bool LpRoundingProbe = true;
+  /// Carry the simplex basis across candidate-T iterations: each T's LP
+  /// workspace starts from the previous T's final basis, role-mapped
+  /// between the two formulations (A slots both periods share, the K /
+  /// color / pair / buffer variables), instead of a cold slack basis.
+  /// Never changes any answer — only how many pivots reaching it costs.
+  bool WarmStartAcrossT = true;
   /// Cooperative cancellation/deadline token, polled between candidate T
   /// and inside the branch-and-bound node loop.  A default token never
   /// fires; the scheduling service installs per-loop deadlines here.
   CancellationToken Cancel;
+};
+
+/// LP effort spent by one solve (see LpStats): how much simplex work the
+/// answer cost, and how much of it started warm.
+struct LpEffort {
+  std::int64_t Pivots = 0;
+  std::int64_t Refactorizations = 0;
+  std::int64_t Solves = 0;
+  std::int64_t WarmSolves = 0;
+
+  LpEffort &operator+=(const LpEffort &O) {
+    Pivots += O.Pivots;
+    Refactorizations += O.Refactorizations;
+    Solves += O.Solves;
+    WarmSolves += O.WarmSolves;
+    return *this;
+  }
+};
+
+/// Cross-T warm-start context: the previous candidate T's formulation
+/// handles and final structural basis.  scheduleAtT consumes it to seed
+/// the new T's workspace and overwrites it with this T's outcome.  A
+/// default-constructed context seeds nothing.
+struct TWarmContext {
+  int T = 0;
+  FormulationVars Vars;
+  std::vector<LpBasisStatus> Basis;
+
+  bool valid() const { return T > 0 && !Basis.empty(); }
 };
 
 /// One candidate-T attempt record.
@@ -72,6 +108,8 @@ struct TAttempt {
   SearchStop StopReason = SearchStop::None;
   double Seconds = 0.0;
   std::int64_t Nodes = 0;
+  /// Simplex effort behind this attempt (probe + all node relaxations).
+  LpEffort Lp;
 };
 
 /// Which rung of the service's fallback ladder produced the schedule.
@@ -120,6 +158,8 @@ struct SchedulerResult {
   int Retries = 0;
   double TotalSeconds = 0.0;
   std::int64_t TotalNodes = 0;
+  /// Simplex effort summed over every attempt.
+  LpEffort TotalLp;
   std::vector<TAttempt> Attempts;
 
   bool found() const { return Schedule.T > 0; }
@@ -137,13 +177,17 @@ SchedulerResult scheduleLoop(const Ddg &G, const MachineModel &Machine,
 /// Builds and solves the MILP for one fixed \p T; \returns the solver
 /// outcome and, when feasible, writes the extracted schedule.  \p StopOut,
 /// when non-null, receives what censored the search (SearchStop::None when
-/// nothing did).
+/// nothing did).  \p Warm, when non-null, seeds this T's LP workspace from
+/// the context's basis and is overwritten with this T's final basis (the
+/// scheduleLoop carry).  \p EffortOut receives this call's simplex effort.
 MilpStatus scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
                        const SchedulerOptions &Opts, ModuloSchedule &Out,
                        double *SecondsOut = nullptr,
                        std::int64_t *NodesOut = nullptr,
                        SearchStop *StopOut = nullptr,
-                       Status *ErrorOut = nullptr);
+                       Status *ErrorOut = nullptr,
+                       TWarmContext *Warm = nullptr,
+                       LpEffort *EffortOut = nullptr);
 
 } // namespace swp
 

@@ -74,6 +74,15 @@ struct FormulationOptions {
   /// T*b_e >= t_j + T*m - t_i, b_e >= 1, and objective sum b_e.
   /// Overrides ColoringObjective.
   bool BufferObjective = false;
+  /// Break the modulo-rotation symmetry: every schedule rotated by s
+  /// cycles is again a schedule (dependence rows see only differences and
+  /// the resource rows are modulo-T circulant), so one instruction's
+  /// pattern step can be pinned to 0 without losing feasibility, dividing
+  /// the branch-and-bound tree by up to T.  KMax grows by one to cover the
+  /// stage-index carry the rotation can introduce.  Leave off when a warm
+  /// start will be lifted from an un-rotated schedule
+  /// (scheduleToAssignment does not canonicalize rotation).
+  bool BreakRotation = false;
 };
 
 /// Variable handles for extracting a schedule from a MILP solution.

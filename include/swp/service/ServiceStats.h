@@ -91,6 +91,16 @@ struct ServiceStats {
   std::uint64_t FallbackImsWins = 0;
   /// ... and jobs a dispatch fault bounced back to the queue.
   std::uint64_t DispatchFaults = 0;
+  /// LP effort across every exact solve the service ran: simplex pivots
+  /// (primal + dual) ...
+  std::uint64_t LpPivots = 0;
+  /// ... basis refactorizations (eta file rebuilt) ...
+  std::uint64_t LpRefactorizations = 0;
+  /// ... LP solves answered ...
+  std::uint64_t LpSolves = 0;
+  /// ... of which started from a carried/seeded basis (warm starts: B&B
+  /// children off the parent basis, cross-T carries, probe-to-search).
+  std::uint64_t LpWarmSolves = 0;
   LatencyHistogram Latency;
 
   /// Renders counters and the latency histogram as aligned text tables.

@@ -27,6 +27,8 @@
 
 namespace swp {
 
+class SparseLp;
+
 /// Outcome classification of a MILP solve.
 enum class MilpStatus {
   /// An optimal integer solution was found and proven (or the first
@@ -102,6 +104,13 @@ struct MilpResult {
   std::vector<double> X;
   std::int64_t Nodes = 0;
   double Seconds = 0.0;
+  /// LP effort spent by this search (workspace stats diffed around the
+  /// run): simplex pivots, basis refactorizations, and how many of the
+  /// per-node solves started from a carried basis.
+  std::int64_t LpPivots = 0;
+  std::int64_t LpRefactorizations = 0;
+  std::int64_t LpSolves = 0;
+  std::int64_t LpWarmSolves = 0;
 
   bool hasSolution() const { return !X.empty(); }
   /// True when the reported status is a proof (optimal or infeasible),
@@ -113,6 +122,14 @@ struct MilpResult {
 
 /// Solves \p M (minimization) by branch and bound.
 MilpResult solveMilp(const MilpModel &M, const MilpOptions &Opts = {});
+
+/// Same search over a caller-owned LP workspace bound to \p M.  The first
+/// node reoptimizes from whatever basis \p Lp carries (a previous solve on
+/// nearby bounds, or a seedBasis crash from another model), and each child
+/// node dual-reoptimizes from its parent's basis instead of solving from
+/// scratch.  The workspace keeps its final basis for the caller's next use.
+MilpResult solveMilp(SparseLp &Lp, const MilpModel &M,
+                     const MilpOptions &Opts = {});
 
 } // namespace swp
 

@@ -117,6 +117,15 @@ public:
     Vars[Var].UbRowRedundant = true;
   }
 
+  /// Fixes \p Var to \p Value (Lb = Ub = Value).  Used for symmetry
+  /// anchoring at model-build time, where presolve can fold the fixed
+  /// column away before the solver ever prices it.
+  void fixVar(VarId Var, double Value) {
+    assert(Var >= 0 && Var < numVars() && "bad var id");
+    Vars[Var].Lb = Value;
+    Vars[Var].Ub = Value;
+  }
+
   /// Sets \p Var's branching priority class (lower branches first).
   void setBranchPriority(VarId Var, int Priority) {
     assert(Var >= 0 && Var < numVars() && "bad var id");

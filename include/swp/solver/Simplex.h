@@ -1,18 +1,32 @@
-//===- swp/solver/Simplex.h - Dense two-phase primal simplex ----*- C++ -*-===//
+//===- swp/solver/Simplex.h - Sparse revised simplex ------------*- C++ -*-===//
 //
 // Part of the swp project (PLDI '95 software pipelining reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Dense two-phase primal simplex solving the LP relaxation of a MilpModel
-/// under overridden variable bounds (as produced by branch-and-bound nodes).
+/// Sparse revised simplex over bounded variables, built for the reuse
+/// patterns of the branch-and-bound MILP search and the driver's
+/// candidate-T sweep:
 ///
-/// The implementation shifts every variable to its lower bound, adds explicit
-/// rows for finite upper bounds (skipped when the model marks them redundant)
-/// and runs Dantzig pricing with a Bland's-rule fallback for anti-cycling.
-/// Problem sizes in this project are a few hundred rows/columns, where a
-/// dense tableau is both simple and fast enough.
+///   - constraints are stored once, column-major and sparse; every row gets
+///     one logical (slack/surplus) variable, so variable bounds are handled
+///     natively and no explicit upper-bound rows exist;
+///   - the basis inverse is kept as an eta file (product form) updated per
+///     pivot and periodically refactorized by Gauss-Jordan elimination with
+///     basis repair;
+///   - a SparseLp workspace persists the basis across solve() calls under
+///     changed bounds: a branch-and-bound child re-solves from its parent's
+///     optimal basis by dual-simplex reoptimization (any basis is dual
+///     feasible for the feasibility models the driver mostly builds), with
+///     a composite phase-1 primal (sum of infeasibilities) as the general
+///     fallback and Bland's rule against cycling;
+///   - an LP-exact presolve (swp/solver/Presolve.h) runs at construction:
+///     fixed columns fold away and singleton rows become bounds before the
+///     solver ever prices them.
+///
+/// The solveLp free functions keep the historical one-shot contract (each
+/// call builds a throwaway workspace); warm-start users hold a SparseLp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +34,11 @@
 #define SWP_SOLVER_SIMPLEX_H
 
 #include "swp/solver/Model.h"
+#include "swp/solver/Presolve.h"
 #include "swp/support/Cancellation.h"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace swp {
@@ -36,6 +53,144 @@ struct LpResult {
   double Objective = 0.0;
   std::vector<double> X;
   int Iterations = 0;
+};
+
+/// Basis membership of one column.  Nonbasic columns sit at the named
+/// (finite) bound; the workspace normalizes statuses that point at an
+/// infinite bound.
+enum class LpBasisStatus : unsigned char { AtLower, AtUpper, Basic };
+
+/// Cumulative effort counters of a SparseLp workspace (never reset by
+/// solve(); callers diff snapshots).
+struct LpStats {
+  /// Primal pivots (phase 1 + phase 2).
+  std::int64_t Pivots = 0;
+  /// Dual-simplex reoptimization pivots.
+  std::int64_t DualPivots = 0;
+  /// Nonbasic bound-to-bound flips (no basis change).
+  std::int64_t BoundFlips = 0;
+  /// Basis refactorizations (eta file rebuilt from scratch).
+  std::int64_t Refactorizations = 0;
+  /// solve() calls answered by this workspace ...
+  std::int64_t Solves = 0;
+  /// ... of which started from a carried or seeded basis.
+  std::int64_t WarmSolves = 0;
+
+  std::int64_t totalPivots() const { return Pivots + DualPivots; }
+};
+
+/// A reusable LP workspace bound to one MilpModel.  The model must outlive
+/// the workspace and must not change while it is in use.  Not thread-safe;
+/// one workspace per search.
+class SparseLp {
+public:
+  explicit SparseLp(const MilpModel &M);
+
+  /// Solves the LP relaxation under variable bounds \p Lb / \p Ub (same
+  /// length as the model's variable count; entries may tighten or fix the
+  /// model's bounds; lower bounds must be finite).  The final basis is
+  /// retained, so the next solve() under nearby bounds starts warm.
+  /// \p Cancel is polled at entry and inside the pivot loops.
+  LpResult solve(const std::vector<double> &Lb, const std::vector<double> &Ub,
+                 const CancellationToken &Cancel = {});
+
+  /// Convenience overload using the model's own bounds.
+  LpResult solve(const CancellationToken &Cancel = {});
+
+  /// Per-structural-variable basis statuses after the last solve — the
+  /// carryable part of the basis (logical statuses are re-derived).
+  std::vector<LpBasisStatus> structuralBasis() const;
+
+  /// Seeds the next solve()'s starting basis from per-structural hints (as
+  /// produced by structuralBasis(), possibly on a *different* model and
+  /// mapped by the caller).  Hinted-basic columns are crashed into the
+  /// basis where they pivot cleanly; rows left uncovered keep their
+  /// logicals.  A short vector seeds a prefix; out-of-range hints are
+  /// ignored.
+  void seedBasis(const std::vector<LpBasisStatus> &StructuralHints);
+
+  /// True when presolve already proved the model (under its own bounds)
+  /// infeasible; solve() then answers without pivoting.
+  bool presolveInfeasible() const { return Pre.Infeasible; }
+
+  /// Presolve reductions (see swp/solver/Presolve.h).
+  const PresolveInfo &presolve() const { return Pre; }
+
+  /// Rows surviving presolve (each owns one logical variable).
+  int numRows() const { return NumRows; }
+
+  const LpStats &stats() const { return Stats; }
+
+  /// Refactorize after this many eta updates (testing/tuning knob).
+  void setRefactorInterval(int K) { RefactorInterval = K < 1 ? 1 : K; }
+
+private:
+  struct Eta {
+    int Row;
+    double Pivot;
+    std::vector<std::pair<int, double>> Other;
+  };
+
+  int numCols() const { return NumStruct + NumRows; }
+  bool isLogical(int C) const { return C >= NumStruct; }
+  double nonbasicValue(int C) const;
+  LpBasisStatus boundStatus(int C) const;
+
+  void ftran(std::vector<double> &V) const;
+  void btran(std::vector<double> &V) const;
+  void loadColumn(int C, std::vector<double> &Dense) const;
+  double colDot(int C, const std::vector<double> &RowVec) const;
+
+  void coldBasis();
+  bool factorize();
+  void computeXB();
+  void sanitizeStatuses();
+  bool priceReducedCosts(std::vector<double> &D) const;
+  double infeasibilityOf(int Row) const;
+  double totalInfeasibility() const;
+
+  enum class LoopExit { Done, Infeasible, Unbounded, Trouble, Abort };
+  LoopExit dualReoptimize();
+  LoopExit primalPhase1();
+  LoopExit primalPhase2();
+  bool iterBookkeeping();
+  bool applyPivot(int Row, int EnterCol, double T, double EnterBase,
+                  LpBasisStatus LeaveStatus, const std::vector<double> &Y);
+
+  const MilpModel *Model;
+  PresolveInfo Pre;
+  int NumStruct = 0;
+  int NumRows = 0;
+  /// Column-major sparse matrix over kept rows; logicals are unit columns.
+  std::vector<std::vector<std::pair<int, double>>> Cols;
+  std::vector<double> Rhs;
+  std::vector<CmpKind> RowCmp;
+  std::vector<double> Cost; // Objective coefficient per column.
+  bool CostEmpty = true;
+
+  // Basis state, persisted across solve() calls.
+  std::vector<LpBasisStatus> St; // Per column.
+  std::vector<int> Basis;        // Basic column per row.
+  std::vector<Eta> Etas;
+  /// Etas [0, BaseEtas) are the factorization itself; only updates appended
+  /// beyond it count against RefactorInterval.
+  int BaseEtas = 0;
+  std::vector<double> XB; // Basic variable value per row.
+  bool HaveBasis = false;
+  bool NeedRefactor = false;
+  int RefactorInterval = 64;
+
+  // Per-solve state.
+  std::vector<double> EffLb, EffUb; // Per column.
+  CancellationToken Cancel;
+  int Iterations = 0;
+  int MaxIterations = 0;
+  int Stalled = 0;
+  int BlandThreshold = 0;
+  LpStatus AbortWhy = LpStatus::IterLimit;
+  std::vector<double> WorkY, WorkPi, WorkD;
+
+  LpStats Stats;
 };
 
 /// Solves the LP relaxation of \p M with variable bounds \p Lb / \p Ub

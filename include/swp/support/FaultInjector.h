@@ -69,9 +69,12 @@ enum class FaultSite {
   /// Cache snapshot load: a shard file reads as corrupt; the loader must
   /// rebuild that shard from empty instead of trusting it.
   CacheLoad,
+  /// Simplex basis refactorization: the factorization "fails" (singular /
+  /// overflowing basis); the solve degrades to IterLimit, never a proof.
+  LpRefactor,
 };
 
-inline constexpr int NumFaultSites = 11;
+inline constexpr int NumFaultSites = 12;
 
 /// Short stable name of \p S ("lp-stall", "bnb-node", ...).
 const char *faultSiteName(FaultSite S);

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 using namespace swp;
 
@@ -80,13 +81,21 @@ bool completeSchedule(const Ddg &G, const MachineModel &Machine, int T,
   return true;
 }
 
-/// LP-rounding primal probe (see SchedulerOptions::LpRoundingProbe).
+/// LP-rounding primal probe (see SchedulerOptions::LpRoundingProbe).  Runs
+/// on the shared workspace, so the branch-and-bound that usually follows
+/// starts from the relaxation's optimal basis instead of from scratch.
+///
+/// Two stages: static rounding of the relaxation's optimum, then a
+/// dive-and-fix walk (fix the most decided instruction to its
+/// highest-mass slot, warm re-solve, round again).  The dive makes the
+/// probe robust to which degenerate vertex the simplex happens to land
+/// on — static rounding alone is hostage to that tie-break.
 ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
                              MappingKind Mapping, const MilpModel &M,
-                             const FormulationVars &Vars,
+                             SparseLp &Workspace, const FormulationVars &Vars,
                              const CancellationToken &Cancel,
                              ModuloSchedule &Out) {
-  LpResult Lp = solveLp(M, Cancel);
+  LpResult Lp = Workspace.solve(Cancel);
   if (Lp.Status == LpStatus::Infeasible)
     return ProbeOutcome::LpInfeasible;
   if (Lp.Status != LpStatus::Optimal)
@@ -95,39 +104,164 @@ ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
   const int N = G.numNodes();
   // Two rounding variants: argmax of the A column, and the rounded
   // expected offset sum_t t*a[t][i].
-  for (int Variant = 0; Variant < 2; ++Variant) {
-    std::vector<int> Offsets(static_cast<size_t>(N), 0);
-    for (int I = 0; I < N; ++I) {
-      if (Variant == 0) {
-        double BestVal = -1.0;
-        for (int Slot = 0; Slot < T; ++Slot) {
-          double V = Lp.X[static_cast<size_t>(
-              Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)])];
-          if (V > BestVal + 1e-9) {
-            BestVal = V;
-            Offsets[static_cast<size_t>(I)] = Slot;
+  auto tryRound = [&](const std::vector<double> &X) {
+    for (int Variant = 0; Variant < 2; ++Variant) {
+      std::vector<int> Offsets(static_cast<size_t>(N), 0);
+      for (int I = 0; I < N; ++I) {
+        if (Variant == 0) {
+          double BestVal = -1.0;
+          for (int Slot = 0; Slot < T; ++Slot) {
+            double V = X[static_cast<size_t>(
+                Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)])];
+            if (V > BestVal + 1e-9) {
+              BestVal = V;
+              Offsets[static_cast<size_t>(I)] = Slot;
+            }
           }
+        } else {
+          double Expect = 0.0;
+          for (int Slot = 0; Slot < T; ++Slot)
+            Expect += Slot * X[static_cast<size_t>(
+                                 Vars.A[static_cast<size_t>(Slot)]
+                                       [static_cast<size_t>(I)])];
+          Offsets[static_cast<size_t>(I)] =
+              std::min(T - 1, std::max(0, static_cast<int>(
+                                              std::llround(Expect))));
         }
-      } else {
-        double Expect = 0.0;
-        for (int Slot = 0; Slot < T; ++Slot)
-          Expect += Slot * Lp.X[static_cast<size_t>(
-                               Vars.A[static_cast<size_t>(Slot)]
-                                     [static_cast<size_t>(I)])];
-        Offsets[static_cast<size_t>(I)] =
-            std::min(T - 1, std::max(0, static_cast<int>(
-                                            std::llround(Expect))));
+      }
+      ModuloSchedule Candidate;
+      if (!completeSchedule(G, Machine, T, Mapping, Offsets, Candidate))
+        continue;
+      if (verifySchedule(G, Machine, Candidate).Ok) {
+        Out = std::move(Candidate);
+        return true;
       }
     }
-    ModuloSchedule Candidate;
-    if (!completeSchedule(G, Machine, T, Mapping, Offsets, Candidate))
-      continue;
-    if (verifySchedule(G, Machine, Candidate).Ok) {
-      Out = std::move(Candidate);
-      return ProbeOutcome::Found;
+    return false;
+  };
+  if (tryRound(Lp.X))
+    return ProbeOutcome::Found;
+
+  // Dive-and-fix.  Fixing a slot that turns the LP infeasible is undone
+  // by forbidding that slot instead (still a relaxation of the remaining
+  // subproblem); a small miss budget bounds the thrashing.  Bounds are
+  // local — the model is untouched and the caller's branch-and-bound
+  // re-solves under its own bound vectors, warm from wherever the dive
+  // ended.
+  std::vector<double> Lb(static_cast<size_t>(M.numVars()));
+  std::vector<double> Ub(static_cast<size_t>(M.numVars()));
+  for (int I = 0; I < M.numVars(); ++I) {
+    Lb[static_cast<size_t>(I)] = M.var(I).Lb;
+    Ub[static_cast<size_t>(I)] = M.var(I).Ub;
+  }
+  std::vector<char> FixedOp(static_cast<size_t>(N), 0);
+  int Misses = 0;
+  for (int Round = 0; Round < 2 * N; ++Round) {
+    int BestOp = -1;
+    int BestSlot = 0;
+    double BestVal = -1.0;
+    for (int I = 0; I < N; ++I) {
+      if (FixedOp[static_cast<size_t>(I)])
+        continue;
+      for (int Slot = 0; Slot < T; ++Slot) {
+        double V = Lp.X[static_cast<size_t>(
+            Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(I)])];
+        if (V > BestVal) {
+          BestVal = V;
+          BestOp = I;
+          BestSlot = Slot;
+        }
+      }
     }
+    if (BestOp < 0)
+      break; // Everything fixed; the round after the last fix already ran.
+    VarId AV =
+        Vars.A[static_cast<size_t>(BestSlot)][static_cast<size_t>(BestOp)];
+    Lb[static_cast<size_t>(AV)] = 1.0;
+    LpResult Next = Workspace.solve(Lb, Ub, Cancel);
+    if (Next.Status == LpStatus::Infeasible) {
+      Lb[static_cast<size_t>(AV)] = 0.0;
+      Ub[static_cast<size_t>(AV)] = 0.0;
+      if (++Misses > 3)
+        return ProbeOutcome::NotFound;
+      Next = Workspace.solve(Lb, Ub, Cancel);
+      if (Next.Status != LpStatus::Optimal)
+        return ProbeOutcome::NotFound;
+      Lp = std::move(Next);
+      continue;
+    }
+    if (Next.Status != LpStatus::Optimal)
+      return ProbeOutcome::NotFound; // Cancelled or numerical trouble.
+    FixedOp[static_cast<size_t>(BestOp)] = 1;
+    Lp = std::move(Next);
+    if (tryRound(Lp.X))
+      return ProbeOutcome::Found;
   }
   return ProbeOutcome::NotFound;
+}
+
+/// Role-maps a structural basis from the previous candidate T's formulation
+/// onto the new one: variables with the same meaning in both models (the
+/// A[t][i] slots of pattern steps both periods have, the K vector, colors,
+/// per-pair overlap/sign variables, per-type CMax, per-edge buffers) carry
+/// their basis status across; everything else starts at its lower bound.
+/// Purely a crash-basis hint — seedBasis repairs whatever doesn't pivot.
+std::vector<LpBasisStatus> mapBasisAcrossT(const TWarmContext &Old, int NewT,
+                                           const FormulationVars &NewVars,
+                                           int NewNumVars) {
+  std::vector<LpBasisStatus> Hints(static_cast<size_t>(NewNumVars),
+                                   LpBasisStatus::AtLower);
+  auto Put = [&](VarId To, VarId From) {
+    if (To < 0 || From < 0)
+      return;
+    if (static_cast<size_t>(From) >= Old.Basis.size() || To >= NewNumVars)
+      return;
+    Hints[static_cast<size_t>(To)] = Old.Basis[static_cast<size_t>(From)];
+  };
+
+  const size_t SharedT = std::min(
+      {static_cast<size_t>(std::min(Old.T, NewT)), Old.Vars.A.size(),
+       NewVars.A.size()});
+  for (size_t Slot = 0; Slot < SharedT; ++Slot) {
+    const size_t N = std::min(Old.Vars.A[Slot].size(), NewVars.A[Slot].size());
+    for (size_t I = 0; I < N; ++I)
+      Put(NewVars.A[Slot][I], Old.Vars.A[Slot][I]);
+  }
+  for (size_t I = 0, N = std::min(Old.Vars.K.size(), NewVars.K.size()); I < N;
+       ++I)
+    Put(NewVars.K[I], Old.Vars.K[I]);
+  for (size_t I = 0,
+              N = std::min(Old.Vars.Color.size(), NewVars.Color.size());
+       I < N; ++I)
+    Put(NewVars.Color[I], Old.Vars.Color[I]);
+  for (size_t R = 0, N = std::min(Old.Vars.CMax.size(), NewVars.CMax.size());
+       R < N; ++R)
+    Put(NewVars.CMax[R], Old.Vars.CMax[R]);
+  for (size_t E = 0,
+              N = std::min(Old.Vars.Buffers.size(), NewVars.Buffers.size());
+       E < N; ++E)
+    Put(NewVars.Buffers[E], Old.Vars.Buffers[E]);
+
+  if (!NewVars.Pairs.empty() && !Old.Vars.Pairs.empty()) {
+    std::unordered_map<std::uint64_t, const FormulationVars::PairVarIds *>
+        OldPairs;
+    OldPairs.reserve(Old.Vars.Pairs.size());
+    auto Key = [](int I, int J) {
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(I))
+              << 32) |
+             static_cast<std::uint32_t>(J);
+    };
+    for (const FormulationVars::PairVarIds &P : Old.Vars.Pairs)
+      OldPairs[Key(P.OpI, P.OpJ)] = &P;
+    for (const FormulationVars::PairVarIds &P : NewVars.Pairs) {
+      auto It = OldPairs.find(Key(P.OpI, P.OpJ));
+      if (It == OldPairs.end())
+        continue;
+      Put(P.Overlap, It->second->Overlap);
+      Put(P.Sign, It->second->Sign);
+    }
+  }
+  return Hints;
 }
 
 } // namespace
@@ -135,7 +269,8 @@ ProbeOutcome lpRoundingProbe(const Ddg &G, const MachineModel &Machine, int T,
 MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
                             const SchedulerOptions &Opts, ModuloSchedule &Out,
                             double *SecondsOut, std::int64_t *NodesOut,
-                            SearchStop *StopOut, Status *ErrorOut) {
+                            SearchStop *StopOut, Status *ErrorOut,
+                            TWarmContext *Warm, LpEffort *EffortOut) {
   Stopwatch Watch;
   if (SecondsOut)
     *SecondsOut = 0.0;
@@ -145,6 +280,8 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     *StopOut = SearchStop::None;
   if (ErrorOut)
     *ErrorOut = Status();
+  if (EffortOut)
+    *EffortOut = LpEffort();
 
   // Malformed inputs become typed errors instead of downstream asserts or
   // garbage models; T < 1 admits no schedule by definition of the
@@ -191,6 +328,11 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
   FOpts.Mapping = Opts.Mapping;
   FOpts.ColoringObjective = Opts.ColoringObjective;
   FOpts.BufferObjective = Opts.MinimizeBuffers;
+  // Pure feasibility checks can pin one instruction's pattern step
+  // (rotation symmetry breaking); the optimizing path keeps the full
+  // symmetric model because its warm start is lifted from an un-rotated
+  // schedule.
+  FOpts.BreakRotation = !Optimizing;
   FormulationVars Vars;
   MilpModel M = buildScheduleModel(G, Machine, T, FOpts, Vars);
 
@@ -200,12 +342,18 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     // Get any feasible schedule first (cheap: probe + first-incumbent
     // search) and lift it into a warm start, so a censored optimization
     // never returns anything worse than plain feasibility scheduling.
+    // The recursive call also advances the cross-T context, so the
+    // optimizing workspace below seeds from a same-T basis.
     SchedulerOptions FeasOpts = Opts;
     FeasOpts.ColoringObjective = false;
     FeasOpts.MinimizeBuffers = false;
     ModuloSchedule FeasSched;
+    LpEffort FeasEffort;
     MilpStatus FeasStatus =
-        scheduleAtT(G, Machine, T, FeasOpts, FeasSched);
+        scheduleAtT(G, Machine, T, FeasOpts, FeasSched, nullptr, nullptr,
+                    nullptr, nullptr, Warm, &FeasEffort);
+    if (EffortOut)
+      *EffortOut += FeasEffort;
     if (FeasStatus == MilpStatus::Infeasible) {
       if (SecondsOut)
         *SecondsOut = Watch.seconds();
@@ -215,36 +363,63 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
         FeasStatus == MilpStatus::Feasible)
       MOpts.WarmStart = scheduleToAssignment(G, Machine, T, FOpts, Vars,
                                              FeasSched, M.numVars());
-  } else if (Opts.LpRoundingProbe) {
+  }
+
+  // One LP workspace serves the rounding probe and every branch-and-bound
+  // node of this T; presolve runs once here.  Seeded from the previous T's
+  // final basis when the caller carries a context.
+  SparseLp Workspace(M);
+  if (Warm && Warm->valid() && M.valid())
+    Workspace.seedBasis(mapBasisAcrossT(*Warm, T, Vars, M.numVars()));
+  auto Finish = [&](MilpStatus S) {
+    if (SecondsOut)
+      *SecondsOut = Watch.seconds();
+    if (EffortOut) {
+      const LpStats &WS = Workspace.stats();
+      EffortOut->Pivots += WS.totalPivots();
+      EffortOut->Refactorizations += WS.Refactorizations;
+      EffortOut->Solves += WS.Solves;
+      EffortOut->WarmSolves += WS.WarmSolves;
+    }
+    if (Warm && M.valid()) {
+      Warm->T = T;
+      Warm->Vars = Vars;
+      Warm->Basis = Workspace.structuralBasis();
+    }
+    return S;
+  };
+
+  if (!Optimizing && Opts.LpRoundingProbe) {
     // Primal probe: can settle feasibility (rounded incumbent) or
-    // infeasibility (LP relaxation empty) without branching.
+    // infeasibility (LP relaxation empty) without branching.  The dive
+    // stage gets a slice of the per-T budget via a nested deadline so a
+    // slow dive can never starve the branch-and-bound that follows.
+    CancellationSource ProbeDeadline(Opts.Cancel);
+    if (Opts.TimeLimitPerT < 1e8)
+      ProbeDeadline.setDeadlineAfter(Opts.TimeLimitPerT * 0.25);
     ModuloSchedule Probed;
-    ProbeOutcome Probe = lpRoundingProbe(G, Machine, T, Opts.Mapping, M, Vars,
-                                         Opts.Cancel, Probed);
+    ProbeOutcome Probe =
+        lpRoundingProbe(G, Machine, T, Opts.Mapping, M, Workspace, Vars,
+                        ProbeDeadline.token(), Probed);
     if (Probe == ProbeOutcome::LpInfeasible) {
-      if (SecondsOut)
-        *SecondsOut = Watch.seconds();
       if (Faulted()) {
         if (StopOut)
           *StopOut = SearchStop::Fault;
-        return MilpStatus::Unknown;
+        return Finish(MilpStatus::Unknown);
       }
-      return MilpStatus::Infeasible;
+      return Finish(MilpStatus::Infeasible);
     }
     if (Probe == ProbeOutcome::Found) {
       Out = std::move(Probed);
-      if (SecondsOut)
-        *SecondsOut = Watch.seconds();
-      return MilpStatus::Optimal;
+      return Finish(MilpStatus::Optimal);
     }
   }
 
   MOpts.TimeLimitSec = Opts.TimeLimitPerT;
   MOpts.NodeLimit = Opts.NodeLimitPerT;
   MOpts.StopAtFirstIncumbent = !Optimizing;
-  MilpResult Res = solveMilp(M, MOpts);
-  if (SecondsOut)
-    *SecondsOut = Watch.seconds();
+  MilpResult Res = solveMilp(Workspace, M, MOpts);
+  Finish(Res.Status);
   if (NodesOut)
     *NodesOut = Res.Nodes;
   if (StopOut)
@@ -286,6 +461,10 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
   const std::uint64_t FiredBefore = FaultInjector::instance().totalFired();
   Stopwatch Total;
   bool AllBelowProven = true;
+  // Basis carry across the candidate-T sweep: consecutive T solve nearly
+  // the same model, so each workspace starts from the previous T's basis.
+  TWarmContext Warm;
+  TWarmContext *WarmPtr = Opts.WarmStartAcrossT ? &Warm : nullptr;
   for (int T = Result.TLowerBound;
        T <= Result.TLowerBound + Opts.MaxTSlack; ++T) {
     if (Opts.Cancel.cancelled()) {
@@ -307,8 +486,10 @@ SchedulerResult swp::scheduleLoop(const Ddg &G, const MachineModel &Machine,
     Status AttemptError;
     Attempt.Status = scheduleAtT(G, Machine, T, Opts, Candidate,
                                  &Attempt.Seconds, &Attempt.Nodes,
-                                 &Attempt.StopReason, &AttemptError);
+                                 &Attempt.StopReason, &AttemptError, WarmPtr,
+                                 &Attempt.Lp);
     Result.TotalNodes += Attempt.Nodes;
+    Result.TotalLp += Attempt.Lp;
     Result.Attempts.push_back(Attempt);
 
     if (Attempt.StopReason == SearchStop::Cancelled)

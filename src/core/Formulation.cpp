@@ -55,7 +55,11 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
   // a[t][i] and k[i].
   for (int Slot = 0; Slot < T; ++Slot)
     Vars.A[static_cast<size_t>(Slot)].resize(static_cast<size_t>(N));
-  int KMax = Opts.KMax >= 0 ? Opts.KMax : defaultKMax(G);
+  // Rotating a schedule so the anchor lands on pattern step 0 can carry
+  // each stage index up by one, so an anchored model needs one more stage
+  // of headroom to stay feasibility-equivalent.
+  int KMax = (Opts.KMax >= 0 ? Opts.KMax : defaultKMax(G)) +
+             (Opts.BreakRotation ? 1 : 0);
   for (int I = 0; I < N; ++I) {
     for (int Slot = 0; Slot < T; ++Slot) {
       VarId V = M.addBinary(strFormat("a[%d][%d]", Slot, I));
@@ -65,8 +69,39 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
     }
     VarId KVar = M.addVar(0.0, static_cast<double>(KMax), VarKind::Integer,
                           strFormat("k[%d]", I));
-    M.setBranchPriority(KVar, 0);
+    // Branch on the a[t][i] assignment windows (priority 0) before the
+    // stage counts: once every op's slot is fixed the k[i] are pinned by
+    // the dependence rows, so branching on a fractional k[i] first only
+    // deepens the tree.
+    M.setBranchPriority(KVar, 1);
     Vars.K.push_back(KVar);
+  }
+
+  // Rotation symmetry breaking: shifting every start time by s maps
+  // schedules to schedules (dependence rows see only differences; the
+  // resource rows are modulo-T circulant), so every solution class has a
+  // representative with the anchor instruction at pattern step 0.  Pin the
+  // most resource-hungry instruction there — its reservation table
+  // propagates hardest through the usage rows — and let presolve fold the
+  // T-1 dead binaries away.
+  if (Opts.BreakRotation && N > 0) {
+    int Anchor = 0;
+    int AnchorBusy = -1;
+    for (int I = 0; I < N; ++I) {
+      const ReservationTable &RT = Machine.tableFor(G.node(I));
+      int Busy = 0;
+      for (int Stage = 0; Stage < RT.numStages(); ++Stage)
+        for (int Cycle = 0; Cycle < RT.execTime(); ++Cycle)
+          Busy += RT.busy(Stage, Cycle) ? 1 : 0;
+      if (Busy > AnchorBusy) {
+        AnchorBusy = Busy;
+        Anchor = I;
+      }
+    }
+    M.fixVar(Vars.A[0][static_cast<size_t>(Anchor)], 1.0);
+    for (int Slot = 1; Slot < T; ++Slot)
+      M.fixVar(Vars.A[static_cast<size_t>(Slot)][static_cast<size_t>(Anchor)],
+               0.0);
   }
 
   // Each instruction initiates exactly once in the pattern (Eq. 9/23).
@@ -242,16 +277,23 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
         }
 
         // |c_i - c_j| >= 1 when o_ij = 1 (Hu's linearization, Eqs. 12-14):
-        //   c_i - c_j + R*w + R*(1-o) >= 1
-        //   c_j - c_i + R*(1-w) + R*(1-o) >= 1
+        //   c_i - c_j + M*w + M*(1-o) >= 1
+        //   c_j - c_i + M*(1-w) + M*(1-o) >= 1
+        // The generic M = R is loose under the lexicographic color caps:
+        // the first row only needs covering when it is slack by at most
+        // c_j - 1 <= ub(c_j) - 1, so M = ub(c_j) suffices (and ub(c_i) for
+        // the second) — a strictly tighter LP relaxation, and exact for
+        // every coloring the caps admit.
         VarId CI = Vars.Color[static_cast<size_t>(OpI)];
         VarId CJ = Vars.Color[static_cast<size_t>(OpJ)];
+        const double UbI = std::min(RCount, static_cast<double>(AIx + 1));
+        const double UbJ = std::min(RCount, static_cast<double>(BIx + 1));
         LinExpr E1;
-        E1.add(CI, 1.0).add(CJ, -1.0).add(W, RCount).add(O, -RCount);
-        M.addConstraint(std::move(E1), CmpKind::GE, 1.0 - RCount);
+        E1.add(CI, 1.0).add(CJ, -1.0).add(W, UbJ).add(O, -UbJ);
+        M.addConstraint(std::move(E1), CmpKind::GE, 1.0 - UbJ);
         LinExpr E2;
-        E2.add(CJ, 1.0).add(CI, -1.0).add(W, -RCount).add(O, -RCount);
-        M.addConstraint(std::move(E2), CmpKind::GE, 1.0 - 2.0 * RCount);
+        E2.add(CJ, 1.0).add(CI, -1.0).add(W, -UbI).add(O, -UbI);
+        M.addConstraint(std::move(E2), CmpKind::GE, 1.0 - 2.0 * UbI);
       }
     }
 

@@ -62,6 +62,9 @@ bool swp::decodeFingerprint(ByteReader &R, Fingerprint &F) {
   return R.u64(F.Hi) && R.u64(F.Lo);
 }
 
+// R.TotalLp is deliberately not serialized: LP effort counters describe the
+// solve that produced the result, not the result itself.  A decoded (cached)
+// result reports zero LP effort, which is what the hit actually cost.
 void swp::encodeSchedulerResult(ByteWriter &W, const SchedulerResult &R) {
   W.i32(R.Schedule.T);
   encodeIntVector(W, R.Schedule.StartTime);

@@ -522,6 +522,16 @@ SchedulerResult SchedulerService::scheduleOne(const Ddg &G,
     if (Censored)
       ++Counters.CensoredProofs;
     if (!Hit) {
+      // Only fresh solves spent LP effort; cache hits replay a recorded
+      // result whose effort was already counted when it was first solved.
+      Counters.LpPivots += static_cast<std::uint64_t>(
+          std::max<std::int64_t>(R.TotalLp.Pivots, 0));
+      Counters.LpRefactorizations += static_cast<std::uint64_t>(
+          std::max<std::int64_t>(R.TotalLp.Refactorizations, 0));
+      Counters.LpSolves += static_cast<std::uint64_t>(
+          std::max<std::int64_t>(R.TotalLp.Solves, 0));
+      Counters.LpWarmSolves += static_cast<std::uint64_t>(
+          std::max<std::int64_t>(R.TotalLp.WarmSolves, 0));
       if (R.FaultsSeen || SawFaults)
         ++Counters.FaultedJobs;
       if (!R.Error.isOk())

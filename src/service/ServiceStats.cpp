@@ -71,6 +71,16 @@ std::string ServiceStats::render() const {
     Counters.addRow({"fallback ims wins", std::to_string(FallbackImsWins)});
     Counters.addRow({"dispatch faults", std::to_string(DispatchFaults)});
   }
+  if (LpSolves > 0) {
+    Counters.addRow({"lp pivots", std::to_string(LpPivots)});
+    Counters.addRow({"lp refactorizations",
+                     std::to_string(LpRefactorizations)});
+    Counters.addRow({"lp solves", std::to_string(LpSolves)});
+    Counters.addRow(
+        {"lp warm-start rate",
+         strFormat("%.1f%%", 100.0 * static_cast<double>(LpWarmSolves) /
+                                 static_cast<double>(LpSolves))});
+  }
   Counters.addRow({"mean latency",
                    strFormat("%.3fms", Latency.meanSeconds() * 1e3)});
   Counters.addRow({"max latency",

@@ -7,25 +7,39 @@
 #include "swp/support/Stopwatch.h"
 
 #include <cmath>
+#include <limits>
 
 using namespace swp;
 
 namespace {
 
-/// Mutable search state shared across the DFS.
+/// Mutable search state shared across the DFS.  All node relaxations go
+/// through one SparseLp workspace: a child differs from its parent by one
+/// tightened bound, so the parent's optimal basis is one short dual-simplex
+/// reoptimization away from the child's.
 class Search {
 public:
-  Search(const MilpModel &M, const MilpOptions &Opts)
-      : M(M), Opts(Opts) {
+  Search(SparseLp &Lp, const MilpModel &M, const MilpOptions &Opts)
+      : Lp(Lp), M(M), Opts(Opts), LpDeadline(Opts.Cancel) {
     Lb.reserve(static_cast<size_t>(M.numVars()));
     Ub.reserve(static_cast<size_t>(M.numVars()));
     for (const ModelVar &V : M.vars()) {
       Lb.push_back(V.Lb);
       Ub.push_back(V.Ub);
     }
+    detectConvexityGroups();
+    buildPropRows();
+    // The node loop checks the wall-clock between relaxations, but a
+    // single slow LP can blow straight through the budget; arm a nested
+    // deadline token so the pivot loop itself stops on time.  (Deadlines
+    // near the sentinel "unlimited" value would overflow the clock.)
+    if (Opts.TimeLimitSec < 1e8)
+      LpDeadline.setDeadlineAfter(Opts.TimeLimitSec);
+    LpToken = LpDeadline.token();
   }
 
   MilpResult run() {
+    const LpStats Before = Lp.stats();
     if (!Opts.WarmStart.empty() && M.isFeasible(Opts.WarmStart, 1e-6)) {
       Incumbent = Opts.WarmStart;
       IncumbentObj = MilpModel::evaluate(M.objective(), Incumbent);
@@ -41,6 +55,11 @@ public:
     MilpResult Res;
     Res.Nodes = Nodes;
     Res.Seconds = Watch.seconds();
+    const LpStats &After = Lp.stats();
+    Res.LpPivots = After.totalPivots() - Before.totalPivots();
+    Res.LpRefactorizations = After.Refactorizations - Before.Refactorizations;
+    Res.LpSolves = After.Solves - Before.Solves;
+    Res.LpWarmSolves = After.WarmSolves - Before.WarmSolves;
     Res.X = std::move(Incumbent);
     Res.Objective = IncumbentObj;
     Res.StopReason = Stop;
@@ -75,6 +94,36 @@ private:
       return true;
     }
     return false;
+  }
+
+  /// Finds "exactly one of these binaries" rows (sum x = 1, unit
+  /// coefficients) — the formulation's per-op assignment rows.  Branching
+  /// splits such a group's support in two instead of fixing one binary at
+  /// a time: on time-indexed scheduling models a single A[t][i] branch
+  /// barely moves the weak big-M relaxation, while halving an op's time
+  /// window changes many bounds at once and actually prunes.
+  void detectConvexityGroups() {
+    GroupOf.assign(static_cast<size_t>(M.numVars()), -1);
+    for (const ModelConstraint &C : M.constraints()) {
+      if (C.Cmp != CmpKind::EQ || std::abs(C.Rhs - 1.0) > 1e-9 ||
+          C.Expr.terms().size() < 2)
+        continue;
+      bool Ok = true;
+      for (const LinTerm &T : C.Expr.terms()) {
+        const ModelVar &V = M.var(T.Var);
+        Ok = Ok && std::abs(T.Coef - 1.0) <= 1e-9 &&
+             V.Kind != VarKind::Continuous && V.Lb > -1e-9 &&
+             V.Ub < 1.0 + 1e-9 && GroupOf[static_cast<size_t>(T.Var)] < 0;
+      }
+      if (!Ok)
+        continue;
+      int G = static_cast<int>(Groups.size());
+      Groups.emplace_back();
+      for (const LinTerm &T : C.Expr.terms()) {
+        GroupOf[static_cast<size_t>(T.Var)] = G;
+        Groups.back().push_back(T.Var);
+      }
+    }
   }
 
   /// \returns the fractional integer variable to branch on, or -1 when all
@@ -120,6 +169,211 @@ private:
     }
   }
 
+  /// One saved bound pair on the propagation trail.
+  struct PropEntry {
+    int Var;
+    double OldLb, OldUb;
+  };
+
+  /// A <=-normalized row prepared for propagation, with its terms split by
+  /// convexity group.  For a group ("exactly one of these binaries"), the
+  /// row's minimum activity over *integer* points is the minimum
+  /// coefficient among the group's still-open members — far tighter than
+  /// per-variable interval arithmetic, which prices every member at its
+  /// lower bound simultaneously.  On the scheduling models this turns the
+  /// dependence rows into genuine time-window propagation: the offset sum
+  /// of an op is bracketed by its open slots, the stage difference k_j -
+  /// k_i rounds up to the ceil'd Bellman-Ford weight, and slots that
+  /// would violate a row get eliminated one by one.
+  struct PropRow {
+    struct Seg {
+      /// Group members present in the row.
+      std::vector<LinTerm> Present;
+      /// Group members absent from the row (coefficient 0 there).
+      std::vector<int> Absent;
+    };
+    std::vector<LinTerm> Ungrouped;
+    std::vector<Seg> Segs;
+    double Rhs;
+  };
+  std::vector<PropRow> PropRows;
+
+  void addPropRow(const LinExpr &Expr, double Sign, double Rhs) {
+    PropRow R;
+    R.Rhs = Rhs;
+    // Scratch: group id -> segment index in R.
+    std::vector<int> SegIx(Groups.size(), -1);
+    for (const LinTerm &Tm : Expr.terms()) {
+      int G = GroupOf[static_cast<size_t>(Tm.Var)];
+      if (G < 0) {
+        R.Ungrouped.push_back({Tm.Var, Sign * Tm.Coef});
+        continue;
+      }
+      if (SegIx[static_cast<size_t>(G)] < 0) {
+        SegIx[static_cast<size_t>(G)] = static_cast<int>(R.Segs.size());
+        R.Segs.emplace_back();
+      }
+      R.Segs[static_cast<size_t>(SegIx[static_cast<size_t>(G)])]
+          .Present.push_back({Tm.Var, Sign * Tm.Coef});
+    }
+    // Group members the row does not mention contribute 0 when chosen.
+    std::vector<char> InRow(static_cast<size_t>(M.numVars()), 0);
+    for (size_t G = 0; G < Groups.size(); ++G) {
+      int S = SegIx[G];
+      if (S < 0)
+        continue;
+      for (const LinTerm &Tm : R.Segs[static_cast<size_t>(S)].Present)
+        InRow[static_cast<size_t>(Tm.Var)] = 1;
+      for (int V : Groups[G])
+        if (!InRow[static_cast<size_t>(V)])
+          R.Segs[static_cast<size_t>(S)].Absent.push_back(V);
+    }
+    PropRows.push_back(std::move(R));
+  }
+
+  void buildPropRows() {
+    for (const ModelConstraint &C : M.constraints()) {
+      if (C.Cmp != CmpKind::GE)
+        addPropRow(C.Expr, 1.0, C.Rhs);
+      if (C.Cmp != CmpKind::LE)
+        addPropRow(C.Expr, -1.0, -C.Rhs);
+    }
+  }
+
+  /// Propagates one prepared row.  \returns false when the row proves the
+  /// node integer-infeasible.
+  bool propagateRow(const PropRow &R, std::vector<PropEntry> &Trail,
+                    bool &Changed) {
+    constexpr double Inf = std::numeric_limits<double>::infinity();
+    // Minimum activity.  Ungrouped positive coefficients engage lower
+    // bounds and negative ones upper bounds, so the tightenings below
+    // (upper for positive, lower for negative, member eliminations) never
+    // invalidate the running sum.
+    double MinAct = 0.0;
+    int InfTerms = 0;
+    for (const LinTerm &Tm : R.Ungrouped) {
+      double B = Tm.Coef > 0 ? Tm.Coef * Lb[static_cast<size_t>(Tm.Var)]
+                             : Tm.Coef * Ub[static_cast<size_t>(Tm.Var)];
+      if (std::isinf(B))
+        ++InfTerms;
+      else
+        MinAct += B;
+    }
+    // Per-segment minimum contribution; a member fixed to 1 decides it.
+    SegMin.clear();
+    for (const PropRow::Seg &S : R.Segs) {
+      double GMin = Inf;
+      bool Fixed1 = false;
+      for (const LinTerm &Tm : S.Present) {
+        size_t V = static_cast<size_t>(Tm.Var);
+        if (Lb[V] > 0.5) {
+          GMin = Tm.Coef;
+          Fixed1 = true;
+          break;
+        }
+        if (Ub[V] > 0.5)
+          GMin = std::min(GMin, Tm.Coef);
+      }
+      if (!Fixed1)
+        for (int V : S.Absent) {
+          if (Lb[static_cast<size_t>(V)] > 0.5) {
+            GMin = 0.0;
+            Fixed1 = true;
+            break;
+          }
+          if (Ub[static_cast<size_t>(V)] > 0.5) {
+            GMin = std::min(GMin, 0.0);
+            break; // One open zero-coefficient member is enough.
+          }
+        }
+      if (GMin == Inf)
+        return false; // Group has no open member: no integer point.
+      SegMin.push_back({GMin, Fixed1});
+      MinAct += GMin;
+    }
+    if (InfTerms == 0 && MinAct > R.Rhs + 1e-6)
+      return false;
+
+    // Ungrouped tightening.
+    for (const LinTerm &Tm : R.Ungrouped) {
+      double C = Tm.Coef;
+      size_t V = static_cast<size_t>(Tm.Var);
+      double Own = C > 0 ? C * Lb[V] : C * Ub[V];
+      bool OwnInf = std::isinf(Own);
+      if (InfTerms > (OwnInf ? 1 : 0))
+        continue; // Another unbounded term absorbs any slack.
+      double Bound = (R.Rhs - (MinAct - (OwnInf ? 0.0 : Own))) / C;
+      bool IsInt = M.var(Tm.Var).Kind != VarKind::Continuous;
+      if (C > 0) {
+        double NewUb = IsInt ? std::floor(Bound + 1e-6) : Bound + 1e-9;
+        if (NewUb < Ub[V] - 1e-9) {
+          if (NewUb < Lb[V] - 1e-6)
+            return false;
+          Trail.push_back({Tm.Var, Lb[V], Ub[V]});
+          Ub[V] = NewUb;
+          Changed = true;
+        }
+      } else {
+        double NewLb = IsInt ? std::ceil(Bound - 1e-6) : Bound - 1e-9;
+        if (NewLb > Lb[V] + 1e-9) {
+          if (NewLb > Ub[V] + 1e-6)
+            return false;
+          Trail.push_back({Tm.Var, Lb[V], Ub[V]});
+          Lb[V] = NewLb;
+          Changed = true;
+        }
+      }
+    }
+
+    // Member elimination: choosing member v makes the row's activity at
+    // least MinAct - GMin + coef_v, so any member whose coefficient
+    // exceeds the segment's slack cannot be the group's 1.
+    if (InfTerms == 0) {
+      for (size_t SIx = 0; SIx < R.Segs.size(); ++SIx) {
+        if (SegMin[SIx].second)
+          continue; // Decided by a fixed member; EQ row zeroes the rest.
+        double Slack = R.Rhs + 1e-6 - (MinAct - SegMin[SIx].first);
+        for (const LinTerm &Tm : R.Segs[SIx].Present) {
+          size_t V = static_cast<size_t>(Tm.Var);
+          if (Ub[V] > 0.5 && Tm.Coef > Slack) {
+            Trail.push_back({Tm.Var, Lb[V], Ub[V]});
+            Ub[V] = 0.0;
+            Changed = true;
+          }
+        }
+        if (0.0 > Slack)
+          for (int AV : R.Segs[SIx].Absent) {
+            size_t V = static_cast<size_t>(AV);
+            if (Ub[V] > 0.5) {
+              Trail.push_back({AV, Lb[V], Ub[V]});
+              Ub[V] = 0.0;
+              Changed = true;
+            }
+          }
+      }
+    }
+    return true;
+  }
+
+  /// Node presolve: tightens Lb/Ub to a fixpoint (bounded pass count).
+  /// Every change lands on \p Trail for the caller to undo.  \returns
+  /// false when some row proves the node has no integer point — the node
+  /// is then pruned without an LP solve.
+  bool propagateBounds(std::vector<PropEntry> &Trail) {
+    for (int Pass = 0; Pass < 16; ++Pass) {
+      bool Changed = false;
+      for (const PropRow &R : PropRows)
+        if (!propagateRow(R, Trail, Changed))
+          return false;
+      if (!Changed)
+        break;
+    }
+    return true;
+  }
+
+  /// Scratch for propagateRow: per-segment (min contribution, decided).
+  std::vector<std::pair<double, bool>> SegMin;
+
   void dfs() {
     if (StopEarly || limitsExceeded())
       return;
@@ -133,30 +387,57 @@ private:
       return;
     }
 
-    LpResult Lp = solveLp(M, Lb, Ub, Opts.Cancel);
-    if (Lp.Status == LpStatus::Infeasible)
+    std::vector<PropEntry> Trail;
+    if (propagateBounds(Trail))
+      expand();
+    for (auto It = Trail.rbegin(); It != Trail.rend(); ++It) {
+      Lb[static_cast<size_t>(It->Var)] = It->OldLb;
+      Ub[static_cast<size_t>(It->Var)] = It->OldUb;
+    }
+  }
+
+  /// Solves the node relaxation and branches; runs under the node's
+  /// propagated bounds (see dfs).
+  void expand() {
+    LpResult Relax = Lp.solve(Lb, Ub, LpToken);
+    if (Relax.Status == LpStatus::Infeasible)
       return;
-    if (Lp.Status == LpStatus::Cancelled) {
-      Stop = SearchStop::Cancelled;
+    if (Relax.Status == LpStatus::Cancelled) {
+      // Attribute the stop: the caller's token means cancellation, our own
+      // nested deadline means the time limit expired mid-solve.
+      Stop = Opts.Cancel.cancelled() ? SearchStop::Cancelled
+                                     : SearchStop::TimeLimit;
       return;
     }
-    if (Lp.Status != LpStatus::Optimal) {
+    if (Relax.Status != LpStatus::Optimal) {
       // Iteration trouble or unboundedness: nothing is proven below this
       // node, but sibling subtrees are unaffected — record the stall
       // without stopping the search.
       LpStalled = true;
       return;
     }
-    if (!Incumbent.empty() && Lp.Objective >= IncumbentObj - 1e-9)
+    if (!Incumbent.empty() && Relax.Objective >= IncumbentObj - 1e-9)
       return; // Bound prune.
 
-    int BranchVar = pickBranchVar(Lp.X);
+    int BranchVar = pickBranchVar(Relax.X);
     if (BranchVar < 0) {
-      acceptIncumbent(Lp.X, Lp.Objective);
+      acceptIncumbent(Relax.X, Relax.Objective);
       return;
     }
 
-    double V = Lp.X[static_cast<size_t>(BranchVar)];
+    // The first child re-solves straight from this node's optimal basis
+    // (still loaded in the workspace).  By the time the second child runs,
+    // the workspace holds whatever vertex the first child's subtree ended
+    // on — arbitrarily far away — so snapshot this node's basis and
+    // re-seed before the switch; a child is then always one bound change
+    // from its parent, which is what keeps dual reoptimization short.
+    std::vector<LpBasisStatus> NodeBasis = Lp.structuralBasis();
+
+    int Grp = GroupOf[static_cast<size_t>(BranchVar)];
+    if (Grp >= 0 && branchOnGroup(Grp, Relax.X, NodeBasis))
+      return;
+
+    double V = Relax.X[static_cast<size_t>(BranchVar)];
     double Floor = std::floor(V + Opts.IntTol);
     double SavedLb = Lb[static_cast<size_t>(BranchVar)];
     double SavedUb = Ub[static_cast<size_t>(BranchVar)];
@@ -164,6 +445,8 @@ private:
     bool UpFirst = (V - Floor) > 0.5;
     for (int Side = 0; Side < 2 && !StopEarly; ++Side) {
       bool Up = (Side == 0) == UpFirst;
+      if (Side == 1)
+        Lp.seedBasis(NodeBasis);
       if (Up) {
         Lb[static_cast<size_t>(BranchVar)] = Floor + 1.0;
         if (Lb[static_cast<size_t>(BranchVar)] <= SavedUb + 1e-9)
@@ -178,9 +461,64 @@ private:
     }
   }
 
+  /// Dichotomy branching on an "exactly one" group: split the still-open
+  /// support at the LP mass midpoint and forbid one half per child.  Any
+  /// integer point has its 1 in exactly one half, so the children
+  /// partition the feasible set.  \returns false (caller falls back to
+  /// single-variable branching) when fewer than two members are open.
+  bool branchOnGroup(int Grp, const std::vector<double> &X,
+                     const std::vector<LpBasisStatus> &NodeBasis) {
+    std::vector<int> Open;
+    double Mass = 0.0;
+    for (int V : Groups[static_cast<size_t>(Grp)])
+      if (Ub[static_cast<size_t>(V)] > 0.5) {
+        Open.push_back(V);
+        Mass += X[static_cast<size_t>(V)];
+      }
+    if (Open.size() < 2)
+      return false;
+
+    // Smallest prefix holding at least half the LP mass, but never the
+    // whole support (both children must forbid something).
+    size_t Cut = 0;
+    double LeftMass = 0.0;
+    while (Cut + 1 < Open.size()) {
+      LeftMass += X[static_cast<size_t>(Open[Cut])];
+      ++Cut;
+      if (LeftMass >= Mass / 2.0)
+        break;
+    }
+
+    bool LeftFirst = LeftMass >= Mass - LeftMass;
+    for (int Side = 0; Side < 2 && !StopEarly; ++Side) {
+      bool KeepLeft = (Side == 0) == LeftFirst;
+      if (Side == 1)
+        Lp.seedBasis(NodeBasis);
+      size_t Begin = KeepLeft ? Cut : 0;
+      size_t End = KeepLeft ? Open.size() : Cut;
+      std::vector<double> Saved;
+      Saved.reserve(End - Begin);
+      for (size_t I = Begin; I < End; ++I) {
+        Saved.push_back(Ub[static_cast<size_t>(Open[I])]);
+        Ub[static_cast<size_t>(Open[I])] = 0.0;
+      }
+      dfs();
+      for (size_t I = Begin; I < End; ++I)
+        Ub[static_cast<size_t>(Open[I])] = Saved[I - Begin];
+    }
+    return true;
+  }
+
+  SparseLp &Lp;
   const MilpModel &M;
   const MilpOptions &Opts;
+  CancellationSource LpDeadline;
+  CancellationToken LpToken;
   std::vector<double> Lb, Ub;
+  /// "Exactly one of these binaries" rows (convexity/assignment rows),
+  /// detected once up front; GroupOf maps a var to its group or -1.
+  std::vector<std::vector<int>> Groups;
+  std::vector<int> GroupOf;
   std::vector<double> Incumbent;
   double IncumbentObj = 0.0;
   std::int64_t Nodes = 0;
@@ -226,15 +564,31 @@ const char *swp::searchStopName(SearchStop S) {
   return "?";
 }
 
+namespace {
+
+MilpResult invalidModelResult(const MilpModel &M) {
+  MilpResult Res;
+  Res.Status = MilpStatus::Error;
+  Res.StopReason = SearchStop::Fault;
+  Res.Error = Status(StatusCode::InvalidInput,
+                     "malformed MILP model: " + M.buildError());
+  return Res;
+}
+
+} // namespace
+
 MilpResult swp::solveMilp(const MilpModel &M, const MilpOptions &Opts) {
-  if (!M.valid()) {
-    MilpResult Res;
-    Res.Status = MilpStatus::Error;
-    Res.StopReason = SearchStop::Fault;
-    Res.Error = Status(StatusCode::InvalidInput,
-                       "malformed MILP model: " + M.buildError());
-    return Res;
-  }
-  Search S(M, Opts);
+  if (!M.valid())
+    return invalidModelResult(M);
+  SparseLp Lp(M);
+  Search S(Lp, M, Opts);
+  return S.run();
+}
+
+MilpResult swp::solveMilp(SparseLp &Lp, const MilpModel &M,
+                          const MilpOptions &Opts) {
+  if (!M.valid())
+    return invalidModelResult(M);
+  Search S(Lp, M, Opts);
   return S.run();
 }

@@ -1,453 +1,1053 @@
-//===- Simplex.cpp - Dense two-phase primal simplex -----------------------===//
+//===- Simplex.cpp - Sparse revised simplex -------------------------------===//
+//
+// Bounded-variable revised simplex with a product-form (eta file) basis
+// inverse.  See the header for the architecture; the invariants that keep
+// every answer sound regardless of numerical luck:
+//
+//   - Optimal is only reported by the primal phase-2 loop finding no
+//     eligible entering column over a primal-feasible basis;
+//   - Infeasible is only reported by an exact presolve proof, contradictory
+//     bounds, a dual-simplex row with no admissible entering column (a
+//     Farkas certificate), or phase 1 bottoming out above tolerance;
+//   - every numerically doubtful situation (tiny pivots after a fresh
+//     refactorization, a factorization that cannot complete, the injected
+//     lp-refactor/lp-stall faults) degrades to IterLimit, which proves
+//     nothing and censors only the consumer's current subtree.
+//
+//===----------------------------------------------------------------------===//
 
 #include "swp/solver/Simplex.h"
 
 #include "swp/support/FaultInjector.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace swp;
 
 namespace {
 
+constexpr double Inf = std::numeric_limits<double>::infinity();
 constexpr double PivotEps = 1e-9;
 constexpr double CostEps = 1e-7;
 constexpr double FixEps = 1e-9;
+/// A basic variable this far beyond a bound counts as primal-infeasible.
+constexpr double PrimTol = 1e-9;
+/// Residual phase-1 infeasibility below this is float dust, not a proof.
+constexpr double InfeasProofTol = 1e-6;
+/// Ratio-test tie window.
+constexpr double TieEps = 1e-12;
 
-/// Dense simplex working state: tableau rows, two objective rows, basis.
-class Tableau {
-public:
-  Tableau(const MilpModel &M, const std::vector<double> &Lb,
-          const std::vector<double> &Ub);
-
-  /// True when some bound pair was contradictory (Lb > Ub).
-  bool boundsInfeasible() const { return BoundsInfeasible; }
-
-  LpResult run(const MilpModel &M, const std::vector<double> &Lb,
-               const CancellationToken &Cancel);
-
-private:
-  int numCols() const { return static_cast<int>(Obj1.size()); }
-
-  void pivot(int Row, int Col);
-  int chooseEntering(const std::vector<double> &ObjRow, bool Bland) const;
-  int chooseLeaving(int Col) const;
-  /// Runs pivots until optimality of \p ObjRow; returns false on iteration
-  /// or unboundedness trouble (Status is set).
-  bool optimize(std::vector<double> &ObjRow, LpStatus &Status);
-
-  std::vector<std::vector<double>> Rows; // Coefficients, RHS last.
-  std::vector<double> Obj1;              // Phase-1 reduced costs.
-  std::vector<double> Obj2;              // Phase-2 reduced costs.
-  std::vector<int> Basis;                // Basic column per row.
-  std::vector<bool> RowActive;
-  std::vector<bool> ColAllowed; // Artificials disallowed after phase 1.
-  std::vector<int> VarCol;      // Model var -> column (-1 when fixed).
-  std::vector<double> FixedVal; // Value of fixed vars.
-  CancellationToken Cancel;
-  int FirstArtificial = 0;
-  int Iterations = 0;
-  int MaxIterations = 0;
-  bool BoundsInfeasible = false;
-};
-
-Tableau::Tableau(const MilpModel &M, const std::vector<double> &Lb,
-                 const std::vector<double> &Ub) {
-  const int N = M.numVars();
-  VarCol.assign(static_cast<size_t>(N), -1);
-  FixedVal.assign(static_cast<size_t>(N), 0.0);
-
-  // Assign columns to non-fixed variables (shifted to y = x - lb >= 0).
-  int NumY = 0;
-  for (int I = 0; I < N; ++I) {
-    if (Lb[static_cast<size_t>(I)] >
-        Ub[static_cast<size_t>(I)] + 1e-9) {
-      BoundsInfeasible = true;
-      return;
-    }
-    if (Ub[static_cast<size_t>(I)] - Lb[static_cast<size_t>(I)] <= FixEps) {
-      FixedVal[static_cast<size_t>(I)] = Lb[static_cast<size_t>(I)];
-      continue;
-    }
-    VarCol[static_cast<size_t>(I)] = NumY++;
-  }
-
-  // Gather raw rows: (dense coeffs over y columns, sense, rhs).
-  struct RawRow {
-    std::vector<double> A;
-    CmpKind Cmp;
-    double Rhs;
-  };
-  std::vector<RawRow> Raw;
-  auto MakeRow = [&](const LinExpr &E, CmpKind Cmp, double Rhs) {
-    RawRow R;
-    R.A.assign(static_cast<size_t>(NumY), 0.0);
-    R.Cmp = Cmp;
-    R.Rhs = Rhs;
-    for (const LinTerm &T : E.terms()) {
-      int Col = VarCol[static_cast<size_t>(T.Var)];
-      // Shift: coef * x = coef * (lb + y); fixed vars fold entirely.
-      R.Rhs -= T.Coef * Lb[static_cast<size_t>(T.Var)];
-      if (Col >= 0)
-        R.A[static_cast<size_t>(Col)] += T.Coef;
-    }
-    // Skip trivial rows (all coefficients on fixed vars).
-    bool AllZero = true;
-    for (double V : R.A)
-      if (std::abs(V) > PivotEps) {
-        AllZero = false;
-        break;
-      }
-    if (AllZero) {
-      bool Ok = true;
-      switch (Cmp) {
-      case CmpKind::LE:
-        Ok = R.Rhs >= -1e-7;
-        break;
-      case CmpKind::GE:
-        Ok = R.Rhs <= 1e-7;
-        break;
-      case CmpKind::EQ:
-        Ok = std::abs(R.Rhs) <= 1e-7;
-        break;
-      }
-      if (!Ok)
-        BoundsInfeasible = true;
-      return;
-    }
-    Raw.push_back(std::move(R));
-  };
-
-  for (const ModelConstraint &C : M.constraints())
-    MakeRow(C.Expr, C.Cmp, C.Rhs);
-  if (BoundsInfeasible)
-    return;
-
-  // Upper-bound rows y_i <= ub - lb, unless implied by other rows.
-  for (int I = 0; I < N; ++I) {
-    int Col = VarCol[static_cast<size_t>(I)];
-    if (Col < 0)
-      continue;
-    double U = Ub[static_cast<size_t>(I)];
-    if (U == MilpModel::Inf)
-      continue;
-    const ModelVar &MV = M.var(I);
-    if (MV.UbRowRedundant && U >= MV.Ub - 1e-9)
-      continue;
-    RawRow R;
-    R.A.assign(static_cast<size_t>(NumY), 0.0);
-    R.A[static_cast<size_t>(Col)] = 1.0;
-    R.Cmp = CmpKind::LE;
-    R.Rhs = U - Lb[static_cast<size_t>(I)];
-    Raw.push_back(std::move(R));
-  }
-
-  // Normalize RHS >= 0, then append slack / artificial columns.
-  const int NumRows = static_cast<int>(Raw.size());
-  int NumSlack = 0, NumArt = 0;
-  for (RawRow &R : Raw) {
-    if (R.Rhs < 0) {
-      for (double &V : R.A)
-        V = -V;
-      R.Rhs = -R.Rhs;
-      if (R.Cmp == CmpKind::LE)
-        R.Cmp = CmpKind::GE;
-      else if (R.Cmp == CmpKind::GE)
-        R.Cmp = CmpKind::LE;
-    }
-    if (R.Cmp == CmpKind::LE)
-      ++NumSlack;
-    else if (R.Cmp == CmpKind::GE) {
-      ++NumSlack; // Surplus.
-      ++NumArt;
-    } else
-      ++NumArt;
-  }
-
-  const int TotalCols = NumY + NumSlack + NumArt;
-  FirstArtificial = NumY + NumSlack;
-  Rows.assign(static_cast<size_t>(NumRows),
-              std::vector<double>(static_cast<size_t>(TotalCols) + 1, 0.0));
-  Basis.assign(static_cast<size_t>(NumRows), -1);
-  RowActive.assign(static_cast<size_t>(NumRows), true);
-  ColAllowed.assign(static_cast<size_t>(TotalCols), true);
-  Obj1.assign(static_cast<size_t>(TotalCols) + 1, 0.0);
-  Obj2.assign(static_cast<size_t>(TotalCols) + 1, 0.0);
-
-  int SlackAt = NumY, ArtAt = FirstArtificial;
-  for (int R = 0; R < NumRows; ++R) {
-    std::vector<double> &Row = Rows[static_cast<size_t>(R)];
-    for (int J = 0; J < NumY; ++J)
-      Row[static_cast<size_t>(J)] = Raw[static_cast<size_t>(R)].A[static_cast<size_t>(J)];
-    Row[static_cast<size_t>(TotalCols)] = Raw[static_cast<size_t>(R)].Rhs;
-    switch (Raw[static_cast<size_t>(R)].Cmp) {
-    case CmpKind::LE:
-      Row[static_cast<size_t>(SlackAt)] = 1.0;
-      Basis[static_cast<size_t>(R)] = SlackAt++;
-      break;
-    case CmpKind::GE:
-      Row[static_cast<size_t>(SlackAt)] = -1.0;
-      ++SlackAt;
-      Row[static_cast<size_t>(ArtAt)] = 1.0;
-      Basis[static_cast<size_t>(R)] = ArtAt++;
-      break;
-    case CmpKind::EQ:
-      Row[static_cast<size_t>(ArtAt)] = 1.0;
-      Basis[static_cast<size_t>(R)] = ArtAt++;
-      break;
-    }
-  }
-
-  // Phase-1 reduced costs: cost 1 on artificials, reduced by the rows whose
-  // basic variable is an artificial.
-  for (int J = FirstArtificial; J < TotalCols; ++J)
-    Obj1[static_cast<size_t>(J)] = 1.0;
-  for (int R = 0; R < NumRows; ++R) {
-    if (Basis[static_cast<size_t>(R)] < FirstArtificial)
-      continue;
-    const std::vector<double> &Row = Rows[static_cast<size_t>(R)];
-    for (int J = 0; J <= TotalCols; ++J)
-      Obj1[static_cast<size_t>(J)] -= Row[static_cast<size_t>(J)];
-  }
-
-  // Phase-2 reduced costs: the shifted objective (constant handled later by
-  // evaluating the objective on the final point).
-  for (const LinTerm &T : M.objective().terms()) {
-    int Col = VarCol[static_cast<size_t>(T.Var)];
-    if (Col >= 0)
-      Obj2[static_cast<size_t>(Col)] += T.Coef;
-  }
-
-  MaxIterations = 200 * (NumRows + TotalCols) + 2000;
-}
-
-void Tableau::pivot(int Row, int Col) {
-  std::vector<double> &P = Rows[static_cast<size_t>(Row)];
-  const int Cols = numCols();
-  double Inv = 1.0 / P[static_cast<size_t>(Col)];
-  for (int J = 0; J < Cols; ++J)
-    P[static_cast<size_t>(J)] *= Inv;
-  P[static_cast<size_t>(Col)] = 1.0;
-
-  auto Eliminate = [&](std::vector<double> &Target) {
-    double F = Target[static_cast<size_t>(Col)];
-    if (std::abs(F) < 1e-12)
-      return;
-    for (int J = 0; J < Cols; ++J)
-      Target[static_cast<size_t>(J)] -= F * P[static_cast<size_t>(J)];
-    Target[static_cast<size_t>(Col)] = 0.0;
-  };
-  for (size_t R = 0; R < Rows.size(); ++R)
-    if (static_cast<int>(R) != Row)
-      Eliminate(Rows[R]);
-  Eliminate(Obj1);
-  Eliminate(Obj2);
-  Basis[static_cast<size_t>(Row)] = Col;
-}
-
-int Tableau::chooseEntering(const std::vector<double> &ObjRow,
-                            bool Bland) const {
-  const int Cols = numCols() - 1;
-  int Best = -1;
-  double BestVal = -CostEps;
-  for (int J = 0; J < Cols; ++J) {
-    if (!ColAllowed[static_cast<size_t>(J)])
-      continue;
-    double V = ObjRow[static_cast<size_t>(J)];
-    if (V >= -CostEps)
-      continue;
-    if (Bland)
-      return J;
-    if (V < BestVal) {
-      BestVal = V;
-      Best = J;
-    }
-  }
-  return Best;
-}
-
-int Tableau::chooseLeaving(int Col) const {
-  const int RhsIx = numCols() - 1;
-  int Best = -1;
-  double BestRatio = 0.0;
-  for (size_t R = 0; R < Rows.size(); ++R) {
-    if (!RowActive[R])
-      continue;
-    double A = Rows[R][static_cast<size_t>(Col)];
-    if (A <= PivotEps)
-      continue;
-    double Ratio = Rows[R][static_cast<size_t>(RhsIx)] / A;
-    if (Best < 0 || Ratio < BestRatio - 1e-12 ||
-        (Ratio < BestRatio + 1e-12 && Basis[R] < Basis[static_cast<size_t>(Best)]))
-    {
-      Best = static_cast<int>(R);
-      BestRatio = Ratio;
-    }
-  }
-  return Best;
-}
-
-bool Tableau::optimize(std::vector<double> &ObjRow, LpStatus &Status) {
-  const int RhsIx = numCols() - 1;
-  int Stalled = 0;
-  double LastObj = ObjRow[static_cast<size_t>(RhsIx)];
-  const int BlandThreshold =
-      static_cast<int>(Rows.size() + static_cast<size_t>(numCols()));
-  while (true) {
-    if (++Iterations > MaxIterations) {
-      Status = LpStatus::IterLimit;
-      return false;
-    }
-    // Cancellation poll every 16 pivots: each poll may read the steady
-    // clock (deadline tokens), so keep it off the per-pivot path.
-    if ((Iterations & 15) == 0 && Cancel.cancelled()) {
-      Status = LpStatus::Cancelled;
-      return false;
-    }
-    // Fault injection: a forced stall reports IterLimit exactly as a real
-    // degenerate-cycling tableau would.
-    if (FaultInjector::instance().shouldFire(FaultSite::LpStall)) {
-      Status = LpStatus::IterLimit;
-      return false;
-    }
-    bool Bland = Stalled > BlandThreshold;
-    int Col = chooseEntering(ObjRow, Bland);
-    if (Col < 0)
-      return true; // Optimal for this objective row.
-    int Row = chooseLeaving(Col);
-    if (Row < 0) {
-      Status = LpStatus::Unbounded;
-      return false;
-    }
-    pivot(Row, Col);
-    double Obj = ObjRow[static_cast<size_t>(RhsIx)];
-    if (std::abs(Obj - LastObj) < 1e-12)
-      ++Stalled;
-    else {
-      Stalled = 0;
-      LastObj = Obj;
-    }
-  }
-}
-
-LpResult Tableau::run(const MilpModel &M, const std::vector<double> &Lb,
-                      const CancellationToken &CancelTok) {
-  Cancel = CancelTok;
-  LpResult Res;
-  const int TotalCols = numCols() - 1;
-  const int RhsIx = TotalCols;
-
-  // Phase 1: minimize the sum of artificials.
-  if (FirstArtificial < TotalCols) {
-    LpStatus Status = LpStatus::Optimal;
-    if (!optimize(Obj1, Status)) {
-      // Unboundedness is impossible in phase 1 (costs bounded below by 0);
-      // report iteration trouble as-is.
-      Res.Status = Status == LpStatus::Unbounded ? LpStatus::IterLimit : Status;
-      Res.Iterations = Iterations;
-      return Res;
-    }
-    double Phase1Obj = -Obj1[static_cast<size_t>(RhsIx)];
-    if (Phase1Obj > 1e-6) {
-      Res.Status = LpStatus::Infeasible;
-      Res.Iterations = Iterations;
-      return Res;
-    }
-    // Drive remaining artificials out of the basis, or deactivate their
-    // (redundant) rows.
-    for (size_t R = 0; R < Rows.size(); ++R) {
-      if (Basis[R] < FirstArtificial)
-        continue;
-      int PivotCol = -1;
-      for (int J = 0; J < FirstArtificial; ++J) {
-        if (!ColAllowed[static_cast<size_t>(J)])
-          continue;
-        if (std::abs(Rows[R][static_cast<size_t>(J)]) > 1e-7) {
-          PivotCol = J;
-          break;
-        }
-      }
-      if (PivotCol >= 0)
-        pivot(static_cast<int>(R), PivotCol);
-      else
-        RowActive[R] = false;
-    }
-    for (int J = FirstArtificial; J < TotalCols; ++J)
-      ColAllowed[static_cast<size_t>(J)] = false;
-  }
-
-  // Phase 2: minimize the real objective.
-  LpStatus Status = LpStatus::Optimal;
-  if (!optimize(Obj2, Status)) {
-    Res.Status = Status;
-    Res.Iterations = Iterations;
-    return Res;
-  }
-
-  // Extract the solution: nonbasic columns sit at 0 (their lower bound).
-  std::vector<double> Y(static_cast<size_t>(TotalCols), 0.0);
-  for (size_t R = 0; R < Rows.size(); ++R)
-    if (RowActive[R] && Basis[R] >= 0)
-      Y[static_cast<size_t>(Basis[R])] = Rows[R][static_cast<size_t>(RhsIx)];
-
-  Res.X.assign(static_cast<size_t>(M.numVars()), 0.0);
-  for (int I = 0; I < M.numVars(); ++I) {
-    int Col = VarCol[static_cast<size_t>(I)];
-    Res.X[static_cast<size_t>(I)] =
-        Col >= 0 ? Lb[static_cast<size_t>(I)] + Y[static_cast<size_t>(Col)]
-                 : FixedVal[static_cast<size_t>(I)];
-  }
-  Res.Objective = MilpModel::evaluate(M.objective(), Res.X);
-  Res.Status = LpStatus::Optimal;
-  Res.Iterations = Iterations;
-  return Res;
-}
+inline size_t sz(int I) { return static_cast<size_t>(I); }
 
 } // namespace
 
-LpResult swp::solveLp(const MilpModel &M, const std::vector<double> &Lb,
-                      const std::vector<double> &Ub,
-                      const CancellationToken &Cancel) {
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+SparseLp::SparseLp(const MilpModel &M) : Model(&M), Pre(presolveModel(M)) {
+  NumStruct = M.numVars();
+  if (Pre.Infeasible)
+    return; // solve() answers Infeasible without touching the matrix.
+
+  // Compact kept rows and scatter their terms into sparse columns.  Terms
+  // are normalized (sorted, merged) at addConstraint time, so a row-major
+  // sweep appends each column's entries already sorted by row.
+  std::vector<int> RowOf(sz(M.numConstraints()), -1);
+  for (int R = 0; R < M.numConstraints(); ++R) {
+    if (Pre.DropRow[sz(R)])
+      continue;
+    RowOf[sz(R)] = NumRows++;
+  }
+  Cols.assign(sz(NumStruct + NumRows), {});
+  Rhs.assign(sz(NumRows), 0.0);
+  RowCmp.assign(sz(NumRows), CmpKind::LE);
+  for (int R = 0; R < M.numConstraints(); ++R) {
+    int K = RowOf[sz(R)];
+    if (K < 0)
+      continue;
+    const ModelConstraint &C = M.constraints()[sz(R)];
+    Rhs[sz(K)] = C.Rhs;
+    RowCmp[sz(K)] = C.Cmp;
+    for (const LinTerm &T : C.Expr.terms())
+      Cols[sz(T.Var)].push_back({K, T.Coef});
+  }
+  for (int K = 0; K < NumRows; ++K)
+    Cols[sz(NumStruct + K)].push_back({K, 1.0});
+
+  Cost.assign(sz(numCols()), 0.0);
+  for (const LinTerm &T : M.objective().terms())
+    Cost[sz(T.Var)] = T.Coef;
+  CostEmpty = M.objective().terms().empty();
+
+  St.assign(sz(numCols()), LpBasisStatus::AtLower);
+  XB.assign(sz(NumRows), 0.0);
+  WorkY.assign(sz(NumRows), 0.0);
+  WorkPi.assign(sz(NumRows), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Basis linear algebra
+//===----------------------------------------------------------------------===//
+
+void SparseLp::ftran(std::vector<double> &V) const {
+  for (const Eta &E : Etas) {
+    double T = V[sz(E.Row)] / E.Pivot;
+    V[sz(E.Row)] = T;
+    if (T == 0.0)
+      continue;
+    for (const auto &[R, A] : E.Other)
+      V[sz(R)] -= A * T;
+  }
+}
+
+void SparseLp::btran(std::vector<double> &V) const {
+  for (auto It = Etas.rbegin(); It != Etas.rend(); ++It) {
+    double S = V[sz(It->Row)];
+    for (const auto &[R, A] : It->Other)
+      S -= A * V[sz(R)];
+    V[sz(It->Row)] = S / It->Pivot;
+  }
+}
+
+void SparseLp::loadColumn(int C, std::vector<double> &Dense) const {
+  std::fill(Dense.begin(), Dense.end(), 0.0);
+  for (const auto &[R, A] : Cols[sz(C)])
+    Dense[sz(R)] = A;
+}
+
+double SparseLp::colDot(int C, const std::vector<double> &RowVec) const {
+  double S = 0.0;
+  for (const auto &[R, A] : Cols[sz(C)])
+    S += A * RowVec[sz(R)];
+  return S;
+}
+
+LpBasisStatus SparseLp::boundStatus(int C) const {
+  if (EffLb[sz(C)] == -Inf)
+    return LpBasisStatus::AtUpper;
+  return LpBasisStatus::AtLower;
+}
+
+double SparseLp::nonbasicValue(int C) const {
+  return St[sz(C)] == LpBasisStatus::AtUpper ? EffUb[sz(C)] : EffLb[sz(C)];
+}
+
+void SparseLp::coldBasis() {
+  for (int C = 0; C < NumStruct; ++C)
+    St[sz(C)] = boundStatus(C);
+  for (int K = 0; K < NumRows; ++K)
+    St[sz(NumStruct + K)] = LpBasisStatus::Basic;
+  Basis.resize(sz(NumRows));
+  for (int K = 0; K < NumRows; ++K)
+    Basis[sz(K)] = NumStruct + K;
+  Etas.clear();
+  BaseEtas = 0;
+  HaveBasis = true;
+  NeedRefactor = false;
+}
+
+bool SparseLp::factorize() {
+  // Fault injection: the factorization "fails" (a real code would hit a
+  // singular or overflowing LU here).  State is untouched; the solve
+  // degrades to IterLimit, which proves nothing.
+  if (FaultInjector::instance().shouldFire(FaultSite::LpRefactor))
+    return false;
+  ++Stats.Refactorizations;
+  Etas.clear();
+
+  std::vector<char> RowDone(sz(NumRows), 0);
+  std::vector<int> NewBasis(sz(NumRows), -1);
+  int Assigned = 0;
+
+  // Gauss-Jordan over the hinted-basic columns: ftran each through the
+  // etas built so far, pivot on the largest entry in a still-free row.
+  auto Place = [&](int C) -> bool {
+    loadColumn(C, WorkY);
+    ftran(WorkY);
+    int BestRow = -1;
+    double BestAbs = 1e-7;
+    for (int R = 0; R < NumRows; ++R) {
+      if (RowDone[sz(R)])
+        continue;
+      double A = std::abs(WorkY[sz(R)]);
+      if (A > BestAbs) {
+        BestAbs = A;
+        BestRow = R;
+      }
+    }
+    if (BestRow < 0)
+      return false;
+    Eta E;
+    E.Row = BestRow;
+    E.Pivot = WorkY[sz(BestRow)];
+    for (int R = 0; R < NumRows; ++R)
+      if (R != BestRow && std::abs(WorkY[sz(R)]) > 1e-12)
+        E.Other.push_back({R, WorkY[sz(R)]});
+    Etas.push_back(std::move(E));
+    RowDone[sz(BestRow)] = 1;
+    NewBasis[sz(BestRow)] = C;
+    ++Assigned;
+    return true;
+  };
+
+  std::vector<int> Cands;
+  for (int C = 0; C < numCols(); ++C)
+    if (St[sz(C)] == LpBasisStatus::Basic)
+      Cands.push_back(C);
+
+  // Two-sided triangular ordering, fill-free on both wings.
+  //
+  // Front wing (row singletons): repeatedly retire a row touched by exactly
+  // one remaining candidate.  When row r is retired at count one, every
+  // other then-remaining candidate has a zero there, so each column placed
+  // later has zeros in all earlier front pivot rows: its ftran is the
+  // identity and the eta is the original sparse column verbatim.
+  //
+  // Back wing (column singletons): after the front wing is exhausted,
+  // repeatedly retire a candidate with exactly one entry in remaining rows.
+  // Its off-pivot entries lie only in rows retired before it, so placing
+  // the back wing LAST in REVERSE discovery order again puts every
+  // column's off-pivot entries in later pivot rows — identity ftran, eta
+  // verbatim.  (The phases must not interleave: a row singleton exposed by
+  // a column retirement could pivot a row the back column still touches.)
+  //
+  // Only the irreducible bump between the wings goes through the general
+  // Gauss-Jordan placement and can fill in — without this ordering every
+  // eta could reach NumRows entries, making each ftran/btran O(NumRows^2)
+  // and the whole solver quadratic in the model size.
+  {
+    std::vector<int> RowCount(sz(NumRows), 0);
+    std::vector<int> ColCount(sz(numCols()), 0);
+    std::vector<std::vector<int>> RowCands(sz(NumRows));
+    std::vector<char> Used(sz(numCols()), 0);
+    for (int C : Cands)
+      for (const auto &[R, A] : Cols[sz(C)])
+        if (std::abs(A) > 1e-12) {
+          ++RowCount[sz(R)];
+          ++ColCount[sz(C)];
+          RowCands[sz(R)].push_back(C);
+        }
+
+    auto EntryAt = [this](int C, int R) {
+      for (const auto &[Row, A] : Cols[sz(C)])
+        if (Row == R)
+          return A;
+      return 0.0;
+    };
+    // Retire column C pivoted at row R: maintain the singleton counts of
+    // everything sharing its row or column.
+    std::vector<int> RowStack, ColStack;
+    auto Retire = [&](int C, int R) {
+      Used[sz(C)] = 1;
+      RowDone[sz(R)] = 1;
+      NewBasis[sz(R)] = C;
+      ++Assigned;
+      for (int C2 : RowCands[sz(R)])
+        if (!Used[sz(C2)] && --ColCount[sz(C2)] == 1)
+          ColStack.push_back(C2);
+      for (const auto &[R2, A2] : Cols[sz(C)])
+        if (std::abs(A2) > 1e-12 && !RowDone[sz(R2)] &&
+            --RowCount[sz(R2)] == 1)
+          RowStack.push_back(R2);
+    };
+    auto ColumnEta = [&](int C, int R) {
+      Eta E;
+      E.Row = R;
+      E.Pivot = EntryAt(C, R);
+      for (const auto &[Row, A] : Cols[sz(C)])
+        if (Row != R && std::abs(A) > 1e-12)
+          E.Other.push_back({Row, A});
+      // An identity eta (unit pivot, no off-pivot entries — every basic
+      // logical in an untouched row) is a no-op in ftran/btran; skip it.
+      if (E.Pivot != 1.0 || !E.Other.empty())
+        Etas.push_back(std::move(E));
+    };
+
+    for (int R = 0; R < NumRows; ++R)
+      if (RowCount[sz(R)] == 1)
+        RowStack.push_back(R);
+    while (!RowStack.empty()) {
+      int R = RowStack.back();
+      RowStack.pop_back();
+      if (RowDone[sz(R)] || RowCount[sz(R)] != 1)
+        continue;
+      int C = -1;
+      for (int Cand : RowCands[sz(R)])
+        if (!Used[sz(Cand)]) {
+          C = Cand;
+          break;
+        }
+      if (C < 0 || std::abs(EntryAt(C, R)) <= 1e-7)
+        continue; // Unusable pivot; leave the pair to the bump.
+      ColumnEta(C, R);
+      Retire(C, R);
+    }
+
+    // Back wing: rows are reserved (RowDone) now so the bump cannot pivot
+    // there; the etas themselves are appended after the bump, in reverse.
+    std::vector<std::pair<int, int>> Back;
+    RowStack.clear();
+    for (int C : Cands)
+      if (!Used[sz(C)] && ColCount[sz(C)] == 1)
+        ColStack.push_back(C);
+    while (!ColStack.empty()) {
+      int C = ColStack.back();
+      ColStack.pop_back();
+      if (Used[sz(C)] || ColCount[sz(C)] != 1)
+        continue;
+      int R = -1;
+      for (const auto &[Row, A] : Cols[sz(C)])
+        if (!RowDone[sz(Row)] && std::abs(A) > 1e-12) {
+          R = Row;
+          break;
+        }
+      if (R < 0 || std::abs(EntryAt(C, R)) <= 1e-7)
+        continue;
+      Back.push_back({C, R});
+      Retire(C, R);
+    }
+
+    // The irreducible bump: general ftran-based placement with fill.
+    for (int C : Cands) {
+      if (Used[sz(C)])
+        continue;
+      if (!Place(C))
+        St[sz(C)] = boundStatus(C); // Dependent or redundant: demote.
+    }
+
+    for (auto It = Back.rbegin(); It != Back.rend(); ++It)
+      ColumnEta(It->first, It->second);
+  }
+
+  // Basis repair: cover the remaining rows with logicals.  A row's own
+  // logical almost always pivots there; the fallback scan handles the rare
+  // case where earlier etas moved its weight elsewhere.
+  int Guard = 0;
+  while (Assigned < NumRows) {
+    bool Progress = false;
+    for (int R = 0; R < NumRows; ++R) {
+      if (RowDone[sz(R)])
+        continue;
+      int L = NumStruct + R;
+      if (St[sz(L)] == LpBasisStatus::Basic)
+        continue;
+      if (Place(L)) {
+        St[sz(L)] = LpBasisStatus::Basic;
+        Progress = true;
+      }
+    }
+    if (!Progress) {
+      for (int R = 0; R < NumRows && !Progress; ++R) {
+        int L = NumStruct + R;
+        if (St[sz(L)] == LpBasisStatus::Basic)
+          continue;
+        if (Place(L)) {
+          St[sz(L)] = LpBasisStatus::Basic;
+          Progress = true;
+        }
+      }
+    }
+    if (!Progress || ++Guard > NumRows + 1)
+      return false; // Numerically dead basis; caller reports IterLimit.
+  }
+
+  Basis = std::move(NewBasis);
+  BaseEtas = static_cast<int>(Etas.size());
+  NeedRefactor = false;
+  return true;
+}
+
+void SparseLp::computeXB() {
+  std::vector<double> V = Rhs;
+  for (int C = 0; C < numCols(); ++C) {
+    if (St[sz(C)] == LpBasisStatus::Basic)
+      continue;
+    double X = nonbasicValue(C);
+    if (X == 0.0)
+      continue;
+    for (const auto &[R, A] : Cols[sz(C)])
+      V[sz(R)] -= A * X;
+  }
+  ftran(V);
+  XB = std::move(V);
+}
+
+void SparseLp::sanitizeStatuses() {
+  for (int C = 0; C < numCols(); ++C) {
+    if (St[sz(C)] == LpBasisStatus::Basic)
+      continue;
+    if (St[sz(C)] == LpBasisStatus::AtLower && EffLb[sz(C)] == -Inf)
+      St[sz(C)] = LpBasisStatus::AtUpper;
+    else if (St[sz(C)] == LpBasisStatus::AtUpper && EffUb[sz(C)] == Inf)
+      St[sz(C)] = LpBasisStatus::AtLower;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pricing and feasibility measures
+//===----------------------------------------------------------------------===//
+
+/// Computes reduced costs for every column into \p D and reports whether
+/// the current basis is dual feasible (movable nonbasics priced the right
+/// way for minimization).
+bool SparseLp::priceReducedCosts(std::vector<double> &D) const {
+  D.assign(sz(numCols()), 0.0);
+  if (CostEmpty)
+    return true; // All reduced costs zero: every basis is dual feasible.
+  std::vector<double> Pi(sz(NumRows), 0.0);
+  for (int R = 0; R < NumRows; ++R)
+    Pi[sz(R)] = Cost[sz(Basis[sz(R)])];
+  // Pi currently holds c_B; btran turns it into c_B * B^-1.
+  const_cast<SparseLp *>(this)->btran(Pi);
+  bool DualFeasible = true;
+  for (int C = 0; C < numCols(); ++C) {
+    D[sz(C)] = Cost[sz(C)] - colDot(C, Pi);
+    if (St[sz(C)] == LpBasisStatus::Basic)
+      continue;
+    if (EffUb[sz(C)] - EffLb[sz(C)] <= FixEps)
+      continue; // Fixed columns cannot move; their sign is irrelevant.
+    if (St[sz(C)] == LpBasisStatus::AtLower && D[sz(C)] < -CostEps)
+      DualFeasible = false;
+    else if (St[sz(C)] == LpBasisStatus::AtUpper && D[sz(C)] > CostEps)
+      DualFeasible = false;
+  }
+  return DualFeasible;
+}
+
+double SparseLp::infeasibilityOf(int Row) const {
+  int B = Basis[sz(Row)];
+  double X = XB[sz(Row)];
+  if (X < EffLb[sz(B)] - PrimTol)
+    return EffLb[sz(B)] - X;
+  if (X > EffUb[sz(B)] + PrimTol)
+    return X - EffUb[sz(B)];
+  return 0.0;
+}
+
+double SparseLp::totalInfeasibility() const {
+  double F = 0.0;
+  for (int R = 0; R < NumRows; ++R)
+    F += infeasibilityOf(R);
+  return F;
+}
+
+bool SparseLp::iterBookkeeping() {
+  ++Iterations;
+  if (Iterations > MaxIterations) {
+    AbortWhy = LpStatus::IterLimit;
+    return false;
+  }
+  // Cancellation poll every 16 iterations: each poll may read the steady
+  // clock (deadline tokens), so keep it off the per-pivot path.
+  if ((Iterations & 15) == 0 && Cancel.cancelled()) {
+    AbortWhy = LpStatus::Cancelled;
+    return false;
+  }
+  // Fault injection: a forced stall reports IterLimit exactly as a real
+  // degenerate-cycling basis would.
+  if (FaultInjector::instance().shouldFire(FaultSite::LpStall)) {
+    AbortWhy = LpStatus::IterLimit;
+    return false;
+  }
+  return true;
+}
+
+/// Applies one pivot: the entering column moves by \p T from \p EnterBase,
+/// the basic column of \p Row leaves to \p LeaveStatus.  Pushes the eta and
+/// refactorizes when the file is long.  \returns false when a needed
+/// refactorization failed (caller aborts with IterLimit).
+bool SparseLp::applyPivot(int Row, int EnterCol, double T, double EnterBase,
+                         LpBasisStatus LeaveStatus,
+                         const std::vector<double> &Y) {
+  for (int R = 0; R < NumRows; ++R)
+    if (Y[sz(R)] != 0.0)
+      XB[sz(R)] -= Y[sz(R)] * T;
+  int Leaving = Basis[sz(Row)];
+  St[sz(Leaving)] = LeaveStatus;
+  St[sz(EnterCol)] = LpBasisStatus::Basic;
+  Basis[sz(Row)] = EnterCol;
+  XB[sz(Row)] = EnterBase + T;
+
+  Eta E;
+  E.Row = Row;
+  E.Pivot = Y[sz(Row)];
+  for (int R = 0; R < NumRows; ++R)
+    if (R != Row && std::abs(Y[sz(R)]) > 1e-12)
+      E.Other.push_back({R, Y[sz(R)]});
+  Etas.push_back(std::move(E));
+
+  if (static_cast<int>(Etas.size()) - BaseEtas >= RefactorInterval) {
+    if (!factorize()) {
+      AbortWhy = LpStatus::IterLimit;
+      return false;
+    }
+    computeXB(); // Fresh values kill accumulated drift.
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Dual-simplex reoptimization
+//===----------------------------------------------------------------------===//
+
+/// Restores primal feasibility from a dual-feasible basis — the warm-start
+/// reoptimizer: a branch-and-bound child differs from its parent only in
+/// one tightened bound, and the parent's optimal basis is dual feasible.
+/// With an empty objective (the driver's feasibility models) every basis
+/// qualifies, so this is also the cold main loop there.
+SparseLp::LoopExit SparseLp::dualReoptimize() {
+  double FPrev = totalInfeasibility();
+  while (true) {
+    if (FPrev <= PrimTol * static_cast<double>(NumRows + 1))
+      return LoopExit::Done;
+    if (!iterBookkeeping())
+      return LoopExit::Abort;
+    bool Bland = Stalled > BlandThreshold;
+    if (Stalled > 2 * BlandThreshold)
+      return LoopExit::Trouble; // Cycling despite Bland: let phase 1 try.
+
+    // Leaving: the most violated basic variable (Bland: smallest column).
+    int Row = -1;
+    double BestViol = PrimTol;
+    for (int R = 0; R < NumRows; ++R) {
+      double V = infeasibilityOf(R);
+      if (V <= BestViol)
+        continue;
+      if (Bland) {
+        if (Row < 0 || Basis[sz(R)] < Basis[sz(Row)])
+          Row = R;
+        continue;
+      }
+      BestViol = V;
+      Row = R;
+    }
+    if (Row < 0)
+      return LoopExit::Done;
+    int Leaving = Basis[sz(Row)];
+    bool Below = XB[sz(Row)] < EffLb[sz(Leaving)] - PrimTol;
+
+    // Reduced costs constrain the entering choice (they are all zero for
+    // empty objectives, where any admissible column keeps dual
+    // feasibility).
+    bool NeedD = !CostEmpty;
+    if (NeedD)
+      priceReducedCosts(WorkD);
+
+    // Dual ratio test along row Row: alpha_j = (B^-1 a_j)[Row] = rho.a_j.
+    std::fill(WorkPi.begin(), WorkPi.end(), 0.0);
+    WorkPi[sz(Row)] = 1.0;
+    btran(WorkPi);
+    int Enter = -1;
+    double EnterAlpha = 0.0;
+    double BestRatio = Inf;
+    for (int C = 0; C < numCols(); ++C) {
+      if (St[sz(C)] == LpBasisStatus::Basic)
+        continue;
+      if (EffUb[sz(C)] - EffLb[sz(C)] <= FixEps)
+        continue;
+      double Alpha = colDot(C, WorkPi);
+      if (std::abs(Alpha) <= PivotEps)
+        continue;
+      bool AtLower = St[sz(C)] == LpBasisStatus::AtLower;
+      bool Admissible = Below ? (AtLower ? Alpha < 0 : Alpha > 0)
+                              : (AtLower ? Alpha > 0 : Alpha < 0);
+      if (!Admissible)
+        continue;
+      if (Bland) {
+        Enter = C;
+        EnterAlpha = Alpha;
+        break;
+      }
+      double Ratio = NeedD ? std::abs(WorkD[sz(C)]) / std::abs(Alpha) : 0.0;
+      if (Ratio < BestRatio - TieEps ||
+          (Ratio < BestRatio + TieEps &&
+           std::abs(Alpha) > std::abs(EnterAlpha))) {
+        BestRatio = Ratio;
+        Enter = C;
+        EnterAlpha = Alpha;
+      }
+    }
+    if (Enter < 0) {
+      // No movable nonbasic can push the violated basic toward its bound:
+      // the row is a Farkas certificate of infeasibility.
+      return LoopExit::Infeasible;
+    }
+
+    loadColumn(Enter, WorkY);
+    ftran(WorkY);
+    if (std::abs(WorkY[sz(Row)]) <= PivotEps) {
+      // The eta file disagrees with the fresh row: refactorize and retry.
+      if (NeedRefactor)
+        return LoopExit::Trouble;
+      if (!factorize()) {
+        AbortWhy = LpStatus::IterLimit;
+        return LoopExit::Abort;
+      }
+      computeXB();
+      continue;
+    }
+    double Bound = Below ? EffLb[sz(Leaving)] : EffUb[sz(Leaving)];
+    double T = (XB[sz(Row)] - Bound) / WorkY[sz(Row)];
+    LpBasisStatus LeaveTo =
+        Below ? LpBasisStatus::AtLower : LpBasisStatus::AtUpper;
+    if (!applyPivot(Row, Enter, T, nonbasicValue(Enter), LeaveTo, WorkY))
+      return LoopExit::Abort;
+    ++Stats.DualPivots;
+
+    double F = totalInfeasibility();
+    if (F < FPrev - 1e-9)
+      Stalled = 0;
+    else
+      ++Stalled;
+    FPrev = F;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Primal phase 1: minimize the sum of infeasibilities
+//===----------------------------------------------------------------------===//
+
+SparseLp::LoopExit SparseLp::primalPhase1() {
+  double FPrev = totalInfeasibility();
+  while (true) {
+    if (FPrev <= PrimTol * static_cast<double>(NumRows + 1))
+      return LoopExit::Done;
+    if (!iterBookkeeping())
+      return LoopExit::Abort;
+    bool Bland = Stalled > BlandThreshold;
+
+    // Gradient of f = sum of bound violations over basics, via one btran
+    // of the violation-sign vector.
+    std::fill(WorkPi.begin(), WorkPi.end(), 0.0);
+    bool Any = false;
+    for (int R = 0; R < NumRows; ++R) {
+      int B = Basis[sz(R)];
+      if (XB[sz(R)] < EffLb[sz(B)] - PrimTol) {
+        WorkPi[sz(R)] = -1.0;
+        Any = true;
+      } else if (XB[sz(R)] > EffUb[sz(B)] + PrimTol) {
+        WorkPi[sz(R)] = 1.0;
+        Any = true;
+      }
+    }
+    if (!Any)
+      return LoopExit::Done;
+    btran(WorkPi);
+
+    int Enter = -1;
+    double BestG = 0.0;
+    for (int C = 0; C < numCols(); ++C) {
+      if (St[sz(C)] == LpBasisStatus::Basic)
+        continue;
+      if (EffUb[sz(C)] - EffLb[sz(C)] <= FixEps)
+        continue;
+      double G = -colDot(C, WorkPi); // df/dx_C.
+      bool Eligible = St[sz(C)] == LpBasisStatus::AtLower ? G < -CostEps
+                                                          : G > CostEps;
+      if (!Eligible)
+        continue;
+      if (Bland) {
+        Enter = C;
+        break;
+      }
+      if (std::abs(G) > std::abs(BestG)) {
+        BestG = G;
+        Enter = C;
+      }
+    }
+    if (Enter < 0)
+      return FPrev > InfeasProofTol ? LoopExit::Infeasible : LoopExit::Done;
+
+    loadColumn(Enter, WorkY);
+    ftran(WorkY);
+    double Sigma = St[sz(Enter)] == LpBasisStatus::AtLower ? 1.0 : -1.0;
+
+    // Phase-1 ratio test: feasible basics block at their bounds as usual;
+    // an infeasible basic blocks where it *reaches* its violated bound
+    // (the objective gradient changes there — stop and pivot it out).
+    double BestT = EffUb[sz(Enter)] - EffLb[sz(Enter)]; // Bound flip.
+    int BlockRow = -1;
+    double BlockAbsY = 0.0;
+    LpBasisStatus BlockTo = LpBasisStatus::AtLower;
+    for (int R = 0; R < NumRows; ++R) {
+      double Rate = -Sigma * WorkY[sz(R)]; // dx_basic/dt.
+      if (std::abs(Rate) <= PivotEps)
+        continue;
+      int B = Basis[sz(R)];
+      double X = XB[sz(R)], L = EffLb[sz(B)], U = EffUb[sz(B)];
+      double T = Inf;
+      LpBasisStatus To = LpBasisStatus::AtLower;
+      if (X < L - PrimTol) {
+        if (Rate > 0) {
+          T = (L - X) / Rate;
+          To = LpBasisStatus::AtLower;
+        }
+      } else if (X > U + PrimTol) {
+        if (Rate < 0) {
+          T = (X - U) / -Rate;
+          To = LpBasisStatus::AtUpper;
+        }
+      } else if (Rate > 0) {
+        if (U < Inf) {
+          T = (U - X) / Rate;
+          To = LpBasisStatus::AtUpper;
+        }
+      } else if (L > -Inf) {
+        T = (X - L) / -Rate;
+        To = LpBasisStatus::AtLower;
+      }
+      if (T == Inf)
+        continue;
+      T = std::max(T, 0.0);
+      bool Better;
+      if (Bland)
+        Better = T < BestT - TieEps ||
+                 (T < BestT + TieEps &&
+                  (BlockRow < 0 || B < Basis[sz(BlockRow)]));
+      else
+        Better = T < BestT - TieEps ||
+                 (T < BestT + TieEps && std::abs(WorkY[sz(R)]) > BlockAbsY);
+      if (Better) {
+        BestT = T;
+        BlockRow = R;
+        BlockAbsY = std::abs(WorkY[sz(R)]);
+        BlockTo = To;
+      }
+    }
+    if (BlockRow < 0 && BestT == Inf)
+      return LoopExit::Trouble; // f is bounded below; cannot happen.
+
+    if (BlockRow < 0) {
+      // Bound flip: the entering column crosses to its other bound.
+      for (int R = 0; R < NumRows; ++R)
+        XB[sz(R)] -= Sigma * BestT * WorkY[sz(R)];
+      St[sz(Enter)] = St[sz(Enter)] == LpBasisStatus::AtLower
+                          ? LpBasisStatus::AtUpper
+                          : LpBasisStatus::AtLower;
+      ++Stats.BoundFlips;
+    } else {
+      if (!applyPivot(BlockRow, Enter, Sigma * BestT, nonbasicValue(Enter),
+                      BlockTo, WorkY))
+        return LoopExit::Abort;
+      ++Stats.Pivots;
+    }
+
+    double F = totalInfeasibility();
+    if (F < FPrev - 1e-9)
+      Stalled = 0;
+    else
+      ++Stalled;
+    FPrev = F;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Primal phase 2: minimize the real objective
+//===----------------------------------------------------------------------===//
+
+SparseLp::LoopExit SparseLp::primalPhase2() {
+  while (true) {
+    if (!iterBookkeeping())
+      return LoopExit::Abort;
+    bool Bland = Stalled > BlandThreshold;
+
+    int Enter = -1;
+    double BestD = 0.0;
+    if (!CostEmpty) {
+      for (int R = 0; R < NumRows; ++R)
+        WorkPi[sz(R)] = Cost[sz(Basis[sz(R)])];
+      btran(WorkPi);
+      for (int C = 0; C < numCols(); ++C) {
+        if (St[sz(C)] == LpBasisStatus::Basic)
+          continue;
+        if (EffUb[sz(C)] - EffLb[sz(C)] <= FixEps)
+          continue;
+        double D = Cost[sz(C)] - colDot(C, WorkPi);
+        bool Eligible = St[sz(C)] == LpBasisStatus::AtLower ? D < -CostEps
+                                                            : D > CostEps;
+        if (!Eligible)
+          continue;
+        if (Bland) {
+          Enter = C;
+          break;
+        }
+        if (std::abs(D) > std::abs(BestD)) {
+          BestD = D;
+          Enter = C;
+        }
+      }
+    }
+    if (Enter < 0)
+      return LoopExit::Done; // Optimal (trivially so when CostEmpty).
+
+    loadColumn(Enter, WorkY);
+    ftran(WorkY);
+    double Sigma = St[sz(Enter)] == LpBasisStatus::AtLower ? 1.0 : -1.0;
+
+    double BestT = EffUb[sz(Enter)] - EffLb[sz(Enter)];
+    int BlockRow = -1;
+    double BlockAbsY = 0.0;
+    LpBasisStatus BlockTo = LpBasisStatus::AtLower;
+    for (int R = 0; R < NumRows; ++R) {
+      double Rate = -Sigma * WorkY[sz(R)];
+      if (std::abs(Rate) <= PivotEps)
+        continue;
+      int B = Basis[sz(R)];
+      double X = XB[sz(R)], L = EffLb[sz(B)], U = EffUb[sz(B)];
+      double T = Inf;
+      LpBasisStatus To = LpBasisStatus::AtLower;
+      if (Rate > 0) {
+        if (U < Inf) {
+          T = (U - X) / Rate;
+          To = LpBasisStatus::AtUpper;
+        }
+      } else if (L > -Inf) {
+        T = (X - L) / -Rate;
+        To = LpBasisStatus::AtLower;
+      }
+      if (T == Inf)
+        continue;
+      T = std::max(T, 0.0);
+      bool Better;
+      if (Bland)
+        Better = T < BestT - TieEps ||
+                 (T < BestT + TieEps &&
+                  (BlockRow < 0 || B < Basis[sz(BlockRow)]));
+      else
+        Better = T < BestT - TieEps ||
+                 (T < BestT + TieEps && std::abs(WorkY[sz(R)]) > BlockAbsY);
+      if (Better) {
+        BestT = T;
+        BlockRow = R;
+        BlockAbsY = std::abs(WorkY[sz(R)]);
+        BlockTo = To;
+      }
+    }
+    if (BlockRow < 0 && BestT == Inf)
+      return LoopExit::Unbounded;
+
+    if (BlockRow < 0) {
+      for (int R = 0; R < NumRows; ++R)
+        XB[sz(R)] -= Sigma * BestT * WorkY[sz(R)];
+      St[sz(Enter)] = St[sz(Enter)] == LpBasisStatus::AtLower
+                          ? LpBasisStatus::AtUpper
+                          : LpBasisStatus::AtLower;
+      ++Stats.BoundFlips;
+    } else {
+      if (!applyPivot(BlockRow, Enter, Sigma * BestT, nonbasicValue(Enter),
+                      BlockTo, WorkY))
+        return LoopExit::Abort;
+      ++Stats.Pivots;
+    }
+
+    if (BestT > TieEps)
+      Stalled = 0;
+    else
+      ++Stalled;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// solve()
+//===----------------------------------------------------------------------===//
+
+std::vector<LpBasisStatus> SparseLp::structuralBasis() const {
+  if (St.empty())
+    return {}; // Never solved (e.g. presolve-infeasible model).
+  return std::vector<LpBasisStatus>(St.begin(), St.begin() + NumStruct);
+}
+
+void SparseLp::seedBasis(const std::vector<LpBasisStatus> &StructuralHints) {
+  if (Pre.Infeasible)
+    return;
+  const int N = std::min<int>(NumStruct,
+                              static_cast<int>(StructuralHints.size()));
+  for (int C = 0; C < N; ++C)
+    St[sz(C)] = StructuralHints[sz(C)];
+  for (int C = N; C < NumStruct; ++C)
+    St[sz(C)] = LpBasisStatus::AtLower;
+  for (int K = 0; K < NumRows; ++K)
+    St[sz(NumStruct + K)] = RowCmp[sz(K)] == CmpKind::GE
+                                ? LpBasisStatus::AtUpper
+                                : LpBasisStatus::AtLower;
+  Etas.clear();
+  BaseEtas = 0;
+  Basis.assign(sz(NumRows), -1);
+  HaveBasis = true;
+  NeedRefactor = true;
+}
+
+LpResult SparseLp::solve(const std::vector<double> &Lb,
+                         const std::vector<double> &Ub,
+                         const CancellationToken &CancelTok) {
+  LpResult Res;
+  ++Stats.Solves;
+
   // Mismatched bound arrays are a caller bug; degrade to IterLimit (which
   // proves nothing) instead of aborting the process in release builds.
-  if (static_cast<int>(Lb.size()) != M.numVars() ||
-      static_cast<int>(Ub.size()) != M.numVars()) {
+  if (static_cast<int>(Lb.size()) != NumStruct ||
+      static_cast<int>(Ub.size()) != NumStruct) {
     assert(false && "bound arrays must match the model");
-    LpResult Res;
-    Res.Status = LpStatus::IterLimit;
     return Res;
   }
   // Entry poll: the pivot loop only checks every few iterations, which a
   // small LP never reaches — a pre-cancelled token must still stop it.
-  if (Cancel.cancelled()) {
-    LpResult Res;
+  if (CancelTok.cancelled()) {
     Res.Status = LpStatus::Cancelled;
     return Res;
   }
   // Fault injection: spurious infeasibility, the most dangerous LP lie —
   // downstream layers must never turn it into a false optimality proof.
   if (FaultInjector::instance().shouldFire(FaultSite::LpInfeasible)) {
-    LpResult Res;
     Res.Status = LpStatus::Infeasible;
     return Res;
   }
-  Tableau T(M, Lb, Ub);
-  if (T.boundsInfeasible()) {
-    LpResult Res;
+  if (Pre.Infeasible) {
     Res.Status = LpStatus::Infeasible;
     return Res;
   }
-  return T.run(M, Lb, Cancel);
+
+  // Effective bounds: caller bounds intersected with the presolve
+  // strengthenings (both only ever tighten the model).
+  EffLb.assign(sz(numCols()), 0.0);
+  EffUb.assign(sz(numCols()), 0.0);
+  for (int C = 0; C < NumStruct; ++C) {
+    EffLb[sz(C)] = std::max(Lb[sz(C)], Pre.Lb[sz(C)]);
+    EffUb[sz(C)] = std::min(Ub[sz(C)], Pre.Ub[sz(C)]);
+    if (EffLb[sz(C)] > EffUb[sz(C)] + 1e-9) {
+      Res.Status = LpStatus::Infeasible;
+      return Res;
+    }
+  }
+  for (int K = 0; K < NumRows; ++K) {
+    int L = NumStruct + K;
+    switch (RowCmp[sz(K)]) {
+    case CmpKind::LE:
+      EffLb[sz(L)] = 0.0;
+      EffUb[sz(L)] = Inf;
+      break;
+    case CmpKind::GE:
+      EffLb[sz(L)] = -Inf;
+      EffUb[sz(L)] = 0.0;
+      break;
+    case CmpKind::EQ:
+      EffLb[sz(L)] = 0.0;
+      EffUb[sz(L)] = 0.0;
+      break;
+    }
+  }
+
+  Cancel = CancelTok;
+  Iterations = 0;
+  MaxIterations = 200 * (NumRows + numCols()) + 2000;
+  Stalled = 0;
+  BlandThreshold = NumRows + numCols();
+  AbortWhy = LpStatus::IterLimit;
+
+  if (HaveBasis)
+    ++Stats.WarmSolves;
+  else
+    coldBasis();
+  sanitizeStatuses();
+  if (NeedRefactor ||
+      static_cast<int>(Etas.size()) - BaseEtas > RefactorInterval) {
+    if (!factorize()) {
+      Res.Status = LpStatus::IterLimit;
+      Res.Iterations = Iterations;
+      NeedRefactor = true;
+      return Res;
+    }
+  }
+  computeXB();
+
+  auto Abort = [&](LpStatus Why) {
+    Res.Status = Why;
+    Res.Iterations = Iterations;
+    return Res;
+  };
+
+  // Dual reoptimization whenever the basis is dual feasible (always, for
+  // the empty objectives of feasibility scheduling); composite phase 1 is
+  // the general fallback; primal phase 2 is the final arbiter either way.
+  if (totalInfeasibility() > PrimTol * static_cast<double>(NumRows + 1) &&
+      priceReducedCosts(WorkD)) {
+    switch (dualReoptimize()) {
+    case LoopExit::Infeasible:
+      return Abort(LpStatus::Infeasible);
+    case LoopExit::Abort:
+      return Abort(AbortWhy);
+    case LoopExit::Done:
+    case LoopExit::Trouble:
+    case LoopExit::Unbounded:
+      break; // Phase 1 / phase 2 take it from here.
+    }
+    Stalled = 0;
+  }
+  if (totalInfeasibility() > PrimTol * static_cast<double>(NumRows + 1)) {
+    switch (primalPhase1()) {
+    case LoopExit::Infeasible:
+      return Abort(LpStatus::Infeasible);
+    case LoopExit::Abort:
+      return Abort(AbortWhy);
+    case LoopExit::Trouble:
+      return Abort(LpStatus::IterLimit);
+    case LoopExit::Done:
+    case LoopExit::Unbounded:
+      break;
+    }
+    Stalled = 0;
+  }
+  switch (primalPhase2()) {
+  case LoopExit::Unbounded:
+    return Abort(LpStatus::Unbounded);
+  case LoopExit::Abort:
+    return Abort(AbortWhy);
+  case LoopExit::Infeasible:
+  case LoopExit::Trouble:
+    return Abort(LpStatus::IterLimit);
+  case LoopExit::Done:
+    break;
+  }
+
+  Res.X.assign(sz(NumStruct), 0.0);
+  for (int C = 0; C < NumStruct; ++C)
+    Res.X[sz(C)] = St[sz(C)] == LpBasisStatus::Basic ? 0.0 : nonbasicValue(C);
+  for (int R = 0; R < NumRows; ++R)
+    if (Basis[sz(R)] < NumStruct)
+      Res.X[sz(Basis[sz(R)])] = XB[sz(R)];
+  Res.Objective = MilpModel::evaluate(Model->objective(), Res.X);
+  Res.Status = LpStatus::Optimal;
+  Res.Iterations = Iterations;
+  return Res;
 }
 
-LpResult swp::solveLp(const MilpModel &M, const CancellationToken &Cancel) {
+LpResult SparseLp::solve(const CancellationToken &CancelTok) {
   std::vector<double> Lb, Ub;
-  Lb.reserve(static_cast<size_t>(M.numVars()));
-  Ub.reserve(static_cast<size_t>(M.numVars()));
-  for (const ModelVar &V : M.vars()) {
+  Lb.reserve(sz(NumStruct));
+  Ub.reserve(sz(NumStruct));
+  for (const ModelVar &V : Model->vars()) {
     Lb.push_back(V.Lb);
     Ub.push_back(V.Ub);
   }
-  return solveLp(M, Lb, Ub, Cancel);
+  return solve(Lb, Ub, CancelTok);
+}
+
+//===----------------------------------------------------------------------===//
+// One-shot free functions
+//===----------------------------------------------------------------------===//
+
+LpResult swp::solveLp(const MilpModel &M, const std::vector<double> &Lb,
+                      const std::vector<double> &Ub,
+                      const CancellationToken &Cancel) {
+  SparseLp Lp(M);
+  return Lp.solve(Lb, Ub, Cancel);
+}
+
+LpResult swp::solveLp(const MilpModel &M, const CancellationToken &Cancel) {
+  SparseLp Lp(M);
+  return Lp.solve(Cancel);
 }

@@ -46,6 +46,8 @@ const char *swp::faultSiteName(FaultSite S) {
     return "sock-write";
   case FaultSite::CacheLoad:
     return "cache-load";
+  case FaultSite::LpRefactor:
+    return "lp-refactor";
   }
   return "?";
 }

@@ -160,6 +160,37 @@ TEST(DriverFaults, LpStallCensorsEveryAttempt) {
   EXPECT_NE(R.stopChain().find("lp-stall"), std::string::npos);
 }
 
+TEST(DriverFaults, RefactorFaultNeverProvesOptimality) {
+  // A failing basis factorization (singular/overflowing LU in a real
+  // code) must degrade every solve to a censoring status: no schedule is
+  // extracted from a faulted basis and no rate-optimality claim survives.
+  InjectorGuard Guard;
+  MachineModel M = ppc604Like();
+  // Seed 22 is a 20-node loop whose solve chain genuinely refactorizes
+  // (the eta file crosses the rebuild interval) and is proven clean — so
+  // the fault below actually fires and the downgrade it forces is real.
+  Ddg G = generateRandomLoop(M, 22, {});
+  SchedulerResult Clean = scheduleLoop(G, M, fastOptions());
+  ASSERT_TRUE(Clean.ProvenRateOptimal);
+  ASSERT_GT(Clean.TotalLp.Refactorizations, 0);
+
+  ASSERT_TRUE(FaultInjector::instance().configure("lp-refactor:p1.0", 5,
+                                                  nullptr));
+  SchedulerResult R = scheduleLoop(G, M, fastOptions());
+  FaultInjector::instance().reset();
+  EXPECT_TRUE(R.FaultsSeen);
+  EXPECT_FALSE(R.ProvenRateOptimal)
+      << "a rate-optimality proof survived a poisoned basis";
+  EXPECT_FALSE(R.VerifyFailed);
+  // Once the eta file crosses the rebuild interval the workspace is
+  // poisoned for good under p1.0: the attempt where that happened must be
+  // censored, not silently completed.
+  bool AnyCensored = false;
+  for (const TAttempt &A : R.Attempts)
+    AnyCensored = AnyCensored || A.StopReason != SearchStop::None;
+  EXPECT_TRUE(AnyCensored) << R.stopChain();
+}
+
 TEST(DriverFaults, SpuriousInfeasibilityNeverProvesOptimality) {
   // The fault-soundness core: an injected "infeasible" must never enter a
   // rate-optimality proof, with or without the LP-rounding probe.
