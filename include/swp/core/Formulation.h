@@ -99,7 +99,8 @@ struct FormulationVars {
   std::vector<VarId> Buffers;
 
   /// Overlap / Hu-sign variable pair per same-type instruction pair that
-  /// got a coloring block.
+  /// got a coloring block.  On the instance-mapping (topology) path the
+  /// Hu sign is not needed and Sign is -1.
   struct PairVarIds {
     int OpI;
     int OpJ;
@@ -110,6 +111,22 @@ struct FormulationVars {
 
   /// CMax variable per FU type (-1 when absent).
   std::vector<VarId> CMax;
+
+  /// Instance-assignment binaries x[i][u] (u = unit within i's type);
+  /// empty unless the machine's topology constrains placement and the
+  /// mapping is Fixed.
+  std::vector<std::vector<VarId>> Inst;
+
+  /// Route indicator per (DDG edge, producer global unit, hop count >= 2):
+  /// Y = 1 when the edge's value leaves Unit across exactly Hops hops,
+  /// occupying the ROUTE cells Topology::routeColumns gives.
+  struct RouteVarIds {
+    int Edge;
+    int Unit;
+    int Hops;
+    VarId Y;
+  };
+  std::vector<RouteVarIds> Route;
 };
 
 /// Builds the unified scheduling+mapping MILP for period \p T.

@@ -23,6 +23,15 @@ namespace swp {
 
 /// Occupancy of every physical unit's stages modulo T; entries hold the
 /// occupying node id or -1.
+///
+/// When the machine's topology constrains placement (topoActive), the table
+/// additionally tracks the ROUTE cells of multi-hop dependences: a DDG edge
+/// whose endpoints sit more than one hop apart occupies cells on the
+/// producer's unit (see Topology::routeColumns) with capacity 1 per
+/// (unit, slot).  Callers keep the invariant that an edge's cells are
+/// committed exactly while *both* endpoints are placed: call commitRoutes
+/// right after place (with the updated Time/Unit arrays) and releaseRoutes
+/// right before remove.
 class ModuloReservationTable {
 public:
   ModuloReservationTable(const MachineModel &Machine, int T);
@@ -40,14 +49,69 @@ public:
   /// Node ids (unique) colliding with issuing \p Node at \p Time on \p U.
   std::vector<int> conflicts(const Ddg &G, int Node, int Time, int U) const;
 
+  /// True when the machine's topology constrains placement and the
+  /// topology-aware checks below are live (all are vacuous otherwise).
+  bool topoActive() const { return Topo != nullptr; }
+
+  /// Extra slack the candidate scan must cover beyond the classic T slots:
+  /// routing penalties make dependence windows placement-dependent, so a
+  /// time rejected at one unit may admit at another up to maxRoutePenalty
+  /// cycles later.  0 when !topoActive().
+  int maxRoutePenalty() const;
+
+  /// Topology admission for placing \p Node at (\p Time, \p U) against the
+  /// currently placed nodes in \p Times / \p Units (-1 = unplaced): every
+  /// incident dependence must be feed-allowed, satisfy its rho-tightened
+  /// window, and claim only free, mutually distinct ROUTE cells.
+  bool topoAdmits(const Ddg &G, int Node, int Time, int U,
+                  const std::vector<int> &Times,
+                  const std::vector<int> &Units) const;
+
+  /// Placed nodes (unique) that must be evicted so that placing \p Node at
+  /// (\p Time, \p U) becomes topology-clean: neighbors whose dependence
+  /// would violate adjacency or its rho-window, producers of committed
+  /// edges owning a ROUTE cell \p Node's edges need, and neighbors whose
+  /// new edge would self-collide.  Evicting them (which releases their
+  /// routes) makes commitRoutes succeed.
+  std::vector<int> topoConflicts(const Ddg &G, int Node, int Time, int U,
+                                 const std::vector<int> &Times,
+                                 const std::vector<int> &Units) const;
+
+  /// Commits the ROUTE cells of every edge incident on \p Node whose other
+  /// endpoint is placed (\p Node itself must already be in \p Times /
+  /// \p Units).  \pre the placement was admitted (topoAdmits) or its
+  /// topoConflicts were evicted.
+  void commitRoutes(const Ddg &G, int Node, const std::vector<int> &Times,
+                    const std::vector<int> &Units);
+
+  /// Releases the ROUTE cells of every committed edge incident on \p Node.
+  void releaseRoutes(const Ddg &G, int Node);
+
 private:
   template <typename Fn>
   void forEachSlot(const Ddg &G, int Node, int Time, int U, Fn Apply);
+
+  struct RouteCell {
+    int Unit; // Global (type-major) physical unit.
+    int Slot; // Pattern step, already reduced mod T.
+  };
+  /// ROUTE cells of \p E assuming its producer issues at \p SrcTime on
+  /// global unit \p SrcGU feeding global unit \p DstGU; empty when the
+  /// value crosses fewer than 2 hops.  \pre feedAllowed(SrcGU, DstGU).
+  std::vector<RouteCell> routeCellsOf(const DdgEdge &E, int SrcGU, int DstGU,
+                                      int SrcTime) const;
 
   const MachineModel &Machine;
   int T;
   /// Slots[type][unit][stage][slot] = node or -1.
   std::vector<std::vector<std::vector<std::vector<int>>>> Slots;
+
+  /// Non-null iff the machine's topology constrains placement.
+  const Topology *Topo = nullptr;
+  /// RouteOcc[globalUnit][slot] = owning DDG edge index or -1.
+  std::vector<std::vector<int>> RouteOcc;
+  /// Committed cells per DDG edge index (grown lazily to the DDG's size).
+  mutable std::vector<std::vector<RouteCell>> RouteCells;
 };
 
 } // namespace swp

@@ -78,6 +78,31 @@ MachineModel ppc604MultiFunction();
 /// The FPU divide-variant index within ppc604MultiFunction().
 int ppc604FpuDivVariant();
 
+/// A CGRA-style processing-element array: one "PE" FU type with
+/// \p Rows * \p Cols units on a 4-neighbor grid (torus wrap-around when
+/// \p Torus), instance names pe_<r>_<c>.  Variant 0 is a clean 1-cycle
+/// ALU; variant 1 (see cgraMulVariant) a non-pipelined 2-cycle
+/// multiplier.  Values may cross at most \p MaxHops hops (-1 =
+/// unlimited); each intermediate hop costs 1 cycle and a ROUTE cell on
+/// the producer's PE.
+MachineModel cgraGrid(int Rows, int Cols, bool Torus = false,
+                      int MaxHops = 2);
+
+/// The multiplier variant index within cgraGrid machines.
+int cgraMulVariant();
+
+/// Every ready-made machine by name: the seven paper machines plus CGRA
+/// meshes and tori from 2x2 to 6x6 — the --list-machines / workload
+/// registry.
+struct CatalogEntry {
+  std::string Name;
+  MachineModel (*Build)();
+};
+const std::vector<CatalogEntry> &machineCatalog();
+
+/// Builds the catalog machine named \p Name; \returns false when absent.
+bool buildCatalogMachine(const std::string &Name, MachineModel &Out);
+
 } // namespace swp
 
 #endif // SWP_MACHINE_CATALOG_H

@@ -17,8 +17,10 @@
 
 #include "swp/ddg/Ddg.h"
 #include "swp/machine/ReservationTable.h"
+#include "swp/machine/Topology.h"
 
 #include <cassert>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,9 +99,34 @@ public:
   /// constraint at period \p T (paper Section 2: offending T are skipped).
   bool moduloFeasible(const Ddg &G, int T) const;
 
+  /// Attaches a placement topology over the machine's physical units
+  /// (global type-major unit indices).  Call after every addFuType: the
+  /// topology's unit count must equal totalUnits().
+  void setTopology(Topology Topo) {
+    assert(Topo.numUnits() == totalUnits() &&
+           "topology unit count must match the machine's physical units");
+    Topo.hops(0, 0); // Force the hop matrix now; keeps const accessors cheap.
+    MaybeTopo = std::move(Topo);
+  }
+
+  /// The attached topology, or nullptr for the paper's flat machine.
+  const Topology *topology() const {
+    return MaybeTopo ? &*MaybeTopo : nullptr;
+  }
+
+  /// True when a topology is attached *and* actually restricts placement
+  /// (some pair of units is not directly connected).  Every consumer keeps
+  /// the exact pre-topology code path when this is false, so flat machines
+  /// and vacuous (fully connected) topologies are bit-identical to the
+  /// seed behavior.
+  bool topologyConstrains() const {
+    return MaybeTopo && MaybeTopo->constrains();
+  }
+
 private:
   std::string ModelName;
   std::vector<FuType> Types;
+  std::optional<Topology> MaybeTopo;
 };
 
 } // namespace swp

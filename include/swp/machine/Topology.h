@@ -1,0 +1,130 @@
+//===- swp/machine/Topology.h - Placement adjacency between units -*- C++ -*-===//
+//
+// Part of the swp project (PLDI '95 software pipelining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An optional placement topology over a machine's physical units.  The
+/// paper's Section 5.1 machine is a flat list of FU types whose units are
+/// fully interchangeable; a Topology generalizes that to *named instances*
+/// connected by a directed adjacency relation (the CGRA view: PEs on a
+/// grid, values routed hop by hop through neighbors).
+///
+/// Semantics, for a schedule with a fixed mapping M (run-time mapping
+/// ignores topology by definition — units are picked per-iteration at run
+/// time, so no static placement exists to constrain):
+///
+///   * A DDG edge i -> j with latency L and distance m, placed on units
+///     u = M(i), v = M(j), is legal iff v is reachable from u and the hop
+///     count h = hops(u, v) satisfies h <= MaxHops (when MaxHops >= 0).
+///   * Routing across h hops costs extra latency
+///       rho(h) = HopLatency * max(0, h - 1)
+///     so the dependence row tightens to  t_j + T*m - t_i >= L + rho(h).
+///     (The final hop is the ordinary operand forward already paid for by
+///     L; each *intermediate* hop adds HopLatency cycles.)
+///   * A value crossing h >= 2 hops occupies a synthetic ROUTE stage on
+///     the *producer's* unit at cycles  t_i + L + k*HopLatency  for
+///     k in [0, h-1) — the cycles during which the value is in flight
+///     through the interconnect.  ROUTE cells have capacity 1 per
+///     (unit, cycle mod T) and conflict only with other ROUTE cells
+///     (the stage is disjoint from every reservation-table stage).
+///
+/// A topology in which every ordered pair of units is connected by a
+/// direct edge (hops <= 1 everywhere) imposes no constraint at all and
+/// `constrains()` returns false; every consumer keeps the exact
+/// type-level formulation in that case, so pre-topology machines are
+/// bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_MACHINE_TOPOLOGY_H
+#define SWP_MACHINE_TOPOLOGY_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swp {
+
+class Topology {
+public:
+  Topology() = default;
+  explicit Topology(int NumUnits);
+
+  int numUnits() const { return static_cast<int>(Names.size()); }
+
+  /// Renames unit \p U (default names are "u<index>").
+  void setName(int U, std::string Name);
+  const std::string &unitName(int U) const;
+
+  /// \returns the unit named \p Name, or -1.
+  int findUnit(const std::string &Name) const;
+
+  /// Adds the directed edge From -> To.  \returns false (and changes
+  /// nothing) when the edge is a self-loop, out of range, or a duplicate.
+  bool addEdge(int From, int To);
+  bool hasEdge(int From, int To) const;
+  const std::vector<std::pair<int, int>> &edges() const { return Edges; }
+
+  /// Per-intermediate-hop routing latency (>= 1).
+  void setHopLatency(int L);
+  int hopLatency() const { return HopLat; }
+
+  /// Maximum hop count a single value may cross; -1 means unlimited.
+  void setMaxHops(int H) { MaxHopCount = H < 0 ? -1 : H; }
+  int maxHops() const { return MaxHopCount; }
+
+  /// BFS hop distance From -> To along directed edges; 0 when From == To,
+  /// -1 when unreachable.
+  int hops(int From, int To) const;
+
+  /// True when a value produced on \p From may be consumed on \p To:
+  /// reachable and within MaxHops.
+  bool feedAllowed(int From, int To) const;
+
+  /// Extra dependence latency rho(h) for the From -> To hop distance.
+  /// \pre feedAllowed(From, To).
+  int routePenalty(int From, int To) const;
+
+  /// Largest routePenalty over all allowed ordered pairs (the KMax /
+  /// scheduling-window headroom consumers must add).
+  int maxRoutePenalty() const;
+
+  /// False when the topology is vacuous: every ordered pair allowed at
+  /// hop distance <= 1 (zero penalty, no ROUTE cells, no forbidden
+  /// pairs).  Consumers use the plain type-level paths then.
+  bool constrains() const;
+
+  /// Partitions the units in [\p Lo, \p Hi) into interchangeability
+  /// classes: u and v share a class iff swapping them leaves the hop
+  /// matrix invariant (hops(u,w) == hops(v,w) and hops(w,u) == hops(w,v)
+  /// for every w outside {u,v}, and hops(u,v) == hops(v,u)).  Classes are
+  /// built greedily requiring pairwise interchangeability with *every*
+  /// current member, so arbitrary within-class permutations are
+  /// symmetries — sound for lexicographic symmetry breaking.
+  std::vector<std::vector<int>> interchangeClasses(int Lo, int Hi) const;
+
+  /// The producer-relative busy columns of the ROUTE stage for a value
+  /// with edge latency \p EdgeLatency crossing \p Hops hops at
+  /// \p HopLat cycles per intermediate hop: {EdgeLatency + k*HopLat :
+  /// k in [0, Hops-1)}.  Empty when Hops < 2.
+  static std::vector<int> routeColumns(int EdgeLatency, int Hops, int HopLat);
+
+private:
+  void ensureHopMatrix() const;
+  bool interchangeable(int U, int V) const;
+
+  std::vector<std::string> Names;
+  std::vector<std::pair<int, int>> Edges;
+  int HopLat = 1;
+  int MaxHopCount = -1;
+
+  // Lazily computed all-pairs BFS distances (row-major, -1 unreachable).
+  mutable std::vector<int> HopMatrix;
+  mutable bool HopsValid = false;
+};
+
+} // namespace swp
+
+#endif // SWP_MACHINE_TOPOLOGY_H

@@ -93,7 +93,9 @@ private:
   void ensureRows(int T);
   void encodePeriod(int T, int SelVar);
   void buildColoringSkeleton();
+  void buildInstanceSkeleton();
   int overlapVar(int TypeOpI, int TypeOpJ, int NodeI, int NodeJ);
+  int modelUnit(int Node) const;
 
   const Ddg &G;
   const MachineModel &Machine;
@@ -115,6 +117,25 @@ private:
   /// Nodes of each FU type, in node-id order (the type-index Ix order the
   /// symmetry breaking refers to).
   std::vector<std::vector<int>> OpsOfType;
+
+  /// Instance-mapping path (fixed mapping on a machine whose topology
+  /// constrains placement): x[i][u] one-hots replace the color block, with
+  /// unguarded adjacency (forbidden-pair) clauses, interchange-class
+  /// symmetry breaking, and route indicators y[e][u][c] whose ROUTE-cell
+  /// collisions are forbidden per period (mirroring core/Formulation).
+  bool TopoPath = false;
+  const Topology *Topo = nullptr;
+  /// Global unit index of each type's unit 0.
+  std::vector<int> UnitBase;
+  /// InstVar[i][u] — one-hot unit-within-type of instruction i.
+  std::vector<std::vector<int>> InstVar;
+  struct RouteVarIds {
+    int Edge;
+    int Unit; // Global unit of the producer.
+    int Hops;
+    int Var;
+  };
+  std::vector<RouteVarIds> RouteVars;
 
   int NumCycleBlocks = 0;
 };

@@ -47,6 +47,28 @@ std::vector<Ddg> generateCorpus(const MachineModel &Machine,
 Ddg generateRandomLoop(const MachineModel &Machine, std::uint64_t Seed,
                        const CorpusOptions &Opts = {});
 
+/// CGRA corpus knobs: dataflow kernels for a single-"PE"-type array
+/// (cgraGrid machines).  All ops are class 0; a fraction use the
+/// non-pipelined multiplier variant.
+struct CgraCorpusOptions {
+  int NumLoops = 64;
+  std::uint64_t Seed = 20260807;
+  double MeanExtraNodes = 4.0;
+  int MaxNodes = 16;
+  double RecurrenceProb = 0.4;
+  /// Probability an op takes the multiplier path (cgraMulVariant()).
+  double MulProb = 0.2;
+};
+
+/// Generates dataflow kernels for \p Machine (which must expose at least
+/// one FU type; class 0 is used for every node).
+std::vector<Ddg> generateCgraCorpus(const MachineModel &Machine,
+                                    const CgraCorpusOptions &Opts = {});
+
+/// Single CGRA kernel; exposed for property tests and the fuzzer.
+Ddg generateRandomCgraLoop(const MachineModel &Machine, std::uint64_t Seed,
+                           const CgraCorpusOptions &Opts = {});
+
 } // namespace swp
 
 #endif // SWP_WORKLOAD_CORPUS_H

@@ -261,6 +261,33 @@ std::vector<LpBasisStatus> mapBasisAcrossT(const TWarmContext &Old, int NewT,
       Put(P.Sign, It->second->Sign);
     }
   }
+
+  // Instance-mapping variables are T-independent, so their layout matches
+  // across candidate T whenever both models took the topology path.
+  for (size_t I = 0,
+              N = std::min(Old.Vars.Inst.size(), NewVars.Inst.size());
+       I < N; ++I)
+    for (size_t U = 0, C = std::min(Old.Vars.Inst[I].size(),
+                                    NewVars.Inst[I].size());
+         U < C; ++U)
+      Put(NewVars.Inst[I][U], Old.Vars.Inst[I][U]);
+  if (!NewVars.Route.empty() && !Old.Vars.Route.empty()) {
+    std::unordered_map<std::uint64_t, VarId> OldRoute;
+    OldRoute.reserve(Old.Vars.Route.size());
+    auto RKey = [](const FormulationVars::RouteVarIds &R) {
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(R.Edge))
+              << 32) |
+             (static_cast<std::uint32_t>(R.Unit) << 8) |
+             static_cast<std::uint32_t>(R.Hops & 0xff);
+    };
+    for (const FormulationVars::RouteVarIds &R : Old.Vars.Route)
+      OldRoute[RKey(R)] = R.Y;
+    for (const FormulationVars::RouteVarIds &R : NewVars.Route) {
+      auto It = OldRoute.find(RKey(R));
+      if (It != OldRoute.end())
+        Put(R.Y, It->second);
+    }
+  }
   return Hints;
 }
 
@@ -389,7 +416,12 @@ MilpStatus swp::scheduleAtT(const Ddg &G, const MachineModel &Machine, int T,
     return S;
   };
 
-  if (!Optimizing && Opts.LpRoundingProbe) {
+  // The rounding probe completes offsets with a topology-blind first-fit
+  // coloring; on a constraining topology its candidates essentially never
+  // verify, so skip straight to branch and bound there.
+  const bool ProbeUseful = !(Opts.Mapping == MappingKind::Fixed &&
+                             Machine.topologyConstrains());
+  if (!Optimizing && Opts.LpRoundingProbe && ProbeUseful) {
     // Primal probe: can settle feasibility (rounded incumbent) or
     // infeasibility (LP relaxation empty) without branching.  The dive
     // stage gets a slice of the per-T budget via a nested deadline so a

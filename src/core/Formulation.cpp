@@ -24,10 +24,10 @@ LinExpr startTimeExpr(const FormulationVars &Vars, int T, int I) {
   return E;
 }
 
-int defaultKMax(const Ddg &G) {
+int defaultKMax(const Ddg &G, int MaxRho) {
   int Sum = 0;
   for (const DdgEdge &E : G.edges())
-    Sum += std::max(E.Latency, 1);
+    Sum += std::max(E.Latency + MaxRho, 1);
   return Sum + G.numNodes() + 1;
 }
 
@@ -45,12 +45,20 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
   // BufferObjective owns the objective when both are requested.
   const bool UseColoringObjective =
       Opts.ColoringObjective && !Opts.BufferObjective;
+  // Instance-level mapping path: only when placement is actually
+  // restricted — flat machines and vacuous topologies keep the exact
+  // type-level model below, bit for bit.
+  const bool TopoPath = Opts.Mapping == MappingKind::Fixed &&
+                        Machine.topologyConstrains();
+  const Topology *Topo = TopoPath ? Machine.topology() : nullptr;
   MilpModel M;
   Vars = FormulationVars();
   Vars.A.assign(static_cast<size_t>(T), std::vector<VarId>());
   Vars.K.clear();
   Vars.Color.assign(static_cast<size_t>(N), -1);
   Vars.CMax.assign(static_cast<size_t>(Machine.numTypes()), -1);
+  if (TopoPath)
+    Vars.Inst.assign(static_cast<size_t>(N), std::vector<VarId>());
 
   // a[t][i] and k[i].
   for (int Slot = 0; Slot < T; ++Slot)
@@ -58,7 +66,9 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
   // Rotating a schedule so the anchor lands on pattern step 0 can carry
   // each stage index up by one, so an anchored model needs one more stage
   // of headroom to stay feasibility-equivalent.
-  int KMax = (Opts.KMax >= 0 ? Opts.KMax : defaultKMax(G)) +
+  int KMax = (Opts.KMax >= 0
+                  ? Opts.KMax
+                  : defaultKMax(G, Topo ? Topo->maxRoutePenalty() : 0)) +
              (Opts.BreakRotation ? 1 : 0);
   for (int I = 0; I < N; ++I) {
     for (int Slot = 0; Slot < T; ++Slot) {
@@ -75,6 +85,30 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
     // deepens the tree.
     M.setBranchPriority(KVar, 1);
     Vars.K.push_back(KVar);
+  }
+
+  // Instance-assignment binaries x[i][u] (u = unit within i's type).
+  // Colors cannot express adjacency — two ops' colors only say whether
+  // they share a unit, not *which* one — so the topology path names units
+  // explicitly and the coloring block below is skipped.
+  if (TopoPath) {
+    for (int I = 0; I < N; ++I) {
+      const int Count = Machine.type(G.node(I).OpClass).Count;
+      LinExpr Sum;
+      for (int U = 0; U < Count; ++U) {
+        VarId V = M.addBinary(strFormat("x[%d][%d]", I, U));
+        M.setBranchPriority(V, 2);
+        Vars.Inst[static_cast<size_t>(I)].push_back(V);
+        if (Count == 1)
+          M.fixVar(V, 1.0);
+        else {
+          M.setUbRowRedundant(V); // Implied by the one-hot equality.
+          Sum.add(V, 1.0);
+        }
+      }
+      if (Count > 1)
+        M.addConstraint(std::move(Sum), CmpKind::EQ, 1.0);
+    }
   }
 
   // Rotation symmetry breaking: shifting every start time by s maps
@@ -180,8 +214,14 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
       }
     }
 
-    if (Opts.Mapping == MappingKind::RunTime || NumOps <= Ty.Count)
+    if (Opts.Mapping == MappingKind::RunTime ||
+        (!TopoPath && NumOps <= Ty.Count))
       continue; // No coloring needed: distinct units fit trivially.
+    // The topology path still needs per-unit exclusion whenever two ops
+    // share a type: adjacency may force unit sharing even when distinct
+    // units would fit.
+    if (TopoPath && NumOps < 2)
+      continue;
 
     // Offset deltas at which two ops on one unit collide, per variant pair
     // (ops of one variant share a table; multi-function ops differ).
@@ -217,6 +257,49 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
             }
             if (Any)
               M.addConstraint(std::move(Row), CmpKind::LE, 1.0);
+          }
+        }
+      }
+      continue;
+    }
+
+    if (TopoPath) {
+      // Instance path: o_ij is forced to 1 exactly when the two ops'
+      // tables collide at their offset delta (same defining rows as the
+      // coloring block); sharing any one physical unit is then forbidden:
+      //   x_i[u] + x_j[u] + o_ij <= 2   for every unit u.
+      for (int AIx = 0; AIx < NumOps; ++AIx) {
+        for (int BIx = AIx + 1; BIx < NumOps; ++BIx) {
+          int OpI = Ops[static_cast<size_t>(AIx)];
+          int OpJ = Ops[static_cast<size_t>(BIx)];
+          VarId O = M.addBinary(strFormat("o[%d][%d]", OpI, OpJ));
+          M.setBranchPriority(O, 3);
+          Vars.Pairs.push_back({OpI, OpJ, O, -1});
+          std::vector<bool> ConflictDelta = ConflictDeltaFor(OpI, OpJ);
+          for (int P = 0; P < T; ++P) {
+            LinExpr Row;
+            Row.add(O, 1.0);
+            Row.add(Vars.A[static_cast<size_t>(P)][static_cast<size_t>(OpI)],
+                    -1.0);
+            bool Any = false;
+            for (int Q = 0; Q < T; ++Q) {
+              if (!ConflictDelta[static_cast<size_t>(((Q - P) % T + T) % T)])
+                continue;
+              Row.add(Vars.A[static_cast<size_t>(Q)][static_cast<size_t>(OpJ)],
+                      -1.0);
+              Any = true;
+            }
+            if (Any)
+              M.addConstraint(std::move(Row), CmpKind::GE, -1.0);
+          }
+          for (int U = 0; U < Ty.Count; ++U) {
+            LinExpr Row;
+            Row.add(Vars.Inst[static_cast<size_t>(OpI)][static_cast<size_t>(U)],
+                    1.0);
+            Row.add(Vars.Inst[static_cast<size_t>(OpJ)][static_cast<size_t>(U)],
+                    1.0);
+            Row.add(O, 1.0);
+            M.addConstraint(std::move(Row), CmpKind::LE, 2.0);
           }
         }
       }
@@ -304,6 +387,177 @@ MilpModel swp::buildScheduleModel(const Ddg &G, const MachineModel &Machine,
     }
   }
 
+  if (TopoPath) {
+    std::vector<int> Base(static_cast<size_t>(Machine.numTypes()), 0);
+    for (int R = 1; R < Machine.numTypes(); ++R)
+      Base[static_cast<size_t>(R)] =
+          Base[static_cast<size_t>(R) - 1] + Machine.type(R - 1).Count;
+    auto XVar = [&](int Op, int U) {
+      return Vars.Inst[static_cast<size_t>(Op)][static_cast<size_t>(U)];
+    };
+
+    // (a) Per DDG edge: forbid unreachable / over-MaxHops placements and
+    // tighten the dependence window by the routing penalty rho when both
+    // endpoints land on a multi-hop pair.  BigM = rho is exact: with at
+    // most one endpoint placed the row relaxes to (or below) the base
+    // dependence row emitted above.
+    for (const DdgEdge &E : G.edges()) {
+      if (E.Src == E.Dst)
+        continue; // Same unit, zero hops.
+      const int Ri = G.node(E.Src).OpClass, Rj = G.node(E.Dst).OpClass;
+      for (int U = 0; U < Machine.type(Ri).Count; ++U) {
+        const int GU = Base[static_cast<size_t>(Ri)] + U;
+        for (int V = 0; V < Machine.type(Rj).Count; ++V) {
+          const int GV = Base[static_cast<size_t>(Rj)] + V;
+          if (!Topo->feedAllowed(GU, GV)) {
+            LinExpr Row;
+            Row.add(XVar(E.Src, U), 1.0).add(XVar(E.Dst, V), 1.0);
+            M.addConstraint(std::move(Row), CmpKind::LE, 1.0);
+            continue;
+          }
+          const int Rho = Topo->routePenalty(GU, GV);
+          if (Rho == 0)
+            continue;
+          // t_j - t_i >= L + rho - T*m - rho*(2 - x_iu - x_jv).
+          LinExpr Row = startTimeExpr(Vars, T, E.Dst);
+          Row.addScaled(startTimeExpr(Vars, T, E.Src), -1.0);
+          Row.add(XVar(E.Src, U), -static_cast<double>(Rho));
+          Row.add(XVar(E.Dst, V), -static_cast<double>(Rho));
+          M.addConstraint(std::move(Row), CmpKind::GE,
+                          static_cast<double>(E.Latency - T * E.Distance -
+                                              Rho));
+        }
+      }
+    }
+
+    // (b) Route indicators y[e][u][c]: the value of edge e leaves unit u
+    // across exactly c >= 2 hops, occupying the producer's ROUTE cells at
+    // columns routeColumns(L, c, hopLatency).  Defining rows force y = 1
+    // whenever an (x_iu, x_jv) pair at hop distance c is chosen; a y whose
+    // own columns collide modulo T is fixed to 0, which correctly forbids
+    // those placements at this T.
+    for (size_t EIx = 0; EIx < G.edges().size(); ++EIx) {
+      const DdgEdge &E = G.edges()[EIx];
+      if (E.Src == E.Dst)
+        continue;
+      const int Ri = G.node(E.Src).OpClass, Rj = G.node(E.Dst).OpClass;
+      for (int U = 0; U < Machine.type(Ri).Count; ++U) {
+        const int GU = Base[static_cast<size_t>(Ri)] + U;
+        for (int C = 2;; ++C) {
+          std::vector<int> Consumers;
+          bool AnyBeyond = false;
+          for (int V = 0; V < Machine.type(Rj).Count; ++V) {
+            const int GV = Base[static_cast<size_t>(Rj)] + V;
+            if (!Topo->feedAllowed(GU, GV))
+              continue;
+            int H = Topo->hops(GU, GV);
+            if (H == C)
+              Consumers.push_back(V);
+            else if (H > C)
+              AnyBeyond = true;
+          }
+          if (Consumers.empty()) {
+            if (!AnyBeyond)
+              break;
+            continue;
+          }
+          VarId Y = M.addBinary(
+              strFormat("y[%zu][%d][%d]", EIx, GU, C));
+          M.setBranchPriority(Y, 3);
+          Vars.Route.push_back({static_cast<int>(EIx), GU, C, Y});
+          std::vector<int> Cols =
+              Topology::routeColumns(E.Latency, C, Topo->hopLatency());
+          bool SelfCollides = false;
+          for (size_t A = 0; A < Cols.size() && !SelfCollides; ++A)
+            for (size_t B = A + 1; B < Cols.size(); ++B)
+              if ((Cols[A] - Cols[B]) % T == 0) {
+                SelfCollides = true;
+                break;
+              }
+          if (SelfCollides)
+            M.fixVar(Y, 0.0);
+          for (int V : Consumers) {
+            LinExpr Row;
+            Row.add(Y, 1.0);
+            Row.add(XVar(E.Src, U), -1.0).add(XVar(E.Dst, V), -1.0);
+            M.addConstraint(std::move(Row), CmpKind::GE, -1.0);
+          }
+        }
+      }
+    }
+
+    // (c) ROUTE-cell capacity: two active routes on one unit may not both
+    // occupy a cell in the same pattern step.  A cell of route (e1, u, c1)
+    // at column col1 sits at pattern step (p + col1) mod T when e1's
+    // producer initiates at step p, so for each colliding (p, q) pair:
+    //   a[p][i1] + a[q][i2] + y1 + y2 <= 3.
+    for (size_t R1 = 0; R1 < Vars.Route.size(); ++R1) {
+      for (size_t R2 = R1 + 1; R2 < Vars.Route.size(); ++R2) {
+        const FormulationVars::RouteVarIds &A1 = Vars.Route[R1];
+        const FormulationVars::RouteVarIds &A2 = Vars.Route[R2];
+        if (A1.Unit != A2.Unit || A1.Edge == A2.Edge)
+          continue;
+        const DdgEdge &E1 = G.edges()[static_cast<size_t>(A1.Edge)];
+        const DdgEdge &E2 = G.edges()[static_cast<size_t>(A2.Edge)];
+        std::vector<int> Cols1 =
+            Topology::routeColumns(E1.Latency, A1.Hops, Topo->hopLatency());
+        std::vector<int> Cols2 =
+            Topology::routeColumns(E2.Latency, A2.Hops, Topo->hopLatency());
+        for (int Col1 : Cols1) {
+          for (int Col2 : Cols2) {
+            for (int P = 0; P < T; ++P) {
+              int Q = ((P + Col1 - Col2) % T + T) % T;
+              if (E1.Src == E2.Src && Q != P)
+                continue; // One producer has one offset; row is vacuous.
+              LinExpr Row;
+              Row.add(Vars.A[static_cast<size_t>(P)]
+                            [static_cast<size_t>(E1.Src)],
+                      1.0);
+              Row.add(Vars.A[static_cast<size_t>(Q)]
+                            [static_cast<size_t>(E2.Src)],
+                      1.0);
+              Row.add(A1.Y, 1.0).add(A2.Y, 1.0);
+              M.addConstraint(std::move(Row), CmpKind::LE, 3.0);
+            }
+          }
+        }
+      }
+    }
+
+    // (d) Instance symmetry breaking, the x-space analogue of the
+    // lexicographic color caps: units that are pairwise swap-invariant in
+    // the hop matrix form interchangeability classes, and within a class
+    // the canonical solution uses members in first-use order — op a may
+    // sit on the class's b-th member only if an earlier op of the type
+    // uses the (b-1)-th.
+    for (int R = 0; R < Machine.numTypes(); ++R) {
+      const FuType &Ty = Machine.type(R);
+      std::vector<int> Ops = G.nodesOfClass(R);
+      const int NumOps = static_cast<int>(Ops.size());
+      if (NumOps == 0 || Ty.Count < 2)
+        continue;
+      for (const std::vector<int> &Class : Topo->interchangeClasses(
+               Base[static_cast<size_t>(R)],
+               Base[static_cast<size_t>(R)] + Ty.Count)) {
+        for (size_t BIx = 1; BIx < Class.size(); ++BIx) {
+          const int Prev = Class[BIx - 1] - Base[static_cast<size_t>(R)];
+          const int Cur = Class[BIx] - Base[static_cast<size_t>(R)];
+          for (int AIx = 0; AIx < NumOps; ++AIx) {
+            if (AIx == 0) {
+              M.fixVar(XVar(Ops[0], Cur), 0.0);
+              continue;
+            }
+            LinExpr Row;
+            Row.add(XVar(Ops[static_cast<size_t>(AIx)], Cur), 1.0);
+            for (int Earlier = 0; Earlier < AIx; ++Earlier)
+              Row.add(XVar(Ops[static_cast<size_t>(Earlier)], Prev), -1.0);
+            M.addConstraint(std::move(Row), CmpKind::LE, 0.0);
+          }
+        }
+      }
+    }
+  }
+
   return M;
 }
 
@@ -336,6 +590,23 @@ ModuloSchedule swp::extractSchedule(const Ddg &G, const MachineModel &Machine,
     return S;
 
   S.Mapping.assign(static_cast<size_t>(N), 0);
+  if (!Vars.Inst.empty()) {
+    // Instance path: the unit is named directly by the x[i][u] one-hot.
+    for (int I = 0; I < N; ++I) {
+      int Unit = 0;
+      double BestVal = -1.0;
+      const std::vector<VarId> &Row = Vars.Inst[static_cast<size_t>(I)];
+      for (size_t U = 0; U < Row.size(); ++U) {
+        double V = X[static_cast<size_t>(Row[U])];
+        if (V > BestVal) {
+          BestVal = V;
+          Unit = static_cast<int>(U);
+        }
+      }
+      S.Mapping[static_cast<size_t>(I)] = Unit;
+    }
+    return S;
+  }
   for (int R = 0; R < Machine.numTypes(); ++R) {
     std::vector<int> Ops = G.nodesOfClass(R);
     const int NumOps = static_cast<int>(Ops.size());
@@ -402,11 +673,12 @@ std::vector<double> swp::scheduleToAssignment(
                                  Machine.tableFor(G.node(P.OpJ)), T,
                                  S.offset(P.OpI), S.offset(P.OpJ));
       X[static_cast<size_t>(P.Overlap)] = Overlap ? 1.0 : 0.0;
-      X[static_cast<size_t>(P.Sign)] =
-          Canonical[static_cast<size_t>(P.OpJ)] >
-                  Canonical[static_cast<size_t>(P.OpI)]
-              ? 1.0
-              : 0.0;
+      if (P.Sign >= 0)
+        X[static_cast<size_t>(P.Sign)] =
+            Canonical[static_cast<size_t>(P.OpJ)] >
+                    Canonical[static_cast<size_t>(P.OpI)]
+                ? 1.0
+                : 0.0;
     }
     for (int R = 0; R < Machine.numTypes(); ++R) {
       if (Vars.CMax[static_cast<size_t>(R)] < 0)
@@ -415,6 +687,67 @@ std::vector<double> swp::scheduleToAssignment(
       for (int Op : G.nodesOfClass(R))
         Max = std::max(Max, Canonical[static_cast<size_t>(Op)]);
       X[static_cast<size_t>(Vars.CMax[static_cast<size_t>(R)])] = Max;
+    }
+  }
+
+  // Instance path: canonicalize the mapping within each topology
+  // interchangeability class (members in first-use order, matching the
+  // model's precedence rows — a pure symmetry, so the permuted schedule
+  // stays legal), then set the x one-hots and the implied route
+  // indicators.
+  if (!Vars.Inst.empty() && S.hasMapping()) {
+    const Topology &Topo = *Machine.topology();
+    std::vector<int> Base(static_cast<size_t>(Machine.numTypes()), 0);
+    for (int R = 1; R < Machine.numTypes(); ++R)
+      Base[static_cast<size_t>(R)] =
+          Base[static_cast<size_t>(R) - 1] + Machine.type(R - 1).Count;
+
+    std::vector<int> CanonUnit(static_cast<size_t>(N), 0);
+    for (int R = 0; R < Machine.numTypes(); ++R) {
+      const int Count = Machine.type(R).Count;
+      std::vector<int> Ops = G.nodesOfClass(R);
+      std::vector<int> Perm(static_cast<size_t>(Count), -1);
+      for (const std::vector<int> &Class : Topo.interchangeClasses(
+               Base[static_cast<size_t>(R)],
+               Base[static_cast<size_t>(R)] + Count)) {
+        std::vector<bool> InClass(static_cast<size_t>(Count), false);
+        for (int GU : Class)
+          InClass[static_cast<size_t>(GU - Base[static_cast<size_t>(R)])] =
+              true;
+        std::vector<int> Order; // Original units, in first-use order.
+        for (int Op : Ops) {
+          int U = S.Mapping[static_cast<size_t>(Op)];
+          if (InClass[static_cast<size_t>(U)] &&
+              std::find(Order.begin(), Order.end(), U) == Order.end())
+            Order.push_back(U);
+        }
+        for (int GU : Class) { // Unused members keep ascending order.
+          int U = GU - Base[static_cast<size_t>(R)];
+          if (std::find(Order.begin(), Order.end(), U) == Order.end())
+            Order.push_back(U);
+        }
+        for (size_t Ix = 0; Ix < Class.size(); ++Ix)
+          Perm[static_cast<size_t>(Order[Ix])] =
+              Class[Ix] - Base[static_cast<size_t>(R)];
+      }
+      for (int Op : Ops)
+        CanonUnit[static_cast<size_t>(Op)] =
+            Perm[static_cast<size_t>(S.Mapping[static_cast<size_t>(Op)])];
+    }
+
+    for (int I = 0; I < N; ++I)
+      X[static_cast<size_t>(
+          Vars.Inst[static_cast<size_t>(I)]
+                   [static_cast<size_t>(CanonUnit[static_cast<size_t>(I)])])] =
+          1.0;
+    for (const FormulationVars::RouteVarIds &RV : Vars.Route) {
+      const DdgEdge &E = G.edges()[static_cast<size_t>(RV.Edge)];
+      int GU = Base[static_cast<size_t>(G.node(E.Src).OpClass)] +
+               CanonUnit[static_cast<size_t>(E.Src)];
+      int GV = Base[static_cast<size_t>(G.node(E.Dst).OpClass)] +
+               CanonUnit[static_cast<size_t>(E.Dst)];
+      X[static_cast<size_t>(RV.Y)] =
+          GU == RV.Unit && Topo.hops(GU, GV) == RV.Hops ? 1.0 : 0.0;
     }
   }
 

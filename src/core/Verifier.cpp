@@ -80,6 +80,58 @@ VerifyResult swp::verifySchedule(const Ddg &G, const MachineModel &Machine,
         }
       }
     }
+
+    if (Machine.topologyConstrains()) {
+      const Topology &Topo = *Machine.topology();
+      // Per-edge placement legality: reachability, hop bound, and the
+      // route-penalty-tightened dependence window.
+      for (const DdgEdge &E : G.edges()) {
+        int U = Machine.globalUnitIndex(G.node(E.Src).OpClass,
+                                        S.Mapping[static_cast<size_t>(E.Src)]);
+        int V = Machine.globalUnitIndex(G.node(E.Dst).OpClass,
+                                        S.Mapping[static_cast<size_t>(E.Dst)]);
+        if (!Topo.feedAllowed(U, V))
+          return fail(strFormat(
+              "topology forbids %s (%s) feeding %s (%s)",
+              G.node(E.Src).Name.c_str(), Topo.unitName(U).c_str(),
+              G.node(E.Dst).Name.c_str(), Topo.unitName(V).c_str()));
+        int Rho = Topo.routePenalty(U, V);
+        int Ti = S.StartTime[static_cast<size_t>(E.Src)];
+        int Tj = S.StartTime[static_cast<size_t>(E.Dst)];
+        if (Tj - Ti < E.Latency + Rho - S.T * E.Distance)
+          return fail(strFormat(
+              "routed dependence %s -> %s violated: %d - %d < %d + %d - %d*%d",
+              G.node(E.Src).Name.c_str(), G.node(E.Dst).Name.c_str(), Tj, Ti,
+              E.Latency, Rho, S.T, E.Distance));
+      }
+      // ROUTE-stage capacity: each multi-hop value occupies its producer's
+      // unit at the in-flight cycles; capacity 1 per (unit, cycle mod T).
+      std::map<std::pair<int, int>, int> RouteOwner; // (unit, slot) -> edge#
+      for (size_t EI = 0; EI < G.edges().size(); ++EI) {
+        const DdgEdge &E = G.edges()[EI];
+        int U = Machine.globalUnitIndex(G.node(E.Src).OpClass,
+                                        S.Mapping[static_cast<size_t>(E.Src)]);
+        int V = Machine.globalUnitIndex(G.node(E.Dst).OpClass,
+                                        S.Mapping[static_cast<size_t>(E.Dst)]);
+        int Ti = S.StartTime[static_cast<size_t>(E.Src)];
+        for (int Col : Topology::routeColumns(E.Latency, Topo.hops(U, V),
+                                              Topo.hopLatency())) {
+          int Slot = (Ti + Col) % S.T;
+          auto Ins = RouteOwner.emplace(std::make_pair(U, Slot),
+                                        static_cast<int>(EI));
+          if (!Ins.second)
+            return fail(strFormat(
+                "route cells collide on %s at pattern step %d "
+                "(edges %s->%s and %s->%s)",
+                Topo.unitName(U).c_str(), Slot,
+                G.node(G.edges()[static_cast<size_t>(Ins.first->second)].Src)
+                    .Name.c_str(),
+                G.node(G.edges()[static_cast<size_t>(Ins.first->second)].Dst)
+                    .Name.c_str(),
+                G.node(E.Src).Name.c_str(), G.node(E.Dst).Name.c_str()));
+        }
+      }
+    }
     return {true, ""};
   }
 

@@ -194,6 +194,12 @@ EnumResult swp::enumerativeSchedule(const Ddg &G, const MachineModel &Machine,
   Result.TDep = recurrenceMii(G);
   Result.TRes = Machine.resourceMii(G);
   Result.TLowerBound = std::max({1, Result.TDep, Result.TRes});
+  // The search tree enumerates offsets and units without routing-hazard
+  // pruning, so on a placement-constraining topology it would claim
+  // proofs it cannot make.  Report "not found, nothing proven" and let
+  // the exact engines (ILP / SAT) handle those machines.
+  if (Machine.topologyConstrains())
+    return Result;
   bool AllBelowProven = true;
   for (int T = Result.TLowerBound;
        T <= Result.TLowerBound + Opts.MaxTSlack; ++T) {

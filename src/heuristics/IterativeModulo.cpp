@@ -47,6 +47,7 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
   const int TimeCap = (N + 4) * std::max(T, 1) + 64;
 
   auto Unschedule = [&](int Node) {
+    Tables.releaseRoutes(G, Node);
     Tables.remove(G, Node, Time[static_cast<size_t>(Node)],
                   Unit[static_cast<size_t>(Node)]);
     Time[static_cast<size_t>(Node)] = -1;
@@ -79,12 +80,16 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
     if (EStart > TimeCap)
       return false;
 
-    // Try a T-wide window of slots, any unit.
+    // Try a window of slots, any unit.  Routing penalties make dependence
+    // windows placement-dependent, so the classic T-slot scan grows by the
+    // worst-case penalty (0 on topology-free machines).
     int R = G.node(Node).OpClass;
     int PlacedTime = -1, PlacedUnit = -1;
-    for (int Cand = EStart; Cand < EStart + T && PlacedTime < 0; ++Cand)
+    const int Window = T + Tables.maxRoutePenalty();
+    for (int Cand = EStart; Cand < EStart + Window && PlacedTime < 0; ++Cand)
       for (int U = 0; U < Machine.type(R).Count; ++U)
-        if (Tables.fits(G, Node, Cand, U)) {
+        if (Tables.fits(G, Node, Cand, U) &&
+            Tables.topoAdmits(G, Node, Cand, U, Time, Unit)) {
           PlacedTime = Cand;
           PlacedUnit = U;
           break;
@@ -99,17 +104,26 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
                               PrevTime[static_cast<size_t>(Node)] + 1);
       if (PlacedTime > TimeCap)
         return false;
-      // Evict from the unit with the fewest conflicts.
+      // Evict from the unit with the fewest conflicts (table collisions
+      // plus, with a topology, routing/adjacency victims).
+      auto VictimsAt = [&](int U) {
+        std::vector<int> V = Tables.conflicts(G, Node, PlacedTime, U);
+        for (int W :
+             Tables.topoConflicts(G, Node, PlacedTime, U, Time, Unit))
+          if (std::find(V.begin(), V.end(), W) == V.end())
+            V.push_back(W);
+        return V;
+      };
       PlacedUnit = 0;
       size_t BestConflicts = SIZE_MAX;
       for (int U = 0; U < Machine.type(R).Count; ++U) {
-        size_t C = Tables.conflicts(G, Node, PlacedTime, U).size();
+        size_t C = VictimsAt(U).size();
         if (C < BestConflicts) {
           BestConflicts = C;
           PlacedUnit = U;
         }
       }
-      for (int Victim : Tables.conflicts(G, Node, PlacedTime, PlacedUnit)) {
+      for (int Victim : VictimsAt(PlacedUnit)) {
         Unschedule(Victim);
         ++Remaining;
       }
@@ -119,6 +133,7 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
     Time[static_cast<size_t>(Node)] = PlacedTime;
     Unit[static_cast<size_t>(Node)] = PlacedUnit;
     PrevTime[static_cast<size_t>(Node)] = PlacedTime;
+    Tables.commitRoutes(G, Node, Time, Unit);
     --Remaining;
 
     // Evict scheduled successors whose dependence is now violated.

@@ -3,6 +3,7 @@
 #include "swp/heuristics/ModuloReservationTable.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace swp;
 
@@ -18,6 +19,11 @@ ModuloReservationTable::ModuloReservationTable(const MachineModel &Machine,
                        std::vector<std::vector<int>>(
                            static_cast<size_t>(Stages),
                            std::vector<int>(static_cast<size_t>(T), -1)));
+  }
+  if (Machine.topologyConstrains()) {
+    Topo = Machine.topology();
+    RouteOcc.assign(static_cast<size_t>(Machine.totalUnits()),
+                    std::vector<int>(static_cast<size_t>(T), -1));
   }
 }
 
@@ -71,4 +77,175 @@ std::vector<int> ModuloReservationTable::conflicts(const Ddg &G, int Node,
         Out.push_back(Occ);
     }
   return Out;
+}
+
+int ModuloReservationTable::maxRoutePenalty() const {
+  return Topo ? Topo->maxRoutePenalty() : 0;
+}
+
+std::vector<ModuloReservationTable::RouteCell>
+ModuloReservationTable::routeCellsOf(const DdgEdge &E, int SrcGU, int DstGU,
+                                     int SrcTime) const {
+  std::vector<RouteCell> Cells;
+  int Hops = Topo->hops(SrcGU, DstGU);
+  for (int Col : Topology::routeColumns(E.Latency, Hops, Topo->hopLatency()))
+    Cells.push_back({SrcGU, ((SrcTime + Col) % T + T) % T});
+  return Cells;
+}
+
+bool ModuloReservationTable::topoAdmits(const Ddg &G, int Node, int Time,
+                                        int U,
+                                        const std::vector<int> &Times,
+                                        const std::vector<int> &Units) const {
+  if (!Topo)
+    return true;
+  int GN = Machine.globalUnitIndex(G.node(Node).OpClass, U);
+  std::vector<RouteCell> NewCells;
+  for (const DdgEdge &E : G.edges()) {
+    if (E.Src == E.Dst)
+      continue; // Self-dependences stay on one unit: hops 0, no routing.
+    int Other = E.Src == Node ? E.Dst : E.Dst == Node ? E.Src : -1;
+    if (Other < 0 || Times[static_cast<size_t>(Other)] < 0)
+      continue;
+    int GO = Machine.globalUnitIndex(
+        G.node(Other).OpClass, Units[static_cast<size_t>(Other)]);
+    int GU = E.Src == Node ? GN : GO; // Producer's unit.
+    int GV = E.Src == Node ? GO : GN;
+    int TS = E.Src == Node ? Time : Times[static_cast<size_t>(Other)];
+    int TD = E.Src == Node ? Times[static_cast<size_t>(Other)] : Time;
+    if (!Topo->feedAllowed(GU, GV))
+      return false;
+    if (TD - TS < E.Latency + Topo->routePenalty(GU, GV) - T * E.Distance)
+      return false;
+    for (const RouteCell &C : routeCellsOf(E, GU, GV, TS)) {
+      if (RouteOcc[static_cast<size_t>(C.Unit)]
+                  [static_cast<size_t>(C.Slot)] >= 0)
+        return false;
+      for (const RouteCell &Prev : NewCells)
+        if (Prev.Unit == C.Unit && Prev.Slot == C.Slot)
+          return false;
+      NewCells.push_back(C);
+    }
+  }
+  return true;
+}
+
+std::vector<int> ModuloReservationTable::topoConflicts(
+    const Ddg &G, int Node, int Time, int U, const std::vector<int> &Times,
+    const std::vector<int> &Units) const {
+  std::vector<int> Out;
+  if (!Topo)
+    return Out;
+  auto AddVictim = [&Out](int V) {
+    if (std::find(Out.begin(), Out.end(), V) == Out.end())
+      Out.push_back(V);
+  };
+  int GN = Machine.globalUnitIndex(G.node(Node).OpClass, U);
+  // (Cell, owning neighbor) pairs accepted so far this simulation; a later
+  // edge colliding with one evicts its own neighbor instead.
+  std::vector<std::pair<RouteCell, int>> NewCells;
+  const auto &Edges = G.edges();
+  for (size_t EIx = 0; EIx < Edges.size(); ++EIx) {
+    const DdgEdge &E = Edges[EIx];
+    if (E.Src == E.Dst)
+      continue;
+    int Other = E.Src == Node ? E.Dst : E.Dst == Node ? E.Src : -1;
+    if (Other < 0 || Times[static_cast<size_t>(Other)] < 0)
+      continue;
+    if (std::find(Out.begin(), Out.end(), Other) != Out.end())
+      continue; // Already evicted; its edges go away with it.
+    int GO = Machine.globalUnitIndex(
+        G.node(Other).OpClass, Units[static_cast<size_t>(Other)]);
+    int GU = E.Src == Node ? GN : GO;
+    int GV = E.Src == Node ? GO : GN;
+    int TS = E.Src == Node ? Time : Times[static_cast<size_t>(Other)];
+    int TD = E.Src == Node ? Times[static_cast<size_t>(Other)] : Time;
+    if (!Topo->feedAllowed(GU, GV) ||
+        TD - TS < E.Latency + Topo->routePenalty(GU, GV) - T * E.Distance) {
+      AddVictim(Other);
+      continue;
+    }
+    bool Evicted = false;
+    std::vector<RouteCell> Cells = routeCellsOf(E, GU, GV, TS);
+    for (size_t CIx = 0; CIx < Cells.size(); ++CIx) {
+      const RouteCell &C = Cells[CIx];
+      int Owner = RouteOcc[static_cast<size_t>(C.Unit)]
+                          [static_cast<size_t>(C.Slot)];
+      if (Owner >= 0) {
+        // Evicting the committed edge's producer releases its cells.
+        AddVictim(Edges[static_cast<size_t>(Owner)].Src);
+        // The producer may be this very neighbor; either way this edge's
+        // remaining cells stay needed, so keep scanning.
+      }
+      // An edge whose own columns fold onto one pattern step is infeasible
+      // at this (T, placement distance) no matter what else is evicted;
+      // dropping the other endpoint forces a different placement for it.
+      for (size_t PIx = 0; PIx < CIx && !Evicted; ++PIx)
+        if (Cells[PIx].Unit == C.Unit && Cells[PIx].Slot == C.Slot) {
+          AddVictim(Other);
+          Evicted = true;
+        }
+      for (const auto &Prev : NewCells)
+        if (!Evicted && Prev.first.Unit == C.Unit &&
+            Prev.first.Slot == C.Slot) {
+          AddVictim(Other); // Intra-placement collision: drop this edge.
+          Evicted = true;
+        }
+    }
+    if (!Evicted)
+      for (const RouteCell &C : Cells)
+        NewCells.push_back({C, Other});
+  }
+  return Out;
+}
+
+void ModuloReservationTable::commitRoutes(const Ddg &G, int Node,
+                                          const std::vector<int> &Times,
+                                          const std::vector<int> &Units) {
+  if (!Topo)
+    return;
+  const auto &Edges = G.edges();
+  if (RouteCells.size() < Edges.size())
+    RouteCells.resize(Edges.size());
+  for (size_t EIx = 0; EIx < Edges.size(); ++EIx) {
+    const DdgEdge &E = Edges[EIx];
+    if (E.Src == E.Dst || (E.Src != Node && E.Dst != Node))
+      continue;
+    int Other = E.Src == Node ? E.Dst : E.Src;
+    if (Times[static_cast<size_t>(Other)] < 0 ||
+        !RouteCells[EIx].empty())
+      continue;
+    int GU = Machine.globalUnitIndex(G.node(E.Src).OpClass,
+                                     Units[static_cast<size_t>(E.Src)]);
+    int GV = Machine.globalUnitIndex(G.node(E.Dst).OpClass,
+                                     Units[static_cast<size_t>(E.Dst)]);
+    std::vector<RouteCell> Cells =
+        routeCellsOf(E, GU, GV, Times[static_cast<size_t>(E.Src)]);
+    for (const RouteCell &C : Cells) {
+      assert(RouteOcc[static_cast<size_t>(C.Unit)]
+                     [static_cast<size_t>(C.Slot)] < 0 &&
+             "route cell already owned; placement was not admitted");
+      RouteOcc[static_cast<size_t>(C.Unit)][static_cast<size_t>(C.Slot)] =
+          static_cast<int>(EIx);
+    }
+    RouteCells[EIx] = std::move(Cells);
+  }
+}
+
+void ModuloReservationTable::releaseRoutes(const Ddg &G, int Node) {
+  if (!Topo || RouteCells.empty())
+    return;
+  const auto &Edges = G.edges();
+  for (size_t EIx = 0; EIx < Edges.size() && EIx < RouteCells.size();
+       ++EIx) {
+    const DdgEdge &E = Edges[EIx];
+    if (E.Src != Node && E.Dst != Node)
+      continue;
+    for (const RouteCell &C : RouteCells[EIx])
+      if (RouteOcc[static_cast<size_t>(C.Unit)]
+                  [static_cast<size_t>(C.Slot)] == static_cast<int>(EIx))
+        RouteOcc[static_cast<size_t>(C.Unit)]
+                [static_cast<size_t>(C.Slot)] = -1;
+    RouteCells[EIx].clear();
+  }
 }

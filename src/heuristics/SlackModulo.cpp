@@ -71,6 +71,7 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
   const int TimeCap = (N + 4) * std::max(T, 1) + 64;
 
   auto Unschedule = [&](int Node) {
+    Tables.releaseRoutes(G, Node);
     Tables.remove(G, Node, Time[static_cast<size_t>(Node)],
                   Unit[static_cast<size_t>(Node)]);
     Time[static_cast<size_t>(Node)] = -1;
@@ -114,8 +115,10 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
     }
     if (EStart > TimeCap)
       return false;
-    // A window of at most T slots suffices (resources repeat mod T).
-    int WindowHi = std::min(LStart, EStart + T - 1);
+    // A window of at most T slots suffices (resources repeat mod T) —
+    // widened by the worst-case routing penalty when the topology makes
+    // dependence windows placement-dependent (0 otherwise).
+    int WindowHi = std::min(LStart, EStart + T - 1 + Tables.maxRoutePenalty());
 
     // Direction: consumers-anchored ops go late (shrink the lifetime of
     // the value they produce toward its uses), otherwise early.
@@ -127,7 +130,8 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
       if (Late) {
         for (int Cand = WindowHi; Cand >= EStart && PlacedTime < 0; --Cand)
           for (int U = 0; U < Machine.type(R).Count; ++U)
-            if (Tables.fits(G, Node, Cand, U)) {
+            if (Tables.fits(G, Node, Cand, U) &&
+                Tables.topoAdmits(G, Node, Cand, U, Time, Unit)) {
               PlacedTime = Cand;
               PlacedUnit = U;
               break;
@@ -135,7 +139,8 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
       } else {
         for (int Cand = EStart; Cand <= WindowHi && PlacedTime < 0; ++Cand)
           for (int U = 0; U < Machine.type(R).Count; ++U)
-            if (Tables.fits(G, Node, Cand, U)) {
+            if (Tables.fits(G, Node, Cand, U) &&
+                Tables.topoAdmits(G, Node, Cand, U, Time, Unit)) {
               PlacedTime = Cand;
               PlacedUnit = U;
               break;
@@ -151,16 +156,25 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
                               PrevTime[static_cast<size_t>(Node)] + 1);
       if (PlacedTime > TimeCap)
         return false;
+      // Table collisions plus, with a topology, routing/adjacency victims.
+      auto VictimsAt = [&](int U) {
+        std::vector<int> V = Tables.conflicts(G, Node, PlacedTime, U);
+        for (int W :
+             Tables.topoConflicts(G, Node, PlacedTime, U, Time, Unit))
+          if (std::find(V.begin(), V.end(), W) == V.end())
+            V.push_back(W);
+        return V;
+      };
       PlacedUnit = 0;
       size_t BestConflicts = SIZE_MAX;
       for (int U = 0; U < Machine.type(R).Count; ++U) {
-        size_t C = Tables.conflicts(G, Node, PlacedTime, U).size();
+        size_t C = VictimsAt(U).size();
         if (C < BestConflicts) {
           BestConflicts = C;
           PlacedUnit = U;
         }
       }
-      for (int Victim : Tables.conflicts(G, Node, PlacedTime, PlacedUnit)) {
+      for (int Victim : VictimsAt(PlacedUnit)) {
         Unschedule(Victim);
         ++Remaining;
       }
@@ -170,6 +184,7 @@ bool scheduleAtT(const Ddg &G, const MachineModel &Machine, int T, int Budget,
     Time[static_cast<size_t>(Node)] = PlacedTime;
     Unit[static_cast<size_t>(Node)] = PlacedUnit;
     PrevTime[static_cast<size_t>(Node)] = PlacedTime;
+    Tables.commitRoutes(G, Node, Time, Unit);
     --Remaining;
 
     // Evict scheduled neighbours whose dependence is now violated.

@@ -2,6 +2,8 @@
 
 #include "swp/machine/Catalog.h"
 
+#include "swp/support/Format.h"
+
 using namespace swp;
 
 namespace {
@@ -90,4 +92,74 @@ MachineModel swp::cleanVliw() {
   M.addFuType("LSU", 1, ReservationTable::cleanPipelined(2));
   M.addFuType("FDIV", 1, ReservationTable::cleanPipelined(6));
   return M;
+}
+
+MachineModel swp::cgraGrid(int Rows, int Cols, bool Torus, int MaxHops) {
+  MachineModel M(strFormat("cgra-%s-%dx%d", Torus ? "torus" : "mesh", Rows,
+                           Cols));
+  int Pe = M.addFuType("PE", Rows * Cols, ReservationTable::cleanPipelined(1));
+  // Multiplier path: the PE's multiplier blocks issue for 2 cycles.
+  M.addVariant(Pe, ReservationTable::nonPipelined(2));
+  Topology Topo(Rows * Cols);
+  Topo.setMaxHops(MaxHops);
+  for (int R = 0; R < Rows; ++R)
+    for (int C = 0; C < Cols; ++C)
+      Topo.setName(R * Cols + C, strFormat("pe_%d_%d", R, C));
+  auto Link = [&Topo](int A, int B) {
+    // addEdge dedups the wrap-around of 2-wide tori.
+    Topo.addEdge(A, B);
+    Topo.addEdge(B, A);
+  };
+  for (int R = 0; R < Rows; ++R)
+    for (int C = 0; C < Cols; ++C) {
+      int U = R * Cols + C;
+      if (C + 1 < Cols)
+        Link(U, U + 1);
+      else if (Torus && Cols > 1)
+        Link(U, R * Cols);
+      if (R + 1 < Rows)
+        Link(U, U + Cols);
+      else if (Torus && Rows > 1)
+        Link(U, C);
+    }
+  M.setTopology(std::move(Topo));
+  return M;
+}
+
+int swp::cgraMulVariant() { return 1; }
+
+const std::vector<CatalogEntry> &swp::machineCatalog() {
+  static const std::vector<CatalogEntry> Catalog = [] {
+    std::vector<CatalogEntry> C = {
+        {"example-clean", exampleCleanMachine},
+        {"example-nonpipelined", exampleNonPipelinedMachine},
+        {"example-two-fp", exampleTwoFpMachine},
+        {"example-hazard", exampleHazardMachine},
+        {"ppc604-like", ppc604Like},
+        {"ppc604-multifunction", ppc604MultiFunction},
+        {"clean-vliw", cleanVliw},
+    };
+    // 2x2 through 6x6 square arrays, mesh and torus.
+    C.push_back({"cgra-mesh-2x2", [] { return cgraGrid(2, 2, false); }});
+    C.push_back({"cgra-mesh-3x3", [] { return cgraGrid(3, 3, false); }});
+    C.push_back({"cgra-mesh-4x4", [] { return cgraGrid(4, 4, false); }});
+    C.push_back({"cgra-mesh-5x5", [] { return cgraGrid(5, 5, false); }});
+    C.push_back({"cgra-mesh-6x6", [] { return cgraGrid(6, 6, false); }});
+    C.push_back({"cgra-torus-2x2", [] { return cgraGrid(2, 2, true); }});
+    C.push_back({"cgra-torus-3x3", [] { return cgraGrid(3, 3, true); }});
+    C.push_back({"cgra-torus-4x4", [] { return cgraGrid(4, 4, true); }});
+    C.push_back({"cgra-torus-5x5", [] { return cgraGrid(5, 5, true); }});
+    C.push_back({"cgra-torus-6x6", [] { return cgraGrid(6, 6, true); }});
+    return C;
+  }();
+  return Catalog;
+}
+
+bool swp::buildCatalogMachine(const std::string &Name, MachineModel &Out) {
+  for (const CatalogEntry &E : machineCatalog())
+    if (E.Name == Name) {
+      Out = E.Build();
+      return true;
+    }
+  return false;
 }

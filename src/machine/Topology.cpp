@@ -1,0 +1,161 @@
+//===- Topology.cpp - Placement adjacency between units -------------------===//
+
+#include "swp/machine/Topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace swp;
+
+Topology::Topology(int NumUnits) {
+  assert(NumUnits >= 1 && "topology needs at least one unit");
+  Names.reserve(static_cast<size_t>(NumUnits));
+  for (int U = 0; U < NumUnits; ++U)
+    Names.push_back("u" + std::to_string(U));
+}
+
+void Topology::setName(int U, std::string Name) {
+  assert(U >= 0 && U < numUnits() && "bad unit index");
+  Names[static_cast<size_t>(U)] = std::move(Name);
+}
+
+const std::string &Topology::unitName(int U) const {
+  assert(U >= 0 && U < numUnits() && "bad unit index");
+  return Names[static_cast<size_t>(U)];
+}
+
+int Topology::findUnit(const std::string &Name) const {
+  for (int U = 0; U < numUnits(); ++U)
+    if (Names[static_cast<size_t>(U)] == Name)
+      return U;
+  return -1;
+}
+
+bool Topology::addEdge(int From, int To) {
+  if (From < 0 || From >= numUnits() || To < 0 || To >= numUnits() ||
+      From == To || hasEdge(From, To))
+    return false;
+  Edges.emplace_back(From, To);
+  HopsValid = false;
+  return true;
+}
+
+bool Topology::hasEdge(int From, int To) const {
+  return std::find(Edges.begin(), Edges.end(), std::make_pair(From, To)) !=
+         Edges.end();
+}
+
+void Topology::setHopLatency(int L) {
+  assert(L >= 1 && "hop latency must be positive");
+  HopLat = L;
+}
+
+void Topology::ensureHopMatrix() const {
+  if (HopsValid)
+    return;
+  const int N = numUnits();
+  HopMatrix.assign(static_cast<size_t>(N) * static_cast<size_t>(N), -1);
+  std::vector<std::vector<int>> Succ(static_cast<size_t>(N));
+  for (const auto &E : Edges)
+    Succ[static_cast<size_t>(E.first)].push_back(E.second);
+  for (int Src = 0; Src < N; ++Src) {
+    int *Row = &HopMatrix[static_cast<size_t>(Src) * static_cast<size_t>(N)];
+    Row[Src] = 0;
+    std::deque<int> Queue{Src};
+    while (!Queue.empty()) {
+      int U = Queue.front();
+      Queue.pop_front();
+      for (int V : Succ[static_cast<size_t>(U)])
+        if (Row[V] < 0) {
+          Row[V] = Row[U] + 1;
+          Queue.push_back(V);
+        }
+    }
+  }
+  HopsValid = true;
+}
+
+int Topology::hops(int From, int To) const {
+  assert(From >= 0 && From < numUnits() && To >= 0 && To < numUnits() &&
+         "bad unit index");
+  ensureHopMatrix();
+  return HopMatrix[static_cast<size_t>(From) *
+                       static_cast<size_t>(numUnits()) +
+                   static_cast<size_t>(To)];
+}
+
+bool Topology::feedAllowed(int From, int To) const {
+  int H = hops(From, To);
+  return H >= 0 && (MaxHopCount < 0 || H <= MaxHopCount);
+}
+
+int Topology::routePenalty(int From, int To) const {
+  int H = hops(From, To);
+  assert(H >= 0 && "routePenalty on an unreachable pair");
+  return HopLat * std::max(0, H - 1);
+}
+
+int Topology::maxRoutePenalty() const {
+  int Best = 0;
+  for (int U = 0; U < numUnits(); ++U)
+    for (int V = 0; V < numUnits(); ++V)
+      if (feedAllowed(U, V))
+        Best = std::max(Best, routePenalty(U, V));
+  return Best;
+}
+
+bool Topology::constrains() const {
+  for (int U = 0; U < numUnits(); ++U)
+    for (int V = 0; V < numUnits(); ++V) {
+      int H = hops(U, V);
+      if (H < 0 || H > 1)
+        return true;
+    }
+  return false;
+}
+
+bool Topology::interchangeable(int U, int V) const {
+  if (hops(U, V) != hops(V, U))
+    return false;
+  for (int W = 0; W < numUnits(); ++W) {
+    if (W == U || W == V)
+      continue;
+    if (hops(U, W) != hops(V, W) || hops(W, U) != hops(W, V))
+      return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> Topology::interchangeClasses(int Lo,
+                                                           int Hi) const {
+  assert(Lo >= 0 && Hi <= numUnits() && Lo <= Hi && "bad unit range");
+  std::vector<std::vector<int>> Classes;
+  for (int U = Lo; U < Hi; ++U) {
+    bool Placed = false;
+    for (std::vector<int> &C : Classes) {
+      bool FitsAll = true;
+      for (int V : C)
+        if (!interchangeable(U, V)) {
+          FitsAll = false;
+          break;
+        }
+      if (FitsAll) {
+        C.push_back(U);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Classes.push_back({U});
+  }
+  return Classes;
+}
+
+std::vector<int> Topology::routeColumns(int EdgeLatency, int Hops,
+                                        int HopLat) {
+  std::vector<int> Cols;
+  for (int K = 0; K + 1 < Hops; ++K)
+    Cols.push_back(EdgeLatency + K * HopLat);
+  return Cols;
+}

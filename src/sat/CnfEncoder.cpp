@@ -64,7 +64,11 @@ CnfEncoder::CnfEncoder(const Ddg &Graph, const MachineModel &M,
   OpsOfType.resize(static_cast<std::size_t>(Machine.numTypes()));
   for (int R = 0; R < Machine.numTypes(); ++R)
     OpsOfType[static_cast<std::size_t>(R)] = G.nodesOfClass(R);
-  buildColoringSkeleton();
+  TopoPath = Kind == MappingKind::Fixed && Machine.topologyConstrains();
+  if (TopoPath)
+    buildInstanceSkeleton();
+  else
+    buildColoringSkeleton();
 }
 
 bool CnfEncoder::triviallyInfeasible(int T) const {
@@ -106,6 +110,127 @@ void CnfEncoder::buildColoringSkeleton() {
   }
 }
 
+void CnfEncoder::buildInstanceSkeleton() {
+  // T-independent instance block: colors cannot express adjacency, so the
+  // topology path names units explicitly via x[i][u] one-hots.
+  Topo = Machine.topology();
+  UnitBase.assign(static_cast<std::size_t>(Machine.numTypes()), 0);
+  for (int R = 1; R < Machine.numTypes(); ++R)
+    UnitBase[static_cast<std::size_t>(R)] =
+        UnitBase[static_cast<std::size_t>(R) - 1] + Machine.type(R - 1).Count;
+
+  const int N = G.numNodes();
+  InstVar.resize(static_cast<std::size_t>(N));
+  for (int I = 0; I < N; ++I) {
+    const int Count = Machine.type(G.node(I).OpClass).Count;
+    std::vector<int> &Xv = InstVar[static_cast<std::size_t>(I)];
+    Xv.resize(static_cast<std::size_t>(Count));
+    std::vector<SatLit> Alo;
+    for (int U = 0; U < Count; ++U) {
+      Xv[static_cast<std::size_t>(U)] = S.newVar();
+      Alo.push_back(mkLit(Xv[static_cast<std::size_t>(U)]));
+    }
+    S.addClause(Alo);
+    for (int U = 0; U < Count; ++U)
+      for (int V = U + 1; V < Count; ++V)
+        S.addClause({mkLit(Xv[static_cast<std::size_t>(U)], true),
+                     mkLit(Xv[static_cast<std::size_t>(V)], true)});
+  }
+
+  // Interchange-class symmetry breaking (the x-space analogue of the
+  // lexicographic color caps): within a class of swap-invariant units,
+  // members are used in first-use order — op a may sit on member b only
+  // if an earlier op of its type uses member b-1.
+  for (int R = 0; R < Machine.numTypes(); ++R) {
+    const std::vector<int> &Ops = OpsOfType[static_cast<std::size_t>(R)];
+    const int Count = Machine.type(R).Count;
+    if (Ops.empty() || Count < 2)
+      continue;
+    const int Base = UnitBase[static_cast<std::size_t>(R)];
+    for (const std::vector<int> &Class :
+         Topo->interchangeClasses(Base, Base + Count)) {
+      for (std::size_t BIx = 1; BIx < Class.size(); ++BIx) {
+        const int Prev = Class[BIx - 1] - Base;
+        const int Cur = Class[BIx] - Base;
+        for (std::size_t AIx = 0; AIx < Ops.size(); ++AIx) {
+          std::vector<SatLit> C;
+          C.push_back(mkLit(InstVar[static_cast<std::size_t>(Ops[AIx])]
+                                   [static_cast<std::size_t>(Cur)],
+                            true));
+          for (std::size_t E = 0; E < AIx; ++E)
+            C.push_back(mkLit(InstVar[static_cast<std::size_t>(Ops[E])]
+                                     [static_cast<std::size_t>(Prev)]));
+          S.addClause(C);
+        }
+      }
+    }
+  }
+
+  // Forbidden placements: unreachable / over-MaxHops producer-consumer
+  // unit pairs per DDG edge.  Unguarded — adjacency is T-independent.
+  for (const DdgEdge &E : G.edges()) {
+    if (E.Src == E.Dst)
+      continue;
+    const int Ri = G.node(E.Src).OpClass, Rj = G.node(E.Dst).OpClass;
+    for (int U = 0; U < Machine.type(Ri).Count; ++U) {
+      const int GU = UnitBase[static_cast<std::size_t>(Ri)] + U;
+      for (int V = 0; V < Machine.type(Rj).Count; ++V) {
+        const int GV = UnitBase[static_cast<std::size_t>(Rj)] + V;
+        if (!Topo->feedAllowed(GU, GV))
+          S.addClause({mkLit(InstVar[static_cast<std::size_t>(E.Src)]
+                                    [static_cast<std::size_t>(U)],
+                             true),
+                       mkLit(InstVar[static_cast<std::size_t>(E.Dst)]
+                                    [static_cast<std::size_t>(V)],
+                             true)});
+      }
+    }
+  }
+
+  // Route indicators y[e][u][c] (value of edge e leaves unit u across
+  // exactly c >= 2 hops): forced to 1 by any (x_iu, x_jv) pair at hop
+  // distance c; their ROUTE-cell collisions are forbidden per period in
+  // encodePeriod.
+  for (std::size_t EIx = 0; EIx < G.edges().size(); ++EIx) {
+    const DdgEdge &E = G.edges()[EIx];
+    if (E.Src == E.Dst)
+      continue;
+    const int Ri = G.node(E.Src).OpClass, Rj = G.node(E.Dst).OpClass;
+    for (int U = 0; U < Machine.type(Ri).Count; ++U) {
+      const int GU = UnitBase[static_cast<std::size_t>(Ri)] + U;
+      for (int C = 2;; ++C) {
+        std::vector<int> Consumers;
+        bool AnyBeyond = false;
+        for (int V = 0; V < Machine.type(Rj).Count; ++V) {
+          const int GV = UnitBase[static_cast<std::size_t>(Rj)] + V;
+          if (!Topo->feedAllowed(GU, GV))
+            continue;
+          const int H = Topo->hops(GU, GV);
+          if (H == C)
+            Consumers.push_back(V);
+          else if (H > C)
+            AnyBeyond = true;
+        }
+        if (Consumers.empty()) {
+          if (!AnyBeyond)
+            break;
+          continue;
+        }
+        const int Y = S.newVar();
+        RouteVars.push_back({static_cast<int>(EIx), GU, C, Y});
+        for (int V : Consumers)
+          S.addClause({mkLit(Y),
+                       mkLit(InstVar[static_cast<std::size_t>(E.Src)]
+                                    [static_cast<std::size_t>(U)],
+                             true),
+                       mkLit(InstVar[static_cast<std::size_t>(E.Dst)]
+                                    [static_cast<std::size_t>(V)],
+                             true)});
+      }
+    }
+  }
+}
+
 int CnfEncoder::overlapVar(int, int, int NodeI, int NodeJ) {
   const std::size_t Key = static_cast<std::size_t>(NodeI) *
                               static_cast<std::size_t>(G.numNodes()) +
@@ -115,10 +240,15 @@ int CnfEncoder::overlapVar(int, int, int NodeI, int NodeJ) {
     return O;
   O = S.newVar();
   // Overlapping same-type ops must map to different units: forbid every
-  // shared color once the overlap indicator is raised.  Unguarded — the
-  // implication is period-independent (o_ij is only *forced* per period).
-  const std::vector<int> &Ci = ColorVar[static_cast<std::size_t>(NodeI)];
-  const std::vector<int> &Cj = ColorVar[static_cast<std::size_t>(NodeJ)];
+  // shared color (or shared instance on the topology path) once the
+  // overlap indicator is raised.  Unguarded — the implication is
+  // period-independent (o_ij is only *forced* per period).
+  const std::vector<int> &Ci =
+      TopoPath ? InstVar[static_cast<std::size_t>(NodeI)]
+               : ColorVar[static_cast<std::size_t>(NodeI)];
+  const std::vector<int> &Cj =
+      TopoPath ? InstVar[static_cast<std::size_t>(NodeJ)]
+               : ColorVar[static_cast<std::size_t>(NodeJ)];
   const std::size_t Shared = std::min(Ci.size(), Cj.size());
   for (std::size_t U = 0; U < Shared; ++U)
     S.addClause({mkLit(O, true), mkLit(Ci[U], true), mkLit(Cj[U], true)});
@@ -240,9 +370,11 @@ void CnfEncoder::encodePeriod(int T, int Sel) {
 
     // Unit collisions (the paper's circular-arc coloring condition): two
     // same-type ops whose reservation tables collide at their offset
-    // delta cannot share a unit.
+    // delta cannot share a unit.  The topology path needs them for every
+    // multi-op type: adjacency may force unit sharing even when distinct
+    // units would fit.
     if (Mapping != MappingKind::Fixed ||
-        static_cast<int>(Ops.size()) <= Count)
+        (!TopoPath && static_cast<int>(Ops.size()) <= Count))
       continue;
     for (std::size_t IxI = 0; IxI < Ops.size(); ++IxI) {
       for (std::size_t IxJ = IxI + 1; IxJ < Ops.size(); ++IxJ) {
@@ -282,6 +414,61 @@ void CnfEncoder::encodePeriod(int T, int Sel) {
       }
     }
   }
+
+  if (!TopoPath)
+    return;
+
+  // ROUTE-cell constraints at this period.  A route (e, u, c) occupies
+  // the producer's unit at pattern steps (p + col) mod T for each column
+  // col of routeColumns(L, c, hopLatency), p being the producer's offset.
+  for (const RouteVarIds &RV : RouteVars) {
+    const DdgEdge &E = G.edges()[static_cast<std::size_t>(RV.Edge)];
+    const std::vector<int> Cols =
+        Topology::routeColumns(E.Latency, RV.Hops, Topo->hopLatency());
+    // Self-collision: the route's own columns fold onto one pattern step,
+    // so placements activating it are infeasible at this T.
+    for (std::size_t A = 0; A < Cols.size(); ++A)
+      for (std::size_t B = A + 1; B < Cols.size(); ++B)
+        if ((Cols[A] - Cols[B]) % T == 0) {
+          S.addClause({NS, mkLit(RV.Var, true)});
+          A = Cols.size();
+          break;
+        }
+  }
+  for (std::size_t R1 = 0; R1 < RouteVars.size(); ++R1) {
+    for (std::size_t R2 = R1 + 1; R2 < RouteVars.size(); ++R2) {
+      const RouteVarIds &A1 = RouteVars[R1];
+      const RouteVarIds &A2 = RouteVars[R2];
+      if (A1.Unit != A2.Unit || A1.Edge == A2.Edge)
+        continue;
+      const DdgEdge &E1 = G.edges()[static_cast<std::size_t>(A1.Edge)];
+      const DdgEdge &E2 = G.edges()[static_cast<std::size_t>(A2.Edge)];
+      const std::vector<int> Cols1 =
+          Topology::routeColumns(E1.Latency, A1.Hops, Topo->hopLatency());
+      const std::vector<int> Cols2 =
+          Topology::routeColumns(E2.Latency, A2.Hops, Topo->hopLatency());
+      for (int Col1 : Cols1) {
+        for (int Col2 : Cols2) {
+          for (int P = 0; P < T; ++P) {
+            const int Q = ((P + Col1 - Col2) % T + T) % T;
+            if (E1.Src == E2.Src && Q != P)
+              continue; // One producer, one offset: vacuous.
+            std::vector<SatLit> C{NS,
+                                  mkLit(AVar[static_cast<std::size_t>(P)]
+                                            [static_cast<std::size_t>(E1.Src)],
+                                        true)};
+            if (E1.Src != E2.Src)
+              C.push_back(mkLit(AVar[static_cast<std::size_t>(Q)]
+                                    [static_cast<std::size_t>(E2.Src)],
+                                true));
+            C.push_back(mkLit(A1.Var, true));
+            C.push_back(mkLit(A2.Var, true));
+            S.addClause(C);
+          }
+        }
+      }
+    }
+  }
 }
 
 std::vector<int> CnfEncoder::modelOffsets(int T) const {
@@ -297,11 +484,40 @@ std::vector<int> CnfEncoder::modelOffsets(int T) const {
   return Offsets;
 }
 
+int CnfEncoder::modelUnit(int Node) const {
+  const std::vector<int> &Xv = InstVar[static_cast<std::size_t>(Node)];
+  for (std::size_t U = 0; U < Xv.size(); ++U)
+    if (S.modelValue(Xv[U]))
+      return static_cast<int>(U);
+  return 0;
+}
+
 bool CnfEncoder::decode(int T, ModuloSchedule &Out,
                         std::vector<int> &CycleNodes) const {
   CycleNodes.clear();
   const int N = G.numNodes();
   const std::vector<int> Offsets = modelOffsets(T);
+
+  // On the topology path the mapping is read before the K completion:
+  // routing penalties rho(h) enter the dependence-edge weights (and
+  // blockCycle must then include the instance literals — see there).
+  std::vector<int> Units;
+  if (TopoPath) {
+    Units.resize(static_cast<std::size_t>(N));
+    for (int I = 0; I < N; ++I)
+      Units[static_cast<std::size_t>(I)] = modelUnit(I);
+  }
+  auto EdgeRho = [&](const DdgEdge &E) {
+    if (!TopoPath)
+      return 0;
+    const int GU =
+        UnitBase[static_cast<std::size_t>(G.node(E.Src).OpClass)] +
+        Units[static_cast<std::size_t>(E.Src)];
+    const int GV =
+        UnitBase[static_cast<std::size_t>(G.node(E.Dst).OpClass)] +
+        Units[static_cast<std::size_t>(E.Dst)];
+    return Topo->routePenalty(GU, GV);
+  };
 
   // K vector by Bellman-Ford over k_j - k_i >= ceil((lat - T*m + off_i -
   // off_j) / T), with predecessor tracking for the positive-cycle witness.
@@ -312,7 +528,7 @@ bool CnfEncoder::decode(int T, ModuloSchedule &Out,
     bool Changed = false;
     for (std::size_t EI = 0; EI < Edges.size(); ++EI) {
       const DdgEdge &E = Edges[EI];
-      const int W = ceilDiv(E.Latency - T * E.Distance +
+      const int W = ceilDiv(E.Latency + EdgeRho(E) - T * E.Distance +
                                 Offsets[static_cast<std::size_t>(E.Src)] -
                                 Offsets[static_cast<std::size_t>(E.Dst)],
                             T);
@@ -352,7 +568,7 @@ bool CnfEncoder::decode(int T, ModuloSchedule &Out,
                 Edges[static_cast<std::size_t>(
                     PredEdge[static_cast<std::size_t>(Z)])];
             CycleWeight +=
-                ceilDiv(PE.Latency - T * PE.Distance +
+                ceilDiv(PE.Latency + EdgeRho(PE) - T * PE.Distance +
                             Offsets[static_cast<std::size_t>(PE.Src)] -
                             Offsets[static_cast<std::size_t>(PE.Dst)],
                         T);
@@ -384,6 +600,10 @@ bool CnfEncoder::decode(int T, ModuloSchedule &Out,
     return true;
 
   Out.Mapping.assign(static_cast<std::size_t>(N), 0);
+  if (TopoPath) {
+    Out.Mapping = std::move(Units);
+    return true;
+  }
   for (int R = 0; R < Machine.numTypes(); ++R) {
     const std::vector<int> &Ops = OpsOfType[static_cast<std::size_t>(R)];
     const int Count = Machine.type(R).Count;
@@ -412,12 +632,21 @@ void CnfEncoder::blockCycle(int T, const std::vector<int> &CycleNodes,
                             const std::vector<int> &Offsets) {
   std::vector<SatLit> C;
   C.push_back(mkLit(SelVar[static_cast<std::size_t>(T)], true));
-  for (int Node : CycleNodes)
+  for (int Node : CycleNodes) {
     C.push_back(mkLit(
         AVar[static_cast<std::size_t>(
                  Offsets[static_cast<std::size_t>(Node)])]
             [static_cast<std::size_t>(Node)],
         true));
+    // On the topology path the cycle's positivity depends on the routing
+    // penalties, i.e. on where the nodes sit: block only this
+    // offsets-and-placement combination (the model is still loaded — the
+    // caller invokes this right after a failed decode).
+    if (TopoPath)
+      C.push_back(mkLit(InstVar[static_cast<std::size_t>(Node)]
+                               [static_cast<std::size_t>(modelUnit(Node))],
+                        true));
+  }
   S.addClause(C);
   ++NumCycleBlocks;
 }

@@ -55,6 +55,18 @@ Fingerprint swp::fingerprintMachine(const MachineModel &M) {
           B.add(RT.busy(S, C) ? 1 : 0);
     }
   }
+  // Topology words only when one is attached, so every pre-topology
+  // machine keeps its exact historical byte stream (and cache entries).
+  // Instance names are ignored like every other name.
+  if (const Topology *Topo = M.topology()) {
+    B.add(std::uint64_t{0x544f504fULL}); // "TOPO" sub-tag.
+    B.add(Topo->numUnits());
+    B.add(Topo->hopLatency());
+    B.add(Topo->maxHops());
+    B.add(static_cast<int>(Topo->edges().size()));
+    for (const std::pair<int, int> &E : Topo->edges())
+      B.add(E.first).add(E.second);
+  }
   return B.finish();
 }
 

@@ -44,6 +44,16 @@ public:
         Busy[{R, U, S, Cycle + L}] = true;
   }
 
+  /// ROUTE-cell occupancy (synthetic stage -1, disjoint from every
+  /// reservation-table stage): in-flight multi-hop values on the
+  /// producer's unit.
+  bool routeFree(int R, int U, std::int64_t Cycle) const {
+    return !Busy.count({R, U, -1, Cycle});
+  }
+  void occupyRoute(int R, int U, std::int64_t Cycle) {
+    Busy[{R, U, -1, Cycle}] = true;
+  }
+
   std::int64_t busyCount(int R) const {
     std::int64_t Count = 0;
     for (const auto &[Key, Value] : Busy)
@@ -181,6 +191,26 @@ bool swp::replaySchedule(const Ddg &G, const MachineModel &Machine,
               return A.Node < B.Node;
             });
 
+  // With a constraining topology and a fixed mapping, operands arrive
+  // rho(h) cycles later (intermediate routing hops) and in-flight values
+  // occupy ROUTE cells on the producer's unit.
+  const Topology *Topo =
+      S.hasMapping() && Machine.topologyConstrains() ? Machine.topology()
+                                                     : nullptr;
+  auto GlobalUnit = [&](int Node) {
+    return Machine.globalUnitIndex(G.node(Node).OpClass,
+                                   S.Mapping[static_cast<size_t>(Node)]);
+  };
+  auto EdgeRho = [&](const DdgEdge &E, bool *AllowedOut) {
+    int U = GlobalUnit(E.Src), V = GlobalUnit(E.Dst);
+    if (!Topo->feedAllowed(U, V)) {
+      *AllowedOut = false;
+      return 0;
+    }
+    *AllowedOut = true;
+    return Topo->routePenalty(U, V);
+  };
+
   for (const Instance &Inst : Instances) {
     // Operand readiness at the scheduled cycle.
     for (const DdgEdge &E : G.edges()) {
@@ -192,7 +222,19 @@ bool swp::replaySchedule(const Ddg &G, const MachineModel &Machine,
       std::int64_t SrcStart =
           static_cast<std::int64_t>(SrcIter) * S.T +
           S.StartTime[static_cast<size_t>(E.Src)];
-      if (SrcStart + E.Latency > Inst.Start) {
+      int Rho = 0;
+      if (Topo) {
+        bool Allowed = true;
+        Rho = EdgeRho(E, &Allowed);
+        if (!Allowed) {
+          if (ErrorOut)
+            *ErrorOut = strFormat(
+                "topology forbids routing %s -> %s under this mapping",
+                G.node(E.Src).Name.c_str(), G.node(Inst.Node).Name.c_str());
+          return false;
+        }
+      }
+      if (SrcStart + E.Latency + Rho > Inst.Start) {
         if (ErrorOut)
           *ErrorOut = strFormat(
               "%s (iter %d) issues at %lld before its operand from %s",
@@ -223,6 +265,27 @@ bool swp::replaySchedule(const Ddg &G, const MachineModel &Machine,
       }
     }
     Board.occupy(G, Inst.Node, U, Inst.Start);
+    if (Topo) {
+      // Claim ROUTE cells for every multi-hop value this issue launches.
+      int R = G.node(Inst.Node).OpClass;
+      for (const DdgEdge &E : G.edges()) {
+        if (E.Src != Inst.Node)
+          continue;
+        int H = Topo->hops(GlobalUnit(E.Src), GlobalUnit(E.Dst));
+        for (int Col :
+             Topology::routeColumns(E.Latency, H, Topo->hopLatency())) {
+          if (!Board.routeFree(R, U, Inst.Start + Col)) {
+            if (ErrorOut)
+              *ErrorOut = strFormat(
+                  "%s (iter %d) finds a route cell busy at %lld",
+                  G.node(Inst.Node).Name.c_str(), Inst.Iter,
+                  static_cast<long long>(Inst.Start + Col));
+            return false;
+          }
+          Board.occupyRoute(R, U, Inst.Start + Col);
+        }
+      }
+    }
   }
   return true;
 }

@@ -9,6 +9,7 @@
 #include <climits>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -109,6 +110,30 @@ bool swp::parseMachine(const std::string &Text, MachineModel &Out,
   };
   std::vector<PendingType> Types;
 
+  // Topology directives (grid / edge / instname / hoplatency / maxhops)
+  // come after every futype: the unit space must be final before units can
+  // be named or connected.
+  std::optional<Topology> Topo;
+  bool TopoHasDirectives = false;
+  auto EnsureTopo = [&]() -> Topology & {
+    if (!Topo) {
+      int Total = 0;
+      for (const PendingType &P : Types)
+        Total += P.Count;
+      Topo.emplace(Total);
+    }
+    return *Topo;
+  };
+  // Resolves a topology unit reference: an instance name or a global
+  // (type-major) unit index.  \returns -1 when unknown / out of range.
+  auto ResolveUnit = [&](const std::string &Ref) {
+    int U = EnsureTopo().findUnit(Ref);
+    if (U < 0 && parseInt(Ref, U) &&
+        (U < 0 || U >= EnsureTopo().numUnits()))
+      U = -1;
+    return U;
+  };
+
   while (std::getline(In, Line)) {
     ++LineNo;
     std::vector<std::string> Tok = tokenize(Line);
@@ -123,6 +148,10 @@ bool swp::parseMachine(const std::string &Text, MachineModel &Out,
       continue;
     }
     if (Tok[0] == "futype") {
+      if (Topo) {
+        Err = lineError(LineNo, "futype after topology directives");
+        return false;
+      }
       if (Tok.size() != 4 || Tok[2] != "count") {
         Err = lineError(LineNo, "expected: futype <name> count <n>");
         return false;
@@ -172,6 +201,129 @@ bool swp::parseMachine(const std::string &Text, MachineModel &Out,
       }
       continue;
     }
+    if (Tok[0] == "grid") {
+      // grid <rows> <cols> [mesh|torus] — 4-neighbor connectivity over all
+      // physical units in row-major order, named pe_<r>_<c>.
+      if (TopoHasDirectives) {
+        Err = lineError(LineNo, "grid must be the first topology directive");
+        return false;
+      }
+      if (Tok.size() != 3 && Tok.size() != 4) {
+        Err = lineError(LineNo, "expected: grid <rows> <cols> [mesh|torus]");
+        return false;
+      }
+      bool Torus = false;
+      if (Tok.size() == 4) {
+        if (Tok[3] != "mesh" && Tok[3] != "torus") {
+          Err = lineError(LineNo, "grid style must be mesh or torus, got '" +
+                                      Tok[3] + "'");
+          return false;
+        }
+        Torus = Tok[3] == "torus";
+      }
+      int Rows = 0, Cols = 0;
+      if (!parseBounded(Tok[1], Rows) || !parseBounded(Tok[2], Cols) ||
+          Rows < 1 || Cols < 1) {
+        Err = lineError(LineNo, "bad grid dimensions");
+        return false;
+      }
+      Topology &Tp = EnsureTopo();
+      if (static_cast<long long>(Rows) * Cols != Tp.numUnits()) {
+        Err = lineError(
+            LineNo,
+            strFormat("grid %d x %d needs %lld units, machine has %d", Rows,
+                      Cols, static_cast<long long>(Rows) * Cols,
+                      Tp.numUnits()));
+        return false;
+      }
+      for (int Rr = 0; Rr < Rows; ++Rr)
+        for (int Cc = 0; Cc < Cols; ++Cc)
+          Tp.setName(Rr * Cols + Cc, strFormat("pe_%d_%d", Rr, Cc));
+      auto Link = [&Tp](int A, int B) {
+        // Duplicates are expected on wrap-around of 2-wide tori.
+        Tp.addEdge(A, B);
+        Tp.addEdge(B, A);
+      };
+      for (int Rr = 0; Rr < Rows; ++Rr)
+        for (int Cc = 0; Cc < Cols; ++Cc) {
+          int U = Rr * Cols + Cc;
+          if (Cc + 1 < Cols)
+            Link(U, U + 1);
+          else if (Torus && Cols > 1)
+            Link(U, Rr * Cols);
+          if (Rr + 1 < Rows)
+            Link(U, U + Cols);
+          else if (Torus && Rows > 1)
+            Link(U, Cc);
+        }
+      TopoHasDirectives = true;
+      continue;
+    }
+    if (Tok[0] == "edge") {
+      if (Tok.size() != 3) {
+        Err = lineError(LineNo, "expected: edge <from> <to>");
+        return false;
+      }
+      int From = ResolveUnit(Tok[1]);
+      int To = ResolveUnit(Tok[2]);
+      if (From < 0 || To < 0) {
+        Err = lineError(LineNo, "edge references unknown unit '" +
+                                    (From < 0 ? Tok[1] : Tok[2]) + "'");
+        return false;
+      }
+      if (From == To) {
+        Err = lineError(LineNo, "topology edge must not be a self-loop");
+        return false;
+      }
+      if (!EnsureTopo().addEdge(From, To)) {
+        Err = lineError(LineNo, "duplicate topology edge '" + Tok[1] +
+                                    " -> " + Tok[2] + "'");
+        return false;
+      }
+      TopoHasDirectives = true;
+      continue;
+    }
+    if (Tok[0] == "instname") {
+      if (Tok.size() != 3) {
+        Err = lineError(LineNo, "expected: instname <unit> <name>");
+        return false;
+      }
+      int U = ResolveUnit(Tok[1]);
+      if (U < 0) {
+        Err = lineError(LineNo, "instname references unknown unit '" +
+                                    Tok[1] + "'");
+        return false;
+      }
+      int Clash = EnsureTopo().findUnit(Tok[2]);
+      if (Clash >= 0 && Clash != U) {
+        Err = lineError(LineNo, "instance name '" + Tok[2] +
+                                    "' already in use");
+        return false;
+      }
+      EnsureTopo().setName(U, Tok[2]);
+      TopoHasDirectives = true;
+      continue;
+    }
+    if (Tok[0] == "hoplatency") {
+      int L = 0;
+      if (Tok.size() != 2 || !parseBounded(Tok[1], L) || L < 1) {
+        Err = lineError(LineNo, "expected: hoplatency <n >= 1>");
+        return false;
+      }
+      EnsureTopo().setHopLatency(L);
+      TopoHasDirectives = true;
+      continue;
+    }
+    if (Tok[0] == "maxhops") {
+      int H = 0;
+      if (Tok.size() != 2 || !parseBounded(Tok[1], H) || H < -1) {
+        Err = lineError(LineNo, "expected: maxhops <n> (-1 = unlimited)");
+        return false;
+      }
+      EnsureTopo().setMaxHops(H);
+      TopoHasDirectives = true;
+      continue;
+    }
     Err = lineError(LineNo, "unknown directive '" + Tok[0] + "'");
     return false;
   }
@@ -190,6 +342,8 @@ bool swp::parseMachine(const std::string &Text, MachineModel &Out,
     for (ReservationTable &V : P.Variants)
       M.addVariant(R, std::move(V));
   }
+  if (Topo)
+    M.setTopology(std::move(*Topo));
   Out = std::move(M);
   return true;
 }
@@ -348,6 +502,20 @@ std::string swp::printMachine(const MachineModel &M) {
     Out += "table" + tableRows(Ty.Table) + "\n";
     for (int V = 1; V < Ty.numVariants(); ++V)
       Out += "variant" + tableRows(Ty.variant(V)) + "\n";
+  }
+  if (const Topology *Topo = M.topology()) {
+    // Names first so edges can refer to them; grids round-trip as their
+    // expanded instname/edge form.
+    if (Topo->hopLatency() != 1)
+      Out += strFormat("hoplatency %d\n", Topo->hopLatency());
+    if (Topo->maxHops() >= 0)
+      Out += strFormat("maxhops %d\n", Topo->maxHops());
+    for (int U = 0; U < Topo->numUnits(); ++U)
+      if (Topo->unitName(U) != strFormat("u%d", U))
+        Out += strFormat("instname %d %s\n", U, Topo->unitName(U).c_str());
+    for (const std::pair<int, int> &E : Topo->edges())
+      Out += strFormat("edge %s %s\n", Topo->unitName(E.first).c_str(),
+                       Topo->unitName(E.second).c_str());
   }
   return Out;
 }

@@ -2,6 +2,7 @@
 
 #include "swp/workload/Corpus.h"
 
+#include "swp/machine/Catalog.h"
 #include "swp/support/Format.h"
 #include "swp/support/Rng.h"
 
@@ -93,6 +94,54 @@ std::vector<Ddg> swp::generateCorpus(const MachineModel &Machine,
   for (int I = 0; I < Opts.NumLoops; ++I) {
     Ddg G = generateRandomLoop(Machine, SeedStream.next(), Opts);
     G.setName(strFormat("loop-%04d", I));
+    Corpus.push_back(std::move(G));
+  }
+  return Corpus;
+}
+
+Ddg swp::generateRandomCgraLoop(const MachineModel &Machine,
+                                std::uint64_t Seed,
+                                const CgraCorpusOptions &Opts) {
+  Rng R(Seed);
+  int Extra = static_cast<int>(
+      std::floor(-std::log(1.0 - R.unit()) * Opts.MeanExtraNodes));
+  int N = std::min(3 + Extra, Opts.MaxNodes);
+
+  const bool HasMul = Machine.type(0).numVariants() > 1;
+  Ddg G(strFormat("cgra-%llu", static_cast<unsigned long long>(Seed)));
+  for (int I = 0; I < N; ++I) {
+    // ALUs finish in 1 cycle, the multiplier path in 2.
+    if (HasMul && R.chance(Opts.MulProb))
+      G.addNodeVariant(strFormat("n%d", I), 0, cgraMulVariant(), 2);
+    else
+      G.addNode(strFormat("n%d", I), 0, 1);
+  }
+
+  // Dataflow-kernel shape: a chain backbone with local fan-in, so most
+  // values travel to near neighbors (the CGRA sweet spot) with occasional
+  // long connections that force multi-hop routing.
+  for (int I = 1; I < N; ++I) {
+    if (R.chance(0.9))
+      G.addEdge(R.intIn(std::max(0, I - 3), I - 1), I, 0);
+    if (I >= 3 && R.chance(0.25))
+      G.addEdge(R.intIn(0, I - 3), I, 0);
+  }
+  if (R.chance(Opts.RecurrenceProb)) {
+    int To = R.intIn(0, N - 1);
+    int From = R.intIn(To, N - 1);
+    G.addEdge(From, To, R.chance(0.75) ? 1 : 2);
+  }
+  return G;
+}
+
+std::vector<Ddg> swp::generateCgraCorpus(const MachineModel &Machine,
+                                         const CgraCorpusOptions &Opts) {
+  std::vector<Ddg> Corpus;
+  Corpus.reserve(static_cast<size_t>(Opts.NumLoops));
+  Rng SeedStream(Opts.Seed);
+  for (int I = 0; I < Opts.NumLoops; ++I) {
+    Ddg G = generateRandomCgraLoop(Machine, SeedStream.next(), Opts);
+    G.setName(strFormat("cgra-%04d", I));
     Corpus.push_back(std::move(G));
   }
   return Corpus;

@@ -193,6 +193,55 @@ TEST(MachineModel, ModuloFeasibleChecksVariants) {
   EXPECT_TRUE(M.moduloFeasible(UsesVariant, 4));
 }
 
+TEST(MachineModel, AcceptsDdgRejections) {
+  MachineModel M = ppc604MultiFunction();
+  Ddg Fits("ok");
+  Fits.addNode("a", 0, 1);
+  Fits.addNodeVariant("b", 2, 1, 8);
+  EXPECT_TRUE(M.acceptsDdg(Fits));
+
+  Ddg ClassHigh("bad-class");
+  ClassHigh.addNode("x", M.numTypes(), 1);
+  EXPECT_FALSE(M.acceptsDdg(ClassHigh));
+
+  Ddg ClassNeg("neg-class");
+  ClassNeg.addNode("x", -1, 1);
+  EXPECT_FALSE(M.acceptsDdg(ClassNeg));
+
+  Ddg VariantHigh("bad-variant");
+  VariantHigh.addNodeVariant("x", 2, M.type(2).numVariants(), 1);
+  EXPECT_FALSE(M.acceptsDdg(VariantHigh));
+
+  Ddg VariantOnPlainType("variant-on-plain");
+  VariantOnPlainType.addNodeVariant("x", 0, 1, 1);
+  EXPECT_FALSE(M.acceptsDdg(VariantOnPlainType))
+      << "type 0 has only the primary table";
+
+  Ddg VariantNeg("neg-variant");
+  VariantNeg.addNodeVariant("x", 2, -1, 1);
+  EXPECT_FALSE(M.acceptsDdg(VariantNeg));
+}
+
+TEST(MachineModel, TableForSelectsVariantPerNode) {
+  MachineModel M("m");
+  int R = M.addFuType("X", 1, ReservationTable::cleanPipelined(3));
+  int V1 = M.addVariant(R, ReservationTable::nonPipelined(2));
+  int V2 = M.addVariant(R, ReservationTable::nonPipelined(5));
+  ASSERT_EQ(V1, 1);
+  ASSERT_EQ(V2, 2);
+  EXPECT_EQ(M.type(R).numVariants(), 3);
+
+  Ddg G("g");
+  int Primary = G.addNode("p", R, 3);
+  int Mid = G.addNodeVariant("m", R, V1, 2);
+  int Slow = G.addNodeVariant("s", R, V2, 5);
+  EXPECT_TRUE(M.tableFor(G.node(Primary)).isCleanPipelined());
+  EXPECT_EQ(M.tableFor(G.node(Primary)).execTime(), 3);
+  EXPECT_EQ(M.tableFor(G.node(Mid)).execTime(), 2);
+  EXPECT_FALSE(M.tableFor(G.node(Mid)).isCleanPipelined());
+  EXPECT_EQ(M.tableFor(G.node(Slow)).execTime(), 5);
+}
+
 TEST(ReservationTable, CrossTableConflictWithUnequalStageCounts) {
   // A 1-stage table only collides with the other table's stage 1.
   ReservationTable OneStage = ReservationTable::nonPipelined(2);

@@ -38,6 +38,12 @@
 // per-T status chain must match exactly; proofs and found IIs are
 // cross-checked either way, and both schedules are verified and replayed.
 //
+// With --mode cgra the harness fuzzes the topology-aware mapping path:
+// random small PE grids (mesh or torus, bounded hop budgets) with random
+// dataflow kernels; the two exact engines are cross-checked as in
+// ilp-vs-sat, the heuristics' schedules are verified and replayed and may
+// never beat a proven optimum, and the grid machine text must round-trip.
+//
 // With --mode wire the harness fuzzes the swpd wire protocol instead of
 // the schedulers: random requests and responses (arbitrary byte strings,
 // NaN/infinity doubles, every enum value) must round-trip byte-exactly
@@ -49,6 +55,7 @@
 //   swp_fuzz --instances 10000 --seed 1            # acceptance run
 //   swp_fuzz --instances 10000 --seed 1 --mode ilp-vs-sat
 //   swp_fuzz --instances 10000 --seed 1 --mode warmstart
+//   swp_fuzz --instances 10000 --seed 1 --mode cgra
 //   swp_fuzz --instances 2000 --seed 1 --mode wire
 //   swp_fuzz --instances 200 --faults "lp-infeasible:p0.1,bnb-node:p0.05"
 //
@@ -62,9 +69,11 @@
 #include "swp/ddg/Ddg.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
+#include "swp/machine/Catalog.h"
 #include "swp/machine/MachineModel.h"
 #include "swp/net/Wire.h"
 #include "swp/sat/SatScheduler.h"
+#include "swp/workload/Corpus.h"
 #include "swp/service/SchedulerService.h"
 #include "swp/sim/DynamicSimulator.h"
 #include "swp/support/FaultInjector.h"
@@ -103,7 +112,7 @@ struct FuzzOptions {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--instances N] [--seed S] [--max-nodes N]\n"
-               "       [--mode all|ilp-vs-sat|warmstart|wire] [--faults SPEC]\n"
+               "       [--mode all|ilp-vs-sat|warmstart|cgra|wire] [--faults SPEC]\n"
                "       [--time-limit S] [--node-limit N]\n"
                "       [--max-t-slack N] [--service-every N] [--verbose]\n",
                Argv0);
@@ -145,6 +154,20 @@ MachineModel randomMachine(Rng &R) {
                            RandomTable());
     while (R.chance(0.25))
       M.addVariant(Type, RandomTable());
+  }
+  // ~25% of machines carry a random placement topology over all units
+  // (possibly vacuous, possibly with unreachable pairs — both are legal
+  // and must keep every cross-check honest).
+  if (R.chance(0.25)) {
+    int Units = M.totalUnits();
+    Topology Topo(Units);
+    for (int A = 0; A < Units; ++A)
+      for (int B = 0; B < Units; ++B)
+        if (A != B && R.chance(0.5))
+          Topo.addEdge(A, B);
+    Topo.setHopLatency(R.intIn(1, 2));
+    Topo.setMaxHops(R.chance(0.3) ? -1 : R.intIn(1, 2));
+    M.setTopology(std::move(Topo));
   }
   return M;
 }
@@ -376,15 +399,14 @@ void fuzzOne(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
   }
 }
 
-/// Two-engine differential: the branch-and-bound ILP and the CDCL SAT
-/// backend answer the same instance; any disagreement between their
-/// schedules or proofs is a finding.
-void fuzzIlpVsSat(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
-                  Findings &F) {
-  Rng R(InstanceSeed);
-  MachineModel Machine = randomMachine(R);
-  Ddg G = randomLoop(R, Machine, Opts.MaxNodes, InstanceSeed);
-
+/// Two-engine differential body shared by --mode ilp-vs-sat and --mode
+/// cgra: the branch-and-bound ILP and the CDCL SAT backend answer the
+/// same instance; any disagreement between their schedules or proofs is a
+/// finding.
+SchedulerResult ilpVsSatBody(const FuzzOptions &Opts,
+                             std::uint64_t InstanceSeed,
+                             const MachineModel &Machine, const Ddg &G,
+                             Findings &F) {
   const bool WithFaults = !Opts.FaultSpec.empty();
   if (WithFaults) {
     std::string Err;
@@ -463,6 +485,85 @@ void fuzzIlpVsSat(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
     F.report(InstanceSeed, Machine, G,
              "ilp found T=" + std::to_string(Ilp.Schedule.T) +
                  " inside a window the SAT backend proved fully infeasible");
+  return Ilp;
+}
+
+void fuzzIlpVsSat(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
+                  Findings &F) {
+  Rng R(InstanceSeed);
+  MachineModel Machine = randomMachine(R);
+  Ddg G = randomLoop(R, Machine, Opts.MaxNodes, InstanceSeed);
+  ilpVsSatBody(Opts, InstanceSeed, Machine, G, F);
+}
+
+/// CGRA mapping differential (--mode cgra): a random small PE grid (mesh
+/// or torus, bounded hop budget) and a dataflow kernel; both exact engines
+/// answer and are cross-checked, the heuristics' schedules are verified
+/// and replayed, and the machine text (grid topology included) must
+/// round-trip through the parser.
+void fuzzCgra(const FuzzOptions &Opts, std::uint64_t InstanceSeed,
+              Findings &F) {
+  Rng R(InstanceSeed);
+  int Rows = R.intIn(1, 2);
+  int Cols = R.intIn(2, 3);
+  bool Torus = R.chance(0.5);
+  int MaxHops = R.chance(0.25) ? -1 : R.intIn(1, 2);
+  MachineModel Machine = cgraGrid(Rows, Cols, Torus, MaxHops);
+
+  CgraCorpusOptions LoopOpts;
+  LoopOpts.MaxNodes = std::min(Opts.MaxNodes, 8);
+  Ddg G = generateRandomCgraLoop(Machine, mix64(InstanceSeed ^ 0xc62a), LoopOpts);
+
+  // Topology-bearing machine text must round-trip exactly.
+  {
+    std::string MText = printMachine(Machine);
+    Expected<MachineModel> M2 = parseMachineText(MText);
+    if (!M2.ok())
+      F.report(InstanceSeed, Machine, G,
+               "cgra machine round-trip failed: " + M2.status().str());
+    else if (printMachine(*M2) != MText)
+      F.report(InstanceSeed, Machine, G,
+               "cgra machine round-trip is not a fixed point");
+  }
+
+  // The heuristics must stay sound under routing hazards: anything they
+  // find verifies and replays (the exact engines' optima bound them via
+  // the shared body's proof checks).
+  ImsOptions ImsOpts;
+  ImsOpts.MaxTSlack = Opts.MaxTSlack;
+  ImsResult Ims = iterativeModuloSchedule(G, Machine, ImsOpts);
+  if (Ims.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Ims.Schedule, "cgra-ims");
+  SlackOptions SlackOpts;
+  SlackOpts.MaxTSlack = Opts.MaxTSlack;
+  SlackResult Slack = slackModuloSchedule(G, Machine, SlackOpts);
+  if (Slack.found())
+    checkSchedule(F, InstanceSeed, Machine, G, Slack.Schedule, "cgra-slack");
+
+  SchedulerResult Ilp = ilpVsSatBody(Opts, InstanceSeed, Machine, G, F);
+  if (Ilp.ProvenRateOptimal) {
+    if (Ims.found() && Ims.Schedule.T < Ilp.Schedule.T)
+      F.report(InstanceSeed, Machine, G,
+               "cgra-ims beat a proven rate-optimal T: " +
+                   std::to_string(Ims.Schedule.T) + " < " +
+                   std::to_string(Ilp.Schedule.T));
+    if (Slack.found() && Slack.Schedule.T < Ilp.Schedule.T)
+      F.report(InstanceSeed, Machine, G,
+               "cgra-slack beat a proven rate-optimal T: " +
+                   std::to_string(Slack.Schedule.T) + " < " +
+                   std::to_string(Ilp.Schedule.T));
+  }
+  if (cleanFullProof(Ilp, Opts.MaxTSlack)) {
+    int WindowEnd = Ilp.TLowerBound + Opts.MaxTSlack;
+    if (Ims.found() && Ims.Schedule.T <= WindowEnd)
+      F.report(InstanceSeed, Machine, G,
+               "cgra-ims found T=" + std::to_string(Ims.Schedule.T) +
+                   " inside a window proven fully infeasible");
+    if (Slack.found() && Slack.Schedule.T <= WindowEnd)
+      F.report(InstanceSeed, Machine, G,
+               "cgra-slack found T=" + std::to_string(Slack.Schedule.T) +
+                   " inside a window proven fully infeasible");
+  }
 }
 
 /// True when no limit censored any part of \p R: the per-T status chain is
@@ -925,7 +1026,8 @@ int main(int Argc, char **Argv) {
   if (Opts.Instances < 1 || Opts.MaxNodes < 2)
     return usage(Argv[0]);
   if (Opts.Mode != "all" && Opts.Mode != "ilp-vs-sat" &&
-      Opts.Mode != "warmstart" && Opts.Mode != "wire")
+      Opts.Mode != "warmstart" && Opts.Mode != "cgra" &&
+      Opts.Mode != "wire")
     return usage(Argv[0]);
 
   Stopwatch Total;
@@ -936,6 +1038,8 @@ int main(int Argc, char **Argv) {
       fuzzIlpVsSat(Opts, InstanceSeed, F);
     else if (Opts.Mode == "warmstart")
       fuzzWarmstart(Opts, InstanceSeed, F);
+    else if (Opts.Mode == "cgra")
+      fuzzCgra(Opts, InstanceSeed, F);
     else if (Opts.Mode == "wire")
       fuzzWire(InstanceSeed, F);
     else

@@ -5,6 +5,9 @@
 //   swpc --machine M.machine --loop L.loop [options]
 //   swpc --machine M.machine --batch DIR [--jobs N] [options]
 //
+// --machine also accepts a built-in catalog name (--list-machines), e.g.
+// --machine cgra-mesh-4x4.
+//
 // Options:
 //   --scheduler ilp|sat|race|portfolio|ims|slack|enum
 //                                    algorithm (default ilp); sat is the
@@ -52,6 +55,7 @@
 #include "swp/heuristics/Enumerative.h"
 #include "swp/heuristics/IterativeModulo.h"
 #include "swp/heuristics/SlackModulo.h"
+#include "swp/machine/Catalog.h"
 #include "swp/net/Client.h"
 #include "swp/service/CachePersist.h"
 #include "swp/service/SchedulerService.h"
@@ -73,9 +77,38 @@ using namespace swp;
 
 namespace {
 
+/// --list-machines: the built-in catalog, one line per machine with its
+/// FU layout and (when present) topology summary.
+int listMachines() {
+  for (const CatalogEntry &E : machineCatalog()) {
+    MachineModel M = E.Build();
+    std::string Fus;
+    for (int R = 0; R < M.numTypes(); ++R) {
+      if (!Fus.empty())
+        Fus += ", ";
+      const FuType &Ty = M.type(R);
+      Fus += strFormat("%s x%d", Ty.Name.c_str(), Ty.Count);
+      if (Ty.numVariants() > 1)
+        Fus += strFormat(" (%d variants)", Ty.numVariants());
+    }
+    std::printf("%-22s %s", E.Name.c_str(), Fus.c_str());
+    if (const Topology *Topo = M.topology()) {
+      std::printf("  [topology: %d units, %d edges, hoplat %d, maxhops ",
+                  Topo->numUnits(), static_cast<int>(Topo->edges().size()),
+                  Topo->hopLatency());
+      if (Topo->maxHops() < 0)
+        std::printf("inf]");
+      else
+        std::printf("%d]", Topo->maxHops());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --machine FILE (--loop FILE | --batch DIR)\n"
+               "usage: %s --machine FILE|NAME (--loop FILE | --batch DIR)\n"
                "       [--scheduler ilp|sat|race|portfolio|ims|slack|enum]\n"
                "       [--mapping fixed|runtime] [--min-buffers] "
                "[--time-limit S]\n"
@@ -85,8 +118,9 @@ int usage(const char *Argv0) {
                "       [--save-cache DIR] [--load-cache DIR]\n"
                "   or: %s --connect SOCKET (--machine FILE (--loop FILE |"
                " --batch DIR)\n"
-               "        [--tenant NAME] | --daemon-stats | --shutdown)\n",
-               Argv0, Argv0);
+               "        [--tenant NAME] | --daemon-stats | --shutdown)\n"
+               "   or: %s --list-machines\n",
+               Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -97,6 +131,19 @@ bool readFile(const std::string &Path, std::string &Out) {
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
   Out = Buffer.str();
+  return true;
+}
+
+/// --machine accepts a file path or a catalog name (see --list-machines);
+/// catalog machines are materialized through the printer so both sources
+/// flow through the same parser.
+bool readMachineSpec(const std::string &Spec, std::string &Out) {
+  if (readFile(Spec, Out))
+    return true;
+  MachineModel M(Spec);
+  if (!buildCatalogMachine(Spec, M))
+    return false;
+  Out = printMachine(M);
   return true;
 }
 
@@ -386,6 +433,8 @@ int main(int Argc, char **Argv) {
       SaveCacheDir = Val;
     else if (Arg == "--load-cache" && Next(Val))
       LoadCacheDir = Val;
+    else if (Arg == "--list-machines")
+      return listMachines();
     else
       return usage(Argv[0]);
   }
@@ -402,8 +451,10 @@ int main(int Argc, char **Argv) {
     std::string MachineText;
     std::vector<std::pair<std::string, std::string>> Loops;
     if (HasWork) {
-      if (!readFile(MachinePath, MachineText)) {
-        std::fprintf(stderr, "error: cannot read machine file %s\n",
+      if (!readMachineSpec(MachinePath, MachineText)) {
+        std::fprintf(stderr,
+                     "error: %s is neither a readable machine file nor a "
+                     "catalog name (see --list-machines)\n",
                      MachinePath.c_str());
         return 1;
       }
@@ -452,8 +503,10 @@ int main(int Argc, char **Argv) {
     return usage(Argv[0]);
 
   std::string MachineText, Err;
-  if (!readFile(MachinePath, MachineText)) {
-    std::fprintf(stderr, "error: cannot read machine file %s\n",
+  if (!readMachineSpec(MachinePath, MachineText)) {
+    std::fprintf(stderr,
+                 "error: %s is neither a readable machine file nor a "
+                 "catalog name (see --list-machines)\n",
                  MachinePath.c_str());
     return 1;
   }
